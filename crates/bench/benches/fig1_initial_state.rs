@@ -1,0 +1,76 @@
+//! Criterion bench for Figure 1: forward-retiming initial state
+//! computation (one gate evaluation, linear time) vs backward-retiming
+//! justification — the asymmetry that motivates the whole paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retiming::{apply_retiming, Retiming};
+use workloads::fig1_circuit;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_initial_state");
+
+    let fwd = fig1_circuit(true);
+    let g = fwd.find("g").expect("gate exists");
+    let mut r_fwd = Retiming::zero(&fwd);
+    r_fwd.set(g, -1);
+    group.bench_function("forward_move_by_simulation", |b| {
+        b.iter(|| apply_retiming(&fwd, &r_fwd).expect("forward always succeeds"))
+    });
+
+    let bwd = fig1_circuit(false);
+    let g = bwd.find("g").expect("gate exists");
+    let mut r_bwd = Retiming::zero(&bwd);
+    r_bwd.set(g, 1);
+    group.bench_function("backward_move_by_justification", |b| {
+        b.iter(|| apply_retiming(&bwd, &r_bwd).expect("AND(1) is justifiable"))
+    });
+
+    // Scaled version: a chain of gates retimed forward vs backward.
+    for n in [16usize, 64, 256] {
+        let chain = |registers_in_front: bool| {
+            let mut c = netlist::Circuit::new(format!("chain{n}"));
+            let a = c.add_input("a").expect("unique");
+            let mut prev = a;
+            for i in 0..n {
+                let g = c
+                    .add_gate(format!("g{i}"), netlist::TruthTable::not())
+                    .expect("unique");
+                let ffs = if registers_in_front && i == 0 {
+                    vec![netlist::Bit::One]
+                } else {
+                    vec![]
+                };
+                c.connect(prev, g, ffs).expect("arity");
+                prev = g;
+            }
+            let o = c.add_output("o").expect("unique");
+            let ffs = if registers_in_front {
+                vec![]
+            } else {
+                vec![netlist::Bit::One]
+            };
+            c.connect(prev, o, ffs).expect("arity");
+            c
+        };
+        let fwd = chain(true);
+        let mut r = Retiming::zero(&fwd);
+        for i in 0..n / 2 {
+            r.set(fwd.find(&format!("g{i}")).expect("gate"), -1);
+        }
+        group.bench_function(format!("forward_chain_{n}"), |b| {
+            b.iter(|| apply_retiming(&fwd, &r).expect("forward"))
+        });
+        let bwd = chain(false);
+        let mut r = Retiming::zero(&bwd);
+        for i in n / 2..n {
+            r.set(bwd.find(&format!("g{i}")).expect("gate"), 1);
+        }
+        group.bench_function(format!("backward_chain_{n}"), |b| {
+            b.iter(|| apply_retiming(&bwd, &r).expect("NOT chains justify"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 2: simple vs non-simple FRT mapping
+//! solutions. Restricting TurboMap-frt to weight-0 cones (`frt` horizon
+//! 0) yields only *simple* solutions; the figure's point is that
+//! non-simple solutions (registers pulled through LUTs) reach strictly
+//! smaller clock periods on some circuits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use turbomap::{turbomap_frt, Options};
+use workloads::fig2_circuit;
+
+fn bench_fig2(c: &mut Criterion) {
+    let circuit = fig2_circuit();
+    let full = Options {
+        k: 3,
+        ..Options::with_k(3)
+    };
+    let simple_only = Options {
+        k: 3,
+        weight_horizon: 0,
+        ..Options::with_k(3)
+    };
+    // The figure's claim, checked once before timing.
+    let phi_full = turbomap_frt(&circuit, full).expect("maps").period;
+    let phi_simple = turbomap_frt(&circuit, simple_only).expect("maps").period;
+    assert!(
+        phi_full < phi_simple,
+        "figure 2 property: non-simple Φ={phi_full} must beat simple-only Φ={phi_simple}"
+    );
+    println!("fig2: non-simple Φ = {phi_full}, simple-only Φ = {phi_simple}");
+
+    let mut group = c.benchmark_group("fig2_simple_vs_nonsimple");
+    group.bench_function("turbomap_frt_nonsimple", |b| {
+        b.iter(|| turbomap_frt(&circuit, full).expect("maps"))
+    });
+    group.bench_function("turbomap_frt_simple_only", |b| {
+        b.iter(|| turbomap_frt(&circuit, simple_only).expect("maps"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

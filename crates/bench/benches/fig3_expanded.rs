@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 3: expanded-circuit construction. The
+//! figure's point — clustering past a register is invalid when no
+//! register can be pushed forward (`frt(c) = 0`) — is encoded in the
+//! bound of `F_v^i`; this bench measures the construction cost at
+//! increasing bounds and circuit sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use turbomap::ExpandedCircuit;
+use workloads::fig3_circuit;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_expanded");
+    let fig = fig3_circuit();
+    let root = fig.find("c").expect("gate c");
+    group.bench_function("fig3_build_f0", |b| {
+        b.iter(|| ExpandedCircuit::build(&fig, root, 0, 100_000).expect("fits"))
+    });
+
+    // Larger circuits: expansion over a mid-size FSM preset.
+    let preset = workloads::presets()
+        .into_iter()
+        .find(|p| p.name == "s1")
+        .expect("preset");
+    let circuit = turbomap::prepare(&workloads::build_preset(&preset), 5).expect("valid");
+    let some_gate = circuit
+        .gate_ids()
+        .max_by_key(|&v| circuit.node(v).fanin().len())
+        .expect("gates");
+    for bound in [0u64, 1, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("s1_build", bound),
+            &bound,
+            |b, &bound| {
+                b.iter(|| ExpandedCircuit::build(&circuit, some_gate, bound, 1_000_000))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for Figure 4: min-height / min-weight K-cut search on
+//! expanded circuits — the `LabelUpdate` primitive. The figure's claim
+//! (the extra register on `(i1, a)` makes the 3-LUT legal) is asserted
+//! before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use turbomap::{find_cut, min_weight_cut, ExpandedCircuit};
+use workloads::{fig3_circuit, fig4_circuit};
+
+fn bench_fig4(c: &mut Criterion) {
+    // Claim check: at weight bound 1 (fig4's frt(c) = 1) a cut exists
+    // whose cone absorbs b's register; at fig3's frt(c) = 0 the same
+    // absorption is impossible (the only cuts keep b^1 as an input).
+    let f4 = fig4_circuit();
+    let root4 = f4.find("c").expect("gate");
+    let exp4 = ExpandedCircuit::build(&f4, root4, 1, 100_000).expect("fits");
+    let ls4 = vec![0i64; f4.num_nodes()];
+    assert!(find_cut(&exp4, &ls4, 10, 100, 1, 3).is_some());
+
+    let f3 = fig3_circuit();
+    let root3 = f3.find("c").expect("gate");
+    let exp3 = ExpandedCircuit::build(&f3, root3, 0, 100_000).expect("fits");
+    let ls3 = vec![0i64; f3.num_nodes()];
+    let cut3 = find_cut(&exp3, &ls3, 10, 100, 0, 3).expect("cut exists");
+    let b3 = f3.find("b").expect("gate");
+    assert!(
+        cut3.signals.iter().any(|s| s.node == b3 && s.weight == 1),
+        "fig3: b's register must stay on the cut (cannot be absorbed)"
+    );
+
+    let mut group = c.benchmark_group("fig4_frt_cut");
+    group.bench_function("fig4_find_cut", |b| {
+        b.iter(|| find_cut(&exp4, &ls4, 10, 100, 1, 3).expect("cut"))
+    });
+    group.bench_function("fig4_min_weight_cut", |b| {
+        b.iter(|| min_weight_cut(&exp4, &ls4, 10, 100, 1, 3).expect("cut"))
+    });
+
+    // Scaled cut search on a mid-size preset gate.
+    let preset = workloads::presets()
+        .into_iter()
+        .find(|p| p.name == "keyb")
+        .expect("preset");
+    let circuit = turbomap::prepare(&workloads::build_preset(&preset), 5).expect("valid");
+    let ls = vec![0i64; circuit.num_nodes()];
+    let deep = circuit
+        .gate_ids()
+        .filter_map(|v| {
+            ExpandedCircuit::build(&circuit, v, 1, 100_000).map(|e| (v, e))
+        })
+        .max_by_key(|(_, e)| e.len())
+        .expect("gates");
+    for k in [3usize, 5, 8] {
+        group.bench_with_input(BenchmarkId::new("keyb_deepest", k), &k, |b, &k| {
+            b.iter(|| find_cut(&deep.1, &ls, 10, 1_000, 1, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for Figure 5: the FRTcheck label-pair iteration, per
+//! target clock period — feasible and infeasible probes, plus the
+//! binary-search driver. Also prints the sweep counts backing the §3.2
+//! claim that convergence takes 5–15 iterations in practice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use turbomap::FrtContext;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_frtcheck");
+    group.sample_size(10);
+    for name in ["s1", "keyb", "sand"] {
+        let preset = workloads::presets()
+            .into_iter()
+            .find(|p| p.name == name)
+            .expect("preset");
+        let circuit = turbomap::prepare(&workloads::build_preset(&preset), 5).expect("valid");
+        let ctx = FrtContext::new(&circuit, 5, 32);
+        // Find the boundary: smallest feasible Φ.
+        let phi_min = (1..=64)
+            .find(|&p| ctx.check(p).feasible)
+            .expect("some Φ feasible");
+        let res = ctx.check(phi_min);
+        println!(
+            "{name}: Φ_min = {phi_min}, FRTcheck sweeps at Φ_min = {} (paper: 5–15)",
+            res.iterations
+        );
+        group.bench_with_input(
+            BenchmarkId::new("feasible", name),
+            &(&ctx, phi_min),
+            |b, (ctx, phi)| b.iter(|| ctx.check(*phi)),
+        );
+        if phi_min > 1 {
+            group.bench_with_input(
+                BenchmarkId::new("infeasible", name),
+                &(&ctx, phi_min - 1),
+                |b, (ctx, phi)| b.iter(|| ctx.check(*phi)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Regenerates Table 1 of the paper: FlowMap-frt vs TurboMap vs
+//! TurboMap-frt on the 18-circuit suite, K = 5.
+//!
+//! Usage:
+//!   table1 [--max-gates N] [--k K] [--no-verify] [--stats]
+//!
+//! `--stats` additionally prints the FRTcheck iteration counts per probed
+//! clock period (the paper's §3.2 claim of 5–15 iterations).
+
+use bench::{geomean, run_row, Row};
+
+fn main() {
+    let mut max_gates = usize::MAX;
+    let mut k = 5usize;
+    let mut verify = true;
+    let mut stats = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--max-gates" => {
+                max_gates = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-gates N");
+            }
+            "--k" => {
+                k = args.next().and_then(|v| v.parse().ok()).expect("--k K");
+            }
+            "--no-verify" => verify = false,
+            "--stats" => stats = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "TurboMap-frt reproduction — Table 1 (K = {k}, {} random verification vectors)",
+        if verify { bench::VERIFY_VECTORS } else { 0 }
+    );
+    println!(
+        "{:<10} {:>6}{:>6} | {:^25} | {:^27} | {:>5} | {:^25}",
+        "", "", "", "FlowMap-frt", "TurboMap", "Best", "TurboMap-frt"
+    );
+    println!(
+        "{:<10} {:>6}{:>6} | {:>4}{:>6}{:>6}{:>9} | {:>6}{:>6}{:>6}{:>9} | {:>5} | {:>4}{:>6}{:>6}{:>9}",
+        "circuit", "N", "F", "Φ", "LUT", "FF", "CPU", "Φ", "LUT", "FF", "CPU", "", "Φ", "LUT", "FF", "CPU"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (p, c) in workloads::table1_suite() {
+        if c.num_gates() > max_gates {
+            continue;
+        }
+        let row = run_row(p.name, &c, k, verify);
+        let tm_star = if row.turbomap.star { "*" } else { " " };
+        println!(
+            "{:<10} {:>6}{:>6} | {:>4}{:>6}{:>6}{:>9.2} | {}{:>5}{:>6}{:>6}{:>9.2} | {:>5} | {:>4}{:>6}{:>6}{:>9.2}{}",
+            row.name,
+            row.n,
+            row.f,
+            row.flowmap_frt.phi,
+            row.flowmap_frt.luts,
+            row.flowmap_frt.ffs,
+            row.flowmap_frt.cpu,
+            tm_star,
+            row.turbomap.phi,
+            row.turbomap.luts,
+            row.turbomap.ffs,
+            row.turbomap.cpu,
+            row.best_valid_phi(),
+            row.turbomap_frt.phi,
+            row.turbomap_frt.luts,
+            row.turbomap_frt.ffs,
+            row.turbomap_frt.cpu,
+            if verify {
+                let ok = row.flowmap_frt.verified
+                    && row.turbomap_frt.verified
+                    && (row.turbomap.verified || row.turbomap.star);
+                if ok {
+                    "  [verified]"
+                } else {
+                    "  [VERIFY FAILED]"
+                }
+            } else {
+                ""
+            },
+        );
+        if stats {
+            let iters: Vec<String> = row
+                .frt_iterations
+                .iter()
+                .map(|(phi, it)| format!("Φ={phi}:{it}"))
+                .collect();
+            println!("           FRTcheck sweeps: {}", iters.join(" "));
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        println!("no circuits within --max-gates bound");
+        return;
+    }
+
+    // Geometric means and the paper's % comparison rows.
+    let gm = |f: &dyn Fn(&Row) -> f64| geomean(rows.iter().map(f));
+    let fm_phi = gm(&|r| r.flowmap_frt.phi as f64);
+    let tm_phi = gm(&|r| r.turbomap.phi as f64);
+    let tf_phi = gm(&|r| r.turbomap_frt.phi as f64);
+    let best_phi = gm(&|r| r.best_valid_phi() as f64);
+    let fm_lut = gm(&|r| r.flowmap_frt.luts as f64);
+    let tm_lut = gm(&|r| r.turbomap.luts as f64);
+    let tf_lut = gm(&|r| r.turbomap_frt.luts as f64);
+    let fm_ff = gm(&|r| r.flowmap_frt.ffs as f64);
+    let tm_ff = gm(&|r| r.turbomap.ffs as f64);
+    let tf_ff = gm(&|r| r.turbomap_frt.ffs as f64);
+    let fm_cpu = gm(&|r| r.flowmap_frt.cpu.max(1e-4));
+    let tm_cpu = gm(&|r| r.turbomap.cpu.max(1e-4));
+    let tf_cpu = gm(&|r| r.turbomap_frt.cpu.max(1e-4));
+    let stars = rows.iter().filter(|r| r.turbomap.star).count();
+
+    println!();
+    println!(
+        "geomean    {:>12} | {:>4.1}{:>6.0}{:>6.1}{:>9.4} | {:>6.1}{:>6.0}{:>6.1}{:>9.4} | {:>5.1} | {:>4.1}{:>6.0}{:>6.1}{:>9.4}",
+        "", fm_phi, fm_lut, fm_ff, fm_cpu, tm_phi, tm_lut, tm_ff, tm_cpu, best_phi, tf_phi, tf_lut, tf_ff, tf_cpu
+    );
+    let pct = |x: f64, base: f64| 100.0 * (x - base) / base;
+    println!(
+        "vs TurboMap-frt: FlowMap-frt Φ {:+.1}%  LUT {:+.1}%  FF {:+.1}%   |   TurboMap Φ {:+.1}%  LUT {:+.1}%  FF {:+.1}%   |   Best-valid Φ {:+.1}%",
+        pct(fm_phi, tf_phi),
+        pct(fm_lut, tf_lut),
+        pct(fm_ff, tf_ff),
+        pct(tm_phi, tf_phi),
+        pct(tm_lut, tf_lut),
+        pct(tm_ff, tf_ff),
+        pct(best_phi, tf_phi),
+    );
+    println!(
+        "TurboMap initial-state failures (*): {stars}/{} circuits   (paper: 10/18)",
+        rows.len()
+    );
+    println!("paper geomeans for reference: Φ 7.0 / 5.6 / 5.8, %Φ +20.2 / -2.8 / +8.6 (best)");
+}

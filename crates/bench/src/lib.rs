@@ -1,0 +1,160 @@
+//! Benchmark harness support: runs the paper's three algorithms on a
+//! circuit and formats Table-1-style reports.
+
+use netlist::Circuit;
+use std::time::Instant;
+
+/// One algorithm's measured row fragment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measured {
+    /// Clock period Φ.
+    pub phi: u64,
+    /// LUT count.
+    pub luts: usize,
+    /// FF count (register sharing).
+    pub ffs: usize,
+    /// Wall-clock seconds.
+    pub cpu: f64,
+    /// `⋆`: no usable equivalent initial state.
+    pub star: bool,
+    /// Sequential equivalence verified (random vectors).
+    pub verified: bool,
+}
+
+/// All three algorithms on one circuit.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Gates of the original circuit.
+    pub n: usize,
+    /// Registers of the original circuit.
+    pub f: usize,
+    /// FlowMap-frt result.
+    pub flowmap_frt: Measured,
+    /// TurboMap (general retiming) result.
+    pub turbomap: Measured,
+    /// TurboMap-frt result.
+    pub turbomap_frt: Measured,
+    /// Label iterations per probed Φ for TurboMap-frt (the §3.2 claim).
+    pub frt_iterations: Vec<(u64, usize)>,
+}
+
+impl Row {
+    /// The best Φ among baselines whose initial state was usable
+    /// (the paper's `Best` column).
+    pub fn best_valid_phi(&self) -> u64 {
+        let mut best = self.flowmap_frt.phi;
+        if !self.turbomap.star {
+            best = best.min(self.turbomap.phi);
+        }
+        best
+    }
+}
+
+/// Number of random vectors used for verification (the paper used 3008
+/// for its largest circuits).
+pub const VERIFY_VECTORS: usize = 3008;
+
+/// Runs the three algorithms on one circuit.
+///
+/// `verify` enables the random-vector equivalence check (skippable for
+/// timing-only runs).
+///
+/// # Panics
+///
+/// Panics when an algorithm fails on a valid benchmark (a bug, not a
+/// measurement).
+pub fn run_row(name: &str, c: &Circuit, k: usize, verify: bool) -> Row {
+    let opts = turbomap::Options::with_k(k);
+
+    let t0 = Instant::now();
+    let prep = turbomap::prepare(c, k).expect("benchmarks are valid");
+    let fm = flowmap::flowmap_frt(&prep, k).expect("flowmap-frt succeeds");
+    let fm_cpu = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let tf = turbomap::turbomap_frt(c, opts).expect("turbomap-frt succeeds");
+    let tf_cpu = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let tm = turbomap::turbomap_general(c, opts).expect("turbomap succeeds");
+    let tm_cpu = t0.elapsed().as_secs_f64();
+
+    let check = |mapped: &Circuit, seed: u64| -> bool {
+        verify
+            && netlist::random_equiv(c, mapped, VERIFY_VECTORS, seed)
+                .map(|r| r.is_equivalent())
+                .unwrap_or(false)
+    };
+    Row {
+        name: name.to_string(),
+        n: c.num_gates(),
+        f: c.ff_count_shared(),
+        flowmap_frt: Measured {
+            phi: fm.period,
+            luts: fm.luts,
+            ffs: fm.ffs,
+            cpu: fm_cpu,
+            star: false,
+            verified: check(&fm.circuit, 1),
+        },
+        turbomap: Measured {
+            phi: tm.period,
+            luts: tm.luts,
+            ffs: tm.ffs,
+            cpu: tm_cpu,
+            star: tm.star(),
+            verified: check(&tm.circuit, 2),
+        },
+        turbomap_frt: Measured {
+            phi: tf.period,
+            luts: tf.luts,
+            ffs: tf.ffs,
+            cpu: tf_cpu,
+            star: tf.star(),
+            verified: check(&tf.circuit, 3),
+        },
+        frt_iterations: tf.iterations,
+    }
+}
+
+/// Geometric mean helper.
+pub fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v.max(1e-9).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_row_on_tiny_preset() {
+        let presets = workloads::presets();
+        let p = &presets[1]; // bbtas
+        let c = workloads::build_preset(p);
+        let row = run_row(p.name, &c, 5, true);
+        assert!(row.turbomap_frt.phi <= row.flowmap_frt.phi);
+        assert!(row.turbomap.phi <= row.turbomap_frt.phi);
+        assert!(row.flowmap_frt.verified);
+        assert!(row.turbomap_frt.verified);
+        assert!(!row.turbomap_frt.star);
+        assert!(row.best_valid_phi() >= row.turbomap.phi || row.turbomap.star);
+    }
+
+    #[test]
+    fn geomean_matches_hand_value() {
+        let g = geomean([2.0f64, 8.0].into_iter());
+        assert!((g - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,441 @@
+//! Library backing the `tmfrt` command-line tool: argument parsing and
+//! the driver logic, separated from `main` so they can be unit-tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use netlist::Circuit;
+use std::fmt::Write as _;
+
+/// Which mapping flow to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Conventional: FlowMap per block + forward retiming.
+    FlowMapFrt,
+    /// The paper's algorithm: optimal mapping with forward retiming.
+    TurboMapFrt,
+    /// Optimal mapping with general retiming (initial state may be lost).
+    TurboMap,
+    /// No mapping: forward retiming only.
+    RetimeForward,
+    /// No mapping: general (Leiserson–Saxe) retiming only.
+    RetimeGeneral,
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "flowmap-frt" => Ok(Algorithm::FlowMapFrt),
+            "turbomap-frt" => Ok(Algorithm::TurboMapFrt),
+            "turbomap" => Ok(Algorithm::TurboMap),
+            "retime-forward" => Ok(Algorithm::RetimeForward),
+            "retime-general" => Ok(Algorithm::RetimeGeneral),
+            other => Err(format!(
+                "unknown algorithm `{other}` (expected flowmap-frt, turbomap-frt, \
+                 turbomap, retime-forward or retime-general)"
+            )),
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Input path (`.blif` or `.kiss2`), or `-` for stdin, or
+    /// `gen:<preset>` for a generated Table-1 circuit.
+    pub input: String,
+    /// Output BLIF path (stdout when absent).
+    pub output: Option<String>,
+    /// Flow to run.
+    pub algorithm: Algorithm,
+    /// LUT input bound.
+    pub k: usize,
+    /// Run the Section-5 backward push preprocessing first.
+    pub pushback: bool,
+    /// Verify the result by random simulation (vector count).
+    pub verify: Option<usize>,
+    /// One-hot instead of binary encoding for KISS2 synthesis.
+    pub onehot: bool,
+    /// Run the LUT packing area post-pass on the mapped result.
+    pub pack: bool,
+    /// Run structural hashing on the mapped result.
+    pub strash: bool,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on malformed input.
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut args = Args {
+            input: String::new(),
+            output: None,
+            algorithm: Algorithm::TurboMapFrt,
+            k: 5,
+            pushback: false,
+            verify: None,
+            onehot: false,
+            pack: false,
+            strash: false,
+        };
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "-o" | "--output" => {
+                    args.output = Some(
+                        it.next()
+                            .ok_or_else(|| "--output needs a path".to_string())?
+                            .clone(),
+                    );
+                }
+                "-a" | "--algorithm" => {
+                    args.algorithm = it
+                        .next()
+                        .ok_or_else(|| "--algorithm needs a name".to_string())?
+                        .parse()?;
+                }
+                "-k" => {
+                    args.k = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "-k needs a number ≥ 2".to_string())?;
+                    if args.k < 2 {
+                        return Err("-k must be at least 2".into());
+                    }
+                }
+                "--pushback" => args.pushback = true,
+                "--verify" => {
+                    args.verify = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| "--verify needs a vector count".to_string())?,
+                    );
+                }
+                "--onehot" => args.onehot = true,
+                "--pack" => args.pack = true,
+                "--strash" => args.strash = true,
+                "-h" | "--help" => return Err(USAGE.to_string()),
+                other if args.input.is_empty() && !other.starts_with('-') => {
+                    args.input = other.to_string();
+                }
+                other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+            }
+        }
+        if args.input.is_empty() {
+            return Err(USAGE.to_string());
+        }
+        Ok(args)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+tmfrt — FPGA mapping with forward retiming (Cong & Wu, DAC'98 reproduction)
+
+USAGE: tmfrt <input> [-o out.blif] [-a ALGO] [-k K] [--pushback] [--verify N] [--onehot]
+
+  <input>      circuit: a .blif file, a .kiss2 file, `-` (BLIF on stdin),
+               or gen:<name> for a generated Table-1 benchmark (e.g. gen:sand)
+  -a ALGO      flowmap-frt | turbomap-frt (default) | turbomap |
+               retime-forward | retime-general
+  -k K         LUT input bound (default 5; ignored by retime-*)
+  --pushback   push registers toward the PIs first (Section-5 methodology)
+  --verify N   check sequential equivalence with N random vectors
+  --onehot     one-hot state encoding for KISS2 inputs (default binary)
+  --pack       LUT packing area post-pass on the result
+  --strash     structural hashing (duplicate-logic sweep) on the result";
+
+/// Loads a circuit from the CLI input specification.
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O, parse or synthesis errors.
+pub fn load_circuit(args: &Args) -> Result<Circuit, String> {
+    if let Some(name) = args.input.strip_prefix("gen:") {
+        let preset = workloads::presets()
+            .into_iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown preset `{name}`; available: {}",
+                    workloads::presets()
+                        .iter()
+                        .map(|p| p.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+        return Ok(workloads::build_preset(&preset));
+    }
+    let text = if args.input == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(&args.input)
+            .map_err(|e| format!("reading `{}`: {e}", args.input))?
+    };
+    if args.input.ends_with(".kiss2") || args.input.ends_with(".kiss") || text.contains("\n.s ")
+        || text.starts_with(".i ") && text.contains(".r ")
+    {
+        let stg = workloads::parse_kiss2(&text).map_err(|e| e.to_string())?;
+        let enc = if args.onehot {
+            workloads::Encoding::OneHot
+        } else {
+            workloads::Encoding::Binary
+        };
+        workloads::synthesize_stg(&stg, enc, "kiss2").map_err(|e| e.to_string())
+    } else {
+        netlist::parse_blif(&text).map_err(|e| e.to_string())
+    }
+}
+
+/// The result of one CLI run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The produced circuit.
+    pub circuit: Circuit,
+    /// Human-readable summary lines.
+    pub report: String,
+    /// True when the initial state was lost (general retiming only).
+    pub star: bool,
+}
+
+/// Runs the selected flow.
+///
+/// # Errors
+///
+/// Returns a human-readable message on algorithm failures.
+pub fn run(args: &Args, input: &Circuit) -> Result<RunOutcome, String> {
+    let mut report = String::new();
+    let stats = netlist::CircuitStats::of(input).map_err(|e| e.to_string())?;
+    writeln!(report, "input:  {stats}").ok();
+
+    let source = if args.pushback {
+        let (pushed, _, pstats) = retiming::push_registers_backward(input, 32);
+        writeln!(
+            report,
+            "pushback: {} backward moves ({} conflicts, {} unjustifiable)",
+            pstats.moves, pstats.conflicts, pstats.unjustifiable
+        )
+        .ok();
+        pushed
+    } else {
+        input.clone()
+    };
+
+    let (circuit, star) = match args.algorithm {
+        Algorithm::FlowMapFrt => {
+            let prep = turbomap::prepare(&source, args.k).map_err(|e| e.to_string())?;
+            let r = flowmap::flowmap_frt(&prep, args.k).map_err(|e| e.to_string())?;
+            writeln!(
+                report,
+                "flowmap-frt: Φ = {}, {} LUTs, {} FFs",
+                r.period, r.luts, r.ffs
+            )
+            .ok();
+            (r.circuit, false)
+        }
+        Algorithm::TurboMapFrt => {
+            let r = turbomap::turbomap_frt(&source, turbomap::Options::with_k(args.k))
+                .map_err(|e| e.to_string())?;
+            writeln!(
+                report,
+                "turbomap-frt: Φ = {}, {} LUTs, {} FFs (initial state guaranteed)",
+                r.period, r.luts, r.ffs
+            )
+            .ok();
+            (r.circuit, false)
+        }
+        Algorithm::TurboMap => {
+            let r = turbomap::turbomap_general(&source, turbomap::Options::with_k(args.k))
+                .map_err(|e| e.to_string())?;
+            writeln!(
+                report,
+                "turbomap: Φ = {}, {} LUTs, {} FFs{}",
+                r.period,
+                r.luts,
+                r.ffs,
+                if r.star() {
+                    " — ⋆ NO usable equivalent initial state"
+                } else {
+                    ""
+                }
+            )
+            .ok();
+            let star = r.star();
+            (r.circuit, star)
+        }
+        Algorithm::RetimeForward => {
+            let r = retiming::retime_min_period_forward(&source).map_err(|e| e.to_string())?;
+            writeln!(report, "retime-forward: Φ = {}", r.period).ok();
+            (r.circuit, false)
+        }
+        Algorithm::RetimeGeneral => match retiming::retime_min_period_general(&source) {
+            Ok(r) => {
+                writeln!(report, "retime-general: Φ = {}", r.period).ok();
+                (r.circuit, false)
+            }
+            Err(e) => {
+                return Err(format!(
+                    "retime-general failed to compute an initial state: {e} \
+                     (this is the NP-hard case the paper avoids)"
+                ))
+            }
+        },
+    };
+
+    let circuit = if args.strash {
+        let r = netlist::strash(&circuit).map_err(|e| e.to_string())?;
+        writeln!(report, "strash: merged {} duplicate gates", r.merged).ok();
+        r.circuit
+    } else {
+        circuit
+    };
+    let circuit = if args.pack {
+        let r = flowmap::pack_luts(&circuit, args.k).map_err(|e| e.to_string())?;
+        writeln!(report, "pack: removed {} LUTs", r.packed).ok();
+        r.circuit
+    } else {
+        circuit
+    };
+    if let Some(n) = args.verify {
+        let eq = netlist::random_equiv(input, &circuit, n, 0x7E57)
+            .map_err(|e| e.to_string())?
+            .is_equivalent();
+        writeln!(
+            report,
+            "verify: {}",
+            if eq {
+                "equivalent".to_string()
+            } else if star {
+                "NOT equivalent (expected: the initial state was lost)".to_string()
+            } else {
+                return Err("verification FAILED on a non-starred result".into());
+            }
+        )
+        .ok();
+    }
+    let out_stats = netlist::CircuitStats::of(&circuit).map_err(|e| e.to_string())?;
+    writeln!(report, "output: {out_stats}").ok();
+    Ok(RunOutcome {
+        circuit,
+        report,
+        star,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let a = Args::parse(&argv("gen:sand")).unwrap();
+        assert_eq!(a.algorithm, Algorithm::TurboMapFrt);
+        assert_eq!(a.k, 5);
+        assert!(!a.pushback);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = Args::parse(&argv(
+            "in.blif -o out.blif -a turbomap -k 4 --pushback --verify 100 --onehot",
+        ))
+        .unwrap();
+        assert_eq!(a.algorithm, Algorithm::TurboMap);
+        assert_eq!(a.k, 4);
+        assert!(a.pushback);
+        assert_eq!(a.verify, Some(100));
+        assert!(a.onehot);
+        assert_eq!(a.output.as_deref(), Some("out.blif"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Args::parse(&argv("")).is_err());
+        assert!(Args::parse(&argv("x.blif -k 1")).is_err());
+        assert!(Args::parse(&argv("x.blif -a nosuch")).is_err());
+        assert!(Args::parse(&argv("x.blif --bogus")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_on_preset() {
+        let args = Args::parse(&argv("gen:dk17 --verify 256")).unwrap();
+        let c = load_circuit(&args).unwrap();
+        let out = run(&args, &c).unwrap();
+        assert!(out.report.contains("turbomap-frt"));
+        assert!(out.report.contains("verify: equivalent"));
+        assert!(!out.star);
+    }
+
+    #[test]
+    fn end_to_end_blif_text() {
+        let blif = "\
+.model t
+.inputs a
+.outputs z
+.names a s z
+10 1
+01 1
+.latch z s 0
+.end
+";
+        let dir = std::env::temp_dir().join("tmfrt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.blif");
+        std::fs::write(&path, blif).unwrap();
+        let args = Args::parse(&argv(&format!(
+            "{} -a flowmap-frt --verify 64",
+            path.display()
+        )))
+        .unwrap();
+        let c = load_circuit(&args).unwrap();
+        let out = run(&args, &c).unwrap();
+        assert!(out.report.contains("flowmap-frt"));
+    }
+
+    #[test]
+    fn kiss2_input_detected() {
+        let kiss = ".i 1\n.o 1\n.s 2\n.r A\n1 A B 1\n- B A 0\n.e\n";
+        let dir = std::env::temp_dir().join("tmfrt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.kiss2");
+        std::fs::write(&path, kiss).unwrap();
+        let args = Args::parse(&argv(&format!("{} --verify 64", path.display()))).unwrap();
+        let c = load_circuit(&args).unwrap();
+        assert!(c.ff_count_shared() >= 1);
+        let out = run(&args, &c).unwrap();
+        assert!(out.report.contains("equivalent"));
+    }
+
+    #[test]
+    fn pack_and_strash_flags() {
+        let args = Args::parse(&argv("gen:dk17 --pack --strash --verify 128")).unwrap();
+        assert!(args.pack && args.strash);
+        let c = load_circuit(&args).unwrap();
+        let out = run(&args, &c).unwrap();
+        assert!(out.report.contains("pack: removed"));
+        assert!(out.report.contains("strash: merged"));
+        assert!(out.report.contains("verify: equivalent"));
+    }
+
+    #[test]
+    fn pushback_flow_runs() {
+        let args = Args::parse(&argv("gen:ex2 --pushback --verify 128")).unwrap();
+        let c = load_circuit(&args).unwrap();
+        let out = run(&args, &c).unwrap();
+        assert!(out.report.contains("pushback"));
+        assert!(out.report.contains("verify: equivalent"));
+    }
+}

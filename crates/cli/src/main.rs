@@ -1,0 +1,50 @@
+//! `tmfrt` — map BLIF/KISS2 circuits with the DAC'98 TurboMap-frt flows.
+
+use tmfrt_cli::{load_circuit, run, Args};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let circuit = match load_circuit(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    };
+    match run(&args, &circuit) {
+        Ok(outcome) => {
+            eprint!("{}", outcome.report);
+            // Output format by extension: .v → Verilog, .dot → Graphviz,
+            // anything else (and stdout) → BLIF.
+            let render = |path: Option<&str>| match path {
+                Some(p) if p.ends_with(".v") => netlist::to_verilog(&outcome.circuit),
+                Some(p) if p.ends_with(".dot") => netlist::to_dot(&outcome.circuit),
+                _ => netlist::write_blif(&outcome.circuit),
+            };
+            match &args.output {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, render(Some(path))) {
+                        eprintln!("error writing `{path}`: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{}", render(None)),
+            }
+            if outcome.star {
+                std::process::exit(3); // distinct status for ⋆ results
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Cut signals, combinational cones and LUT network construction.
+//!
+//! A K-LUT in a sequential mapping consumes *signals*: either a node's
+//! direct output (weight 0) or the output of a register chain fed by a node
+//! (weight ≥ 1, with that chain's initial values). [`CutSignal`] names such
+//! a signal; a mapping solution assigns every LUT root a cut (a set of cut
+//! signals) whose cone computes the root's function.
+//!
+//! [`build_lut_network`] turns a `root → cut` assignment into an actual LUT
+//! circuit: each cone is collapsed into one truth table by exhaustive
+//! simulation and the register chains are re-attached to the LUT fanins,
+//! preserving sequential behaviour.
+
+use netlist::{Bit, Circuit, NetlistError, NodeId, TruthTable};
+use std::collections::HashMap;
+
+/// A signal usable as an LUT input.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CutSignal {
+    /// The driving node (PI or gate).
+    pub node: NodeId,
+    /// Number of registers between the driver and the LUT input.
+    pub weight: usize,
+    /// Initial values of those registers (source → sink order; length =
+    /// `weight`).
+    pub chain: Vec<Bit>,
+}
+
+impl CutSignal {
+    /// A direct (unregistered) signal.
+    pub fn direct(node: NodeId) -> CutSignal {
+        CutSignal {
+            node,
+            weight: 0,
+            chain: Vec::new(),
+        }
+    }
+
+    /// A registered tap with the given initial chain.
+    pub fn tap(node: NodeId, chain: Vec<Bit>) -> CutSignal {
+        CutSignal {
+            weight: chain.len(),
+            node,
+            chain,
+        }
+    }
+}
+
+/// A K-feasible cut for one LUT root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// The signals crossing the cut (the future LUT inputs), deduplicated.
+    pub signals: Vec<CutSignal>,
+}
+
+/// Errors from mapping-network construction.
+#[derive(Debug)]
+pub enum MapError {
+    /// A cone reached a boundary not listed in the root's cut.
+    InconsistentCut {
+        /// The LUT root.
+        root: String,
+        /// The offending boundary signal driver.
+        signal: String,
+    },
+    /// Too many inputs for a truth table.
+    ConeTooWide {
+        /// The LUT root.
+        root: String,
+        /// Its cut size.
+        inputs: usize,
+    },
+    /// Underlying netlist error.
+    Netlist(NetlistError),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::InconsistentCut { root, signal } => {
+                write!(f, "cone of `{root}` crossed uncut boundary at `{signal}`")
+            }
+            MapError::ConeTooWide { root, inputs } => {
+                write!(f, "cone of `{root}` has {inputs} inputs")
+            }
+            MapError::Netlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<NetlistError> for MapError {
+    fn from(e: NetlistError) -> Self {
+        MapError::Netlist(e)
+    }
+}
+
+/// Computes the truth table of the cone of `root` over the given cut
+/// signals by exhaustive simulation.
+///
+/// The cone is the set of gates reachable backward from `root` through
+/// weight-0 edges without crossing a cut signal. Boundary crossings that do
+/// not match a cut signal are reported as errors.
+///
+/// # Errors
+///
+/// [`MapError::InconsistentCut`] / [`MapError::ConeTooWide`].
+pub fn cone_function(c: &Circuit, root: NodeId, cut: &Cut) -> Result<TruthTable, MapError> {
+    if cut.signals.len() > netlist::MAX_INPUTS {
+        return Err(MapError::ConeTooWide {
+            root: c.node(root).name().to_string(),
+            inputs: cut.signals.len(),
+        });
+    }
+    // Map each cut signal to its input position.
+    let index: HashMap<&CutSignal, usize> = cut
+        .signals
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s, i))
+        .collect();
+    // Collect cone gates by DFS (root included unless it is itself cut —
+    // the root is never a cut signal of its own cut).
+    let mut cone: Vec<NodeId> = Vec::new();
+    let mut seen: HashMap<NodeId, bool> = HashMap::new();
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        if seen.contains_key(&v) {
+            continue;
+        }
+        seen.insert(v, true);
+        cone.push(v);
+        for &e in c.node(v).fanin() {
+            let edge = c.edge(e);
+            let sig = CutSignal {
+                node: edge.from(),
+                weight: edge.weight(),
+                chain: edge.ffs().to_vec(),
+            };
+            if index.contains_key(&sig) {
+                continue; // boundary
+            }
+            if edge.weight() > 0 || !c.node(edge.from()).is_gate() {
+                return Err(MapError::InconsistentCut {
+                    root: c.node(root).name().to_string(),
+                    signal: c.node(edge.from()).name().to_string(),
+                });
+            }
+            stack.push(edge.from());
+        }
+    }
+    // Topological order within the cone (reverse DFS finish would also do;
+    // recompute via repeated relaxation since cones are small).
+    let cone_set: HashMap<NodeId, usize> = cone.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let adj: Vec<Vec<usize>> = cone
+        .iter()
+        .map(|&v| {
+            c.node(v)
+                .fanin()
+                .iter()
+                .filter_map(|&e| {
+                    let edge = c.edge(e);
+                    let sig = CutSignal {
+                        node: edge.from(),
+                        weight: edge.weight(),
+                        chain: edge.ffs().to_vec(),
+                    };
+                    if index.contains_key(&sig) {
+                        None
+                    } else {
+                        cone_set.get(&edge.from()).copied()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    // adj currently lists fanins; build forward adjacency for topo.
+    let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); cone.len()];
+    for (vi, fanins) in adj.iter().enumerate() {
+        for &ui in fanins {
+            fwd[ui].push(vi);
+        }
+    }
+    let order = graphalgo::topo_order(&fwd).expect("cones are acyclic");
+
+    let k = cut.signals.len();
+    let tt = TruthTable::from_fn(k, |assignment| {
+        let mut values: Vec<bool> = vec![false; cone.len()];
+        for &vi in &order {
+            let v = cone[vi];
+            let node = c.node(v);
+            let ins: Vec<bool> = node
+                .fanin()
+                .iter()
+                .map(|&e| {
+                    let edge = c.edge(e);
+                    let sig = CutSignal {
+                        node: edge.from(),
+                        weight: edge.weight(),
+                        chain: edge.ffs().to_vec(),
+                    };
+                    match index.get(&sig) {
+                        Some(&i) => assignment & (1 << i) != 0,
+                        None => values[cone_set[&edge.from()]],
+                    }
+                })
+                .collect();
+            values[vi] = node.function().expect("cone nodes are gates").eval(&ins);
+        }
+        values[cone_set[&root]]
+    });
+    Ok(tt)
+}
+
+/// Builds the LUT network for a `root → cut` assignment.
+///
+/// `roots` must be closed: every gate appearing as a cut signal of some
+/// root (or driving a PO) must itself be a root. PIs are copied; LUT gates
+/// keep their root's name; register chains keep their initial values.
+///
+/// # Errors
+///
+/// Propagates cone/construction errors.
+pub fn build_lut_network(
+    c: &Circuit,
+    roots: &HashMap<NodeId, Cut>,
+    name: &str,
+) -> Result<Circuit, MapError> {
+    let mut out = Circuit::new(name.to_string());
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for &pi in c.inputs() {
+        map.insert(pi, out.add_input(c.node(pi).name().to_string())?);
+    }
+    // Create LUT nodes first (functions need only the original circuit).
+    let mut functions: HashMap<NodeId, TruthTable> = HashMap::new();
+    for (&root, cut) in roots {
+        functions.insert(root, cone_function(c, root, cut)?);
+    }
+    let mut root_ids: Vec<NodeId> = roots.keys().copied().collect();
+    root_ids.sort_unstable(); // deterministic construction order
+    for &root in &root_ids {
+        let id = out.add_gate(
+            c.node(root).name().to_string(),
+            functions.remove(&root).expect("computed above"),
+        )?;
+        map.insert(root, id);
+    }
+    // Wire LUT fanins.
+    for &root in &root_ids {
+        let cut = &roots[&root];
+        let lut = map[&root];
+        for sig in &cut.signals {
+            let src = *map.get(&sig.node).ok_or_else(|| MapError::InconsistentCut {
+                root: c.node(root).name().to_string(),
+                signal: c.node(sig.node).name().to_string(),
+            })?;
+            out.connect(src, lut, sig.chain.clone())?;
+        }
+    }
+    // Primary outputs.
+    for &po in c.outputs() {
+        let new_po = out.add_output(c.node(po).name().to_string())?;
+        let e = c.node(po).fanin()[0];
+        let edge = c.edge(e);
+        let src = *map
+            .get(&edge.from())
+            .ok_or_else(|| MapError::InconsistentCut {
+                root: c.node(po).name().to_string(),
+                signal: c.node(edge.from()).name().to_string(),
+            })?;
+        out.connect(src, new_po, edge.ffs().to_vec())?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a, b -> g1 (AND) -> g2 (NOT) -> o  with a FF between g1 and g2.
+    fn two_block_circuit() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::and(2)).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::not()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g1, vec![]).unwrap();
+        c.connect(b, g1, vec![]).unwrap();
+        c.connect(g1, g2, vec![Bit::One]).unwrap();
+        c.connect(g2, o, vec![]).unwrap();
+        c
+    }
+
+    #[test]
+    fn cone_function_of_single_gate() {
+        let c = two_block_circuit();
+        let g1 = c.find("g1").unwrap();
+        let cut = Cut {
+            signals: vec![
+                CutSignal::direct(c.find("a").unwrap()),
+                CutSignal::direct(c.find("b").unwrap()),
+            ],
+        };
+        let tt = cone_function(&c, g1, &cut).unwrap();
+        assert_eq!(tt, TruthTable::and(2));
+    }
+
+    #[test]
+    fn cone_function_through_tap() {
+        let c = two_block_circuit();
+        let g2 = c.find("g2").unwrap();
+        let cut = Cut {
+            signals: vec![CutSignal::tap(c.find("g1").unwrap(), vec![Bit::One])],
+        };
+        let tt = cone_function(&c, g2, &cut).unwrap();
+        assert_eq!(tt, TruthTable::not());
+    }
+
+    #[test]
+    fn inconsistent_cut_reported() {
+        let c = two_block_circuit();
+        let g2 = c.find("g2").unwrap();
+        // Wrong weight: claims a direct signal where a register sits.
+        let cut = Cut {
+            signals: vec![CutSignal::direct(c.find("g1").unwrap())],
+        };
+        assert!(matches!(
+            cone_function(&c, g2, &cut),
+            Err(MapError::InconsistentCut { .. })
+        ));
+    }
+
+    #[test]
+    fn build_identity_mapping() {
+        let c = two_block_circuit();
+        let g1 = c.find("g1").unwrap();
+        let g2 = c.find("g2").unwrap();
+        let mut roots = HashMap::new();
+        roots.insert(
+            g1,
+            Cut {
+                signals: vec![
+                    CutSignal::direct(c.find("a").unwrap()),
+                    CutSignal::direct(c.find("b").unwrap()),
+                ],
+            },
+        );
+        roots.insert(
+            g2,
+            Cut {
+                signals: vec![CutSignal::tap(g1, vec![Bit::One])],
+            },
+        );
+        let mapped = build_lut_network(&c, &roots, "mapped").unwrap();
+        assert_eq!(mapped.num_gates(), 2);
+        assert_eq!(mapped.ff_count_shared(), 1);
+        assert!(netlist::exhaustive_equiv(&c, &mapped, 5)
+            .unwrap()
+            .is_equivalent());
+    }
+
+    #[test]
+    fn cone_collapse_two_gates() {
+        // Merge a 2-gate comb cone into one LUT: NOT(AND(a, b)) = NAND.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::and(2)).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::not()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g1, vec![]).unwrap();
+        c.connect(b, g1, vec![]).unwrap();
+        c.connect(g1, g2, vec![]).unwrap();
+        c.connect(g2, o, vec![]).unwrap();
+        let cut = Cut {
+            signals: vec![CutSignal::direct(a), CutSignal::direct(b)],
+        };
+        let tt = cone_function(&c, g2, &cut).unwrap();
+        assert_eq!(tt, TruthTable::nand(2));
+        let mut roots = HashMap::new();
+        roots.insert(g2, cut);
+        let mapped = build_lut_network(&c, &roots, "m").unwrap();
+        assert_eq!(mapped.num_gates(), 1);
+        assert!(netlist::exhaustive_equiv(&c, &mapped, 3)
+            .unwrap()
+            .is_equivalent());
+    }
+
+    #[test]
+    fn reconvergent_cone_shared_input() {
+        // g = XOR(a, NOT(a)) constant 1; cut = {a} used twice in the cone.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let n = c.add_gate("n", TruthTable::not()).unwrap();
+        let g = c.add_gate("g", TruthTable::xor(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, n, vec![]).unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(n, g, vec![]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        let cut = Cut {
+            signals: vec![CutSignal::direct(a)],
+        };
+        let tt = cone_function(&c, g, &cut).unwrap();
+        assert_eq!(tt.is_constant(), Some(true));
+    }
+}

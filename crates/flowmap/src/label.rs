@@ -1,0 +1,359 @@
+//! FlowMap label computation (Cong & Ding, 1994).
+//!
+//! FlowMap computes, for every gate of a K-bounded combinational network,
+//! the minimum depth of any K-LUT mapping rooted at that gate — its
+//! *label* — using the key theorem that `l(v) ∈ {p, p+1}` where `p` is the
+//! maximum fanin label, and `l(v) = p` iff the cone of `v` has a K-feasible
+//! cut whose cut nodes all have labels `< p`. That test is a max-flow
+//! computation with unit node capacities after collapsing all label-`p`
+//! nodes into the sink.
+//!
+//! We run FlowMap directly on a *sequential* circuit: any register crossing
+//! is a depth-0 source (a [`CutSignal`] tap), so each combinational block
+//! bounded by FFs is labelled independently — exactly the "map each
+//! combinational subcircuit with FlowMap" baseline of the paper.
+
+use crate::cut::{Cut, CutSignal};
+use graphalgo::NodeCutNetwork;
+use netlist::{Circuit, NodeId};
+use std::collections::HashMap;
+
+/// Result of FlowMap labelling.
+#[derive(Debug, Clone)]
+pub struct Labeling {
+    /// Depth label per node (PIs 0; POs carry their driver's label).
+    pub labels: Vec<u64>,
+    /// Best K-feasible cut per gate.
+    pub cuts: HashMap<NodeId, Cut>,
+    /// The LUT input bound used.
+    pub k: usize,
+}
+
+impl Labeling {
+    /// The mapping depth of the whole network (max PO label).
+    pub fn depth(&self, c: &Circuit) -> u64 {
+        c.outputs()
+            .iter()
+            .map(|&po| self.labels[po.index()])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One boundary object of a cone: either a gate/PI inside the block or a
+/// register tap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ConeObj {
+    /// Direct node output.
+    Node(NodeId),
+    /// Register tap `(driver, chain)`.
+    Tap(NodeId, Vec<netlist::Bit>),
+}
+
+/// Computes FlowMap labels and best cuts for every gate.
+///
+/// # Panics
+///
+/// Panics if the circuit is not K-bounded or has combinational cycles —
+/// callers are expected to validate and decompose first.
+pub fn flowmap_labels(c: &Circuit, k: usize) -> Labeling {
+    assert!(c.max_fanin() <= k, "network must be {k}-bounded");
+    let order = c
+        .comb_topo_order()
+        .expect("combinational cycles must be rejected before labelling");
+    let mut labels = vec![0u64; c.num_nodes()];
+    let mut cuts: HashMap<NodeId, Cut> = HashMap::new();
+
+    for &v in &order {
+        let node = c.node(v);
+        if node.is_input() {
+            labels[v.index()] = 0;
+            continue;
+        }
+        if node.is_output() {
+            let e = node.fanin()[0];
+            let edge = c.edge(e);
+            labels[v.index()] = if edge.weight() > 0 {
+                0
+            } else {
+                labels[edge.from().index()]
+            };
+            continue;
+        }
+        // Gate: p = max label over fanin signals (taps are depth 0).
+        let mut p = 0u64;
+        for &e in node.fanin() {
+            let edge = c.edge(e);
+            if edge.weight() == 0 {
+                p = p.max(labels[edge.from().index()]);
+            }
+        }
+        let fanin_cut = || Cut {
+            signals: dedup_signals(node.fanin().iter().map(|&e| {
+                let edge = c.edge(e);
+                CutSignal {
+                    node: edge.from(),
+                    weight: edge.weight(),
+                    chain: edge.ffs().to_vec(),
+                }
+            })),
+        };
+        if p == 0 {
+            // All fanins are depth-0 signals; depth 1 via the trivial cut.
+            labels[v.index()] = 1;
+            cuts.insert(v, fanin_cut());
+            continue;
+        }
+        match min_height_cut(c, v, &labels, p, k) {
+            Some(cut) => {
+                labels[v.index()] = p;
+                cuts.insert(v, cut);
+            }
+            None => {
+                labels[v.index()] = p + 1;
+                cuts.insert(v, fanin_cut());
+            }
+        }
+    }
+    Labeling { labels, cuts, k }
+}
+
+fn dedup_signals(it: impl Iterator<Item = CutSignal>) -> Vec<CutSignal> {
+    let mut seen: Vec<CutSignal> = Vec::new();
+    for s in it {
+        if !seen.contains(&s) {
+            seen.push(s);
+        }
+    }
+    seen
+}
+
+/// Searches a K-feasible cut of `v`'s combinational cone whose cut objects
+/// all have labels `< p` (taps and PIs have label 0 `< p`).
+fn min_height_cut(
+    c: &Circuit,
+    v: NodeId,
+    labels: &[u64],
+    p: u64,
+    k: usize,
+) -> Option<Cut> {
+    // Enumerate the cone objects: gates reachable backward through
+    // weight-0 edges, plus boundary PIs and taps.
+    let mut obj_index: HashMap<ConeObj, usize> = HashMap::new();
+    let mut objs: Vec<ConeObj> = Vec::new();
+    let intern = |objs: &mut Vec<ConeObj>,
+                      obj_index: &mut HashMap<ConeObj, usize>,
+                      o: ConeObj| {
+        if let Some(&i) = obj_index.get(&o) {
+            return i;
+        }
+        let i = objs.len();
+        obj_index.insert(o.clone(), i);
+        objs.push(o);
+        i
+    };
+    let root = intern(&mut objs, &mut obj_index, ConeObj::Node(v));
+    // Edges between object indices (from, to).
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut stack = vec![v];
+    let mut visited: HashMap<NodeId, bool> = HashMap::new();
+    visited.insert(v, true);
+    while let Some(g) = stack.pop() {
+        let gi = obj_index[&ConeObj::Node(g)];
+        for &e in c.node(g).fanin() {
+            let edge = c.edge(e);
+            let u = edge.from();
+            let fo = if edge.weight() > 0 {
+                ConeObj::Tap(u, edge.ffs().to_vec())
+            } else {
+                ConeObj::Node(u)
+            };
+            let is_gate_inside = matches!(fo, ConeObj::Node(n) if c.node(n).is_gate());
+            let fi = intern(&mut objs, &mut obj_index, fo);
+            edges.push((fi, gi));
+            if is_gate_inside && !visited.contains_key(&u) {
+                visited.insert(u, true);
+                stack.push(u);
+            }
+        }
+    }
+    // Flow network: node 0 = supersource, 1.. = objects (root = sink).
+    let n = objs.len();
+    let mut net = NodeCutNetwork::new(n + 1);
+    let source = n;
+    let obj_label = |o: &ConeObj| match o {
+        ConeObj::Node(u) => labels[u.index()],
+        ConeObj::Tap(_, _) => 0,
+    };
+    for (i, o) in objs.iter().enumerate() {
+        let is_source_obj = match o {
+            ConeObj::Node(u) => !c.node(*u).is_gate(),
+            ConeObj::Tap(_, _) => true,
+        };
+        if is_source_obj {
+            net.add_edge(source, i);
+        }
+        if i != root && obj_label(o) >= p {
+            // Forced inside the LUT: collapse into the sink.
+            net.set_uncapacitated(i);
+            net.add_edge(i, root);
+        }
+    }
+    for &(a, b) in &edges {
+        net.add_edge(a, b);
+    }
+    let result = net.max_flow(source, root, k as u32);
+    if result.exceeded_limit {
+        return None;
+    }
+    let mincut = net.min_cut_near_sink(source);
+    let signals: Vec<CutSignal> = mincut
+        .cut_nodes
+        .iter()
+        .map(|&i| match &objs[i] {
+            ConeObj::Node(u) => CutSignal::direct(*u),
+            ConeObj::Tap(u, chain) => CutSignal::tap(*u, chain.clone()),
+        })
+        .collect();
+    debug_assert!(signals.len() <= k);
+    Some(Cut { signals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{Bit, TruthTable};
+
+    /// Balanced AND tree of depth `d` over 2^d inputs.
+    fn and_tree(d: u32) -> Circuit {
+        let mut c = Circuit::new(format!("tree{d}"));
+        let leaves: Vec<NodeId> = (0..1u32 << d)
+            .map(|i| c.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let mut level = leaves;
+        let mut counter = 0;
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for pair in level.chunks(2) {
+                let g = c
+                    .add_gate(format!("g{counter}"), TruthTable::and(2))
+                    .unwrap();
+                counter += 1;
+                c.connect(pair[0], g, vec![]).unwrap();
+                c.connect(pair[1], g, vec![]).unwrap();
+                next.push(g);
+            }
+            level = next;
+        }
+        let o = c.add_output("o").unwrap();
+        c.connect(level[0], o, vec![]).unwrap();
+        c
+    }
+
+    #[test]
+    fn tree_depth_with_k4() {
+        // 8-input AND tree of 2-input gates: depth 3 in gates; with K=4
+        // LUTs the optimal depth is 2 (4+4 then combine... actually an
+        // 8-input AND needs ceil(log4(8)) = 2 levels).
+        let c = and_tree(3);
+        let lab = flowmap_labels(&c, 4);
+        assert_eq!(lab.depth(&c), 2);
+    }
+
+    #[test]
+    fn tree_fits_single_lut() {
+        let c = and_tree(2); // 4 inputs
+        let lab = flowmap_labels(&c, 4);
+        assert_eq!(lab.depth(&c), 1);
+        // The root cut covers all four PIs.
+        let root = c.find("g2").unwrap();
+        assert_eq!(lab.cuts[&root].signals.len(), 4);
+    }
+
+    #[test]
+    fn labels_monotone_along_paths() {
+        let c = and_tree(4);
+        let lab = flowmap_labels(&c, 5);
+        for e in c.edge_ids() {
+            let edge = c.edge(e);
+            if edge.weight() == 0 && c.node(edge.to()).is_gate() {
+                assert!(lab.labels[edge.from().index()] <= lab.labels[edge.to().index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn register_resets_depth() {
+        // Chain of 6 NOT gates with a FF in the middle: each block has
+        // depth 3, which fits one 5-LUT... (a 3-gate chain is a 1-input
+        // function): depth 1 per block.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let mut prev = a;
+        for i in 0..6 {
+            let g = c.add_gate(format!("g{i}"), TruthTable::not()).unwrap();
+            let ffs = if i == 3 { vec![Bit::Zero] } else { vec![] };
+            c.connect(prev, g, ffs).unwrap();
+            prev = g;
+        }
+        let o = c.add_output("o").unwrap();
+        c.connect(prev, o, vec![]).unwrap();
+        let lab = flowmap_labels(&c, 5);
+        assert_eq!(lab.depth(&c), 1);
+        // The tap into g3 is depth 0.
+        assert_eq!(lab.labels[c.find("g3").unwrap().index()], 1);
+    }
+
+    #[test]
+    fn reconvergence_prefers_smaller_cut() {
+        // Two parallel 2-gate branches from one PI reconverging: the whole
+        // cone is {5 gates} over a single PI → one LUT, depth 1 for K≥1...
+        // K=2 suffices because the cut is just {a}.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let p1 = c.add_gate("p1", TruthTable::not()).unwrap();
+        let p2 = c.add_gate("p2", TruthTable::buf()).unwrap();
+        let q1 = c.add_gate("q1", TruthTable::buf()).unwrap();
+        let q2 = c.add_gate("q2", TruthTable::not()).unwrap();
+        let m = c.add_gate("m", TruthTable::and(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, p1, vec![]).unwrap();
+        c.connect(p1, p2, vec![]).unwrap();
+        c.connect(a, q1, vec![]).unwrap();
+        c.connect(q1, q2, vec![]).unwrap();
+        c.connect(p2, m, vec![]).unwrap();
+        c.connect(q2, m, vec![]).unwrap();
+        c.connect(m, o, vec![]).unwrap();
+        let lab = flowmap_labels(&c, 2);
+        assert_eq!(lab.depth(&c), 1);
+        let cut = &lab.cuts[&m];
+        assert_eq!(cut.signals, vec![CutSignal::direct(a)]);
+    }
+
+    #[test]
+    fn deep_chain_of_wide_gates() {
+        // 3 levels of 2-input gates in a chain of width 2 -> depth grows
+        // when K=2 and structure is a chain of distinct-input gates.
+        let mut c = Circuit::new("t");
+        let mut ins = Vec::new();
+        for i in 0..4 {
+            ins.push(c.add_input(format!("i{i}")).unwrap());
+        }
+        let g1 = c.add_gate("g1", TruthTable::and(2)).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::or(2)).unwrap();
+        let g3 = c.add_gate("g3", TruthTable::xor(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(ins[0], g1, vec![]).unwrap();
+        c.connect(ins[1], g1, vec![]).unwrap();
+        c.connect(g1, g2, vec![]).unwrap();
+        c.connect(ins[2], g2, vec![]).unwrap();
+        c.connect(g2, g3, vec![]).unwrap();
+        c.connect(ins[3], g3, vec![]).unwrap();
+        c.connect(g3, o, vec![]).unwrap();
+        // K=4: whole thing is a 4-input function → depth 1.
+        assert_eq!(flowmap_labels(&c, 4).depth(&c), 1);
+        // K=2: every gate needs its own LUT (each has 3 distinct inputs in
+        // its cone) → optimal depth 3.
+        assert_eq!(flowmap_labels(&c, 2).depth(&c), 3);
+    }
+}

@@ -1,0 +1,459 @@
+//! Maximum flow / minimum cut with unit node capacities.
+//!
+//! K-feasible cut computation in FlowMap-style mappers reduces to a max-flow
+//! problem in which every *node* (except the source and the sink) has
+//! capacity one and every edge has infinite capacity. A cut of value `≤ K`
+//! then corresponds to a set of at most `K` nodes whose removal disconnects
+//! the source from the sink — exactly the node cut-set `V(X, X̄)` of a
+//! K-feasible cone.
+//!
+//! [`NodeCutNetwork`] implements this with the standard node-splitting
+//! transformation: each node `v` becomes an arc `v_in → v_out` of capacity
+//! one; an original edge `(u, v)` becomes an arc `u_out → v_in` of infinite
+//! capacity. Max flow is computed with BFS augmenting paths (Edmonds–Karp);
+//! since every augmenting path adds one unit of flow, deciding "is there a
+//! cut of size ≤ K" takes at most `K + 1` BFS passes.
+
+use std::collections::VecDeque;
+
+/// Arc capacity treated as infinite.
+const INF: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Arc {
+    to: u32,
+    /// Residual capacity.
+    cap: u32,
+}
+
+/// A flow network over `n` original nodes with unit node capacities.
+///
+/// Nodes are identified by `0..n`. Every node has capacity one by default;
+/// the source and sink passed to [`NodeCutNetwork::max_flow`] are
+/// automatically treated as uncapacitated. Individual nodes can also be made
+/// uncapacitated with [`NodeCutNetwork::set_uncapacitated`] (used to merge
+/// "forced internal" nodes with the sink side in cut-height checks).
+///
+/// # Examples
+///
+/// ```
+/// use graphalgo::flow::NodeCutNetwork;
+///
+/// // A single chain 0 -> 1 -> 2 has a min node cut of size 1 ({1}).
+/// let mut net = NodeCutNetwork::new(3);
+/// net.add_edge(0, 1);
+/// net.add_edge(1, 2);
+/// assert_eq!(net.max_flow(0, 2, 5).flow, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeCutNetwork {
+    n: usize,
+    arcs: Vec<Arc>,
+    /// Adjacency: arc indices leaving each split node. Split node `2v` is
+    /// `v_in`, `2v + 1` is `v_out`.
+    adj: Vec<Vec<u32>>,
+    /// Arc index of the internal `v_in -> v_out` arc for node `v`.
+    internal: Vec<u32>,
+    source: usize,
+    sink: usize,
+    ran: bool,
+}
+
+/// Result of a bounded max-flow computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxFlowResult {
+    /// The achieved flow value. If `exceeded_limit` is true this is
+    /// `limit + 1` and the true max flow may be larger.
+    pub flow: u32,
+    /// True when augmentation stopped because the flow exceeded the limit.
+    pub exceeded_limit: bool,
+}
+
+/// Result of a min-cut extraction after max flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinCutResult {
+    /// Nodes forming the minimum node cut-set, ascending.
+    pub cut_nodes: Vec<usize>,
+    /// `source_side[v]` is true when `v_in` is reachable from the source in
+    /// the residual graph — i.e. `v` lies in `X` (cut nodes included).
+    pub source_side: Vec<bool>,
+}
+
+impl NodeCutNetwork {
+    /// Creates an empty network over `n` nodes, all with capacity one.
+    pub fn new(n: usize) -> Self {
+        let mut adj = vec![Vec::new(); 2 * n];
+        let mut arcs = Vec::with_capacity(4 * n);
+        let mut internal = Vec::with_capacity(n);
+        for v in 0..n {
+            internal.push(arcs.len() as u32);
+            Self::push_arc(&mut arcs, &mut adj, 2 * v, 2 * v + 1, 1);
+        }
+        NodeCutNetwork {
+            n,
+            arcs,
+            adj,
+            internal,
+            source: usize::MAX,
+            sink: usize::MAX,
+            ran: false,
+        }
+    }
+
+    fn push_arc(arcs: &mut Vec<Arc>, adj: &mut [Vec<u32>], from: usize, to: usize, cap: u32) {
+        let idx = arcs.len() as u32;
+        arcs.push(Arc { to: to as u32, cap });
+        arcs.push(Arc {
+            to: from as u32,
+            cap: 0,
+        });
+        adj[from].push(idx);
+        adj[to].push(idx + 1);
+    }
+
+    /// Number of original nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds a directed edge `u -> v` with infinite capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range or flow was already computed.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(!self.ran, "cannot modify the network after max_flow");
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        Self::push_arc(&mut self.arcs, &mut self.adj, 2 * u + 1, 2 * v, INF);
+    }
+
+    /// Removes the unit capacity restriction from node `v`.
+    ///
+    /// Uncapacitated nodes can never appear in the min cut; use this for
+    /// nodes that are forced to one side of the cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or flow was already computed.
+    pub fn set_uncapacitated(&mut self, v: usize) {
+        assert!(!self.ran, "cannot modify the network after max_flow");
+        self.arcs[self.internal[v] as usize].cap = INF;
+    }
+
+    /// Computes max flow from `source` to `sink`, stopping early once the
+    /// flow exceeds `limit`.
+    ///
+    /// The source and sink are made uncapacitated automatically. Returns the
+    /// flow value; when [`MaxFlowResult::exceeded_limit`] is set the returned
+    /// value is `limit + 1` (a witness that no cut of size `≤ limit` exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice, if `source == sink`, or on out-of-range ids.
+    pub fn max_flow(&mut self, source: usize, sink: usize, limit: u32) -> MaxFlowResult {
+        assert!(!self.ran, "max_flow may only be called once");
+        assert!(source < self.n && sink < self.n, "endpoint out of range");
+        assert_ne!(source, sink, "source and sink must differ");
+        self.ran = true;
+        self.source = source;
+        self.sink = sink;
+        self.arcs[self.internal[source] as usize].cap = INF;
+        self.arcs[self.internal[sink] as usize].cap = INF;
+
+        let s = 2 * source + 1; // leave from source's out-node
+        let t = 2 * sink; // arrive at sink's in-node
+        let mut flow = 0u32;
+        let mut parent: Vec<u32> = vec![u32::MAX; self.adj.len()];
+        loop {
+            if flow > limit {
+                return MaxFlowResult {
+                    flow,
+                    exceeded_limit: true,
+                };
+            }
+            // BFS for an augmenting path.
+            for p in parent.iter_mut() {
+                *p = u32::MAX;
+            }
+            let mut queue = VecDeque::new();
+            queue.push_back(s);
+            parent[s] = u32::MAX - 1; // mark visited
+            let mut reached = false;
+            'bfs: while let Some(x) = queue.pop_front() {
+                for &ai in &self.adj[x] {
+                    let arc = &self.arcs[ai as usize];
+                    let y = arc.to as usize;
+                    if arc.cap > 0 && parent[y] == u32::MAX {
+                        parent[y] = ai;
+                        if y == t {
+                            reached = true;
+                            break 'bfs;
+                        }
+                        queue.push_back(y);
+                    }
+                }
+            }
+            if !reached {
+                return MaxFlowResult {
+                    flow,
+                    exceeded_limit: false,
+                };
+            }
+            // Augment one unit along the path (all arcs have cap >= 1).
+            let mut y = t;
+            while y != s {
+                let ai = parent[y] as usize;
+                if self.arcs[ai].cap != INF {
+                    self.arcs[ai].cap -= 1;
+                }
+                if self.arcs[ai ^ 1].cap != INF {
+                    self.arcs[ai ^ 1].cap += 1;
+                }
+                y = self.arcs[ai ^ 1].to as usize;
+            }
+            flow += 1;
+        }
+    }
+
+    /// Extracts the minimum node cut after [`NodeCutNetwork::max_flow`]
+    /// completed without exceeding its limit.
+    ///
+    /// `source` must be the source passed to `max_flow`. The cut nodes are
+    /// exactly the nodes `v` whose `v_in` is residually reachable from the
+    /// source but whose `v_out` is not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_flow` has not run or stopped early (`exceeded_limit`).
+    pub fn min_cut(&self, source: usize) -> MinCutResult {
+        assert!(self.ran, "min_cut requires max_flow to have run");
+        assert_eq!(source, self.source, "min_cut source must match max_flow");
+        let s = 2 * source + 1;
+        let mut visited = vec![false; self.adj.len()];
+        let mut queue = VecDeque::new();
+        visited[s] = true;
+        // The source's in-node is on the source side by definition.
+        visited[2 * source] = true;
+        queue.push_back(s);
+        while let Some(x) = queue.pop_front() {
+            for &ai in &self.adj[x] {
+                let arc = &self.arcs[ai as usize];
+                let y = arc.to as usize;
+                if arc.cap > 0 && !visited[y] {
+                    visited[y] = true;
+                    queue.push_back(y);
+                }
+            }
+        }
+        let mut cut_nodes = Vec::new();
+        let mut source_side = vec![false; self.n];
+        for v in 0..self.n {
+            source_side[v] = visited[2 * v];
+            if visited[2 * v] && !visited[2 * v + 1] {
+                cut_nodes.push(v);
+            }
+        }
+        MinCutResult {
+            cut_nodes,
+            source_side,
+        }
+    }
+
+    /// Extracts the minimum node cut **closest to the sink**: the
+    /// partition puts every split node that co-reaches the sink in the
+    /// residual graph on the sink side. Compared to
+    /// [`NodeCutNetwork::min_cut`] (closest to the source) this minimises
+    /// the sink-side cone — mappers use it to reduce logic duplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_flow` has not run.
+    pub fn min_cut_near_sink(&self, source: usize) -> MinCutResult {
+        assert!(self.ran, "min_cut requires max_flow to have run");
+        assert_eq!(source, self.source, "min_cut source must match max_flow");
+        let t = 2 * self.sink;
+        // Reverse residual BFS from the sink: x co-reaches t when some
+        // residual arc x -> y exists with y co-reaching t. For each arc id
+        // `ai ∈ adj[y]`, the paired arc `ai ^ 1` enters y from
+        // `arcs[ai].to` and has residual capacity `arcs[ai ^ 1].cap`.
+        let mut coreach = vec![false; self.adj.len()];
+        let mut queue = VecDeque::new();
+        coreach[t] = true;
+        coreach[2 * self.sink + 1] = true;
+        queue.push_back(t);
+        queue.push_back(2 * self.sink + 1);
+        while let Some(y) = queue.pop_front() {
+            for &ai in &self.adj[y] {
+                let pair = (ai ^ 1) as usize;
+                let from = self.arcs[ai as usize].to as usize;
+                if self.arcs[pair].cap > 0 && !coreach[from] {
+                    coreach[from] = true;
+                    queue.push_back(from);
+                }
+            }
+        }
+        let mut cut_nodes = Vec::new();
+        let mut source_side = vec![false; self.n];
+        for v in 0..self.n {
+            source_side[v] = !coreach[2 * v];
+            if !coreach[2 * v] && coreach[2 * v + 1] {
+                cut_nodes.push(v);
+            }
+        }
+        MinCutResult {
+            cut_nodes,
+            source_side,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_unit_cut() {
+        let mut net = NodeCutNetwork::new(4);
+        net.add_edge(0, 1);
+        net.add_edge(1, 2);
+        net.add_edge(2, 3);
+        let r = net.max_flow(0, 3, 10);
+        assert_eq!(r.flow, 1);
+        assert!(!r.exceeded_limit);
+        let cut = net.min_cut(0);
+        assert_eq!(cut.cut_nodes.len(), 1);
+        assert!(cut.cut_nodes[0] == 1 || cut.cut_nodes[0] == 2);
+    }
+
+    #[test]
+    fn diamond_cut_is_both_branches() {
+        let mut net = NodeCutNetwork::new(4);
+        net.add_edge(0, 1);
+        net.add_edge(0, 2);
+        net.add_edge(1, 3);
+        net.add_edge(2, 3);
+        let r = net.max_flow(0, 3, 10);
+        assert_eq!(r.flow, 2);
+        let cut = net.min_cut(0);
+        assert_eq!(cut.cut_nodes, vec![1, 2]);
+        assert!(cut.source_side[0] && cut.source_side[1] && cut.source_side[2]);
+        assert!(!cut.source_side[3]);
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        // Complete bipartite-ish: many disjoint paths.
+        let mut net = NodeCutNetwork::new(7);
+        for mid in 1..6 {
+            net.add_edge(0, mid);
+            net.add_edge(mid, 6);
+        }
+        let r = net.max_flow(0, 6, 2);
+        assert!(r.exceeded_limit);
+        assert_eq!(r.flow, 3);
+    }
+
+    #[test]
+    fn uncapacitated_node_not_in_cut() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3; make 1 uncapacitated: flow still 2 but
+        // the cut must avoid node 1 (it cuts 2 and... it must cut the arcs
+        // via node 3 side; with node 3 = sink uncapacitated, the only cut
+        // containing no 1 is {2, 1-side edges}; min cut here becomes {2}
+        // plus the infinite path through 1 remains, so flow exceeds).
+        let mut net = NodeCutNetwork::new(4);
+        net.add_edge(0, 1);
+        net.add_edge(0, 2);
+        net.add_edge(1, 3);
+        net.add_edge(2, 3);
+        net.set_uncapacitated(1);
+        let r = net.max_flow(0, 3, 100);
+        // Path through node 1 is unbounded only in node capacity; edges are
+        // infinite so flow is limited by... nothing on that path. The flow
+        // saturates the limit.
+        assert!(r.flow > 2);
+        assert!(r.exceeded_limit || r.flow == 101);
+    }
+
+    #[test]
+    fn disconnected_graph_zero_flow() {
+        let mut net = NodeCutNetwork::new(3);
+        net.add_edge(0, 1);
+        let r = net.max_flow(0, 2, 4);
+        assert_eq!(r.flow, 0);
+        let cut = net.min_cut(0);
+        assert!(cut.cut_nodes.is_empty());
+    }
+
+    #[test]
+    fn reconvergent_fanout_single_cut_node() {
+        // 0 -> 1; 1 -> 2; 1 -> 3; 2 -> 4; 3 -> 4. Min cut = {1}.
+        let mut net = NodeCutNetwork::new(5);
+        net.add_edge(0, 1);
+        net.add_edge(1, 2);
+        net.add_edge(1, 3);
+        net.add_edge(2, 4);
+        net.add_edge(3, 4);
+        let r = net.max_flow(0, 4, 10);
+        assert_eq!(r.flow, 1);
+        let cut = net.min_cut(0);
+        assert_eq!(cut.cut_nodes, vec![1]);
+    }
+
+    #[test]
+    fn near_sink_cut_minimises_cone() {
+        // 0 -> 1 -> 2 -> 3: both {1} and {2} are min cuts; near-sink
+        // picks {2}, near-source picks {1}.
+        let mut net = NodeCutNetwork::new(4);
+        net.add_edge(0, 1);
+        net.add_edge(1, 2);
+        net.add_edge(2, 3);
+        net.max_flow(0, 3, 4);
+        assert_eq!(net.min_cut(0).cut_nodes, vec![1]);
+        let near = net.min_cut_near_sink(0);
+        assert_eq!(near.cut_nodes, vec![2]);
+        assert!(near.source_side[1] && !near.source_side[3]);
+    }
+
+    #[test]
+    fn near_sink_cut_same_size() {
+        // Diamond with a waist: cuts must have equal cardinality.
+        let mut net = NodeCutNetwork::new(6);
+        net.add_edge(0, 1);
+        net.add_edge(0, 2);
+        net.add_edge(1, 3);
+        net.add_edge(2, 3);
+        net.add_edge(3, 4);
+        net.add_edge(4, 5);
+        net.max_flow(0, 5, 8);
+        assert_eq!(net.min_cut(0).cut_nodes.len(), 1);
+        assert_eq!(net.min_cut_near_sink(0).cut_nodes, vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_flow may only be called once")]
+    fn double_max_flow_panics() {
+        let mut net = NodeCutNetwork::new(2);
+        net.add_edge(0, 1);
+        net.max_flow(0, 1, 3);
+        net.max_flow(0, 1, 3);
+    }
+
+    #[test]
+    fn multi_source_via_super_source() {
+        // Model two leaves by adding a supersource node 0 feeding 1 and 2;
+        // both reach 3 through 1->3, 2->3. Cut {1,2}.
+        let mut net = NodeCutNetwork::new(4);
+        net.add_edge(0, 1);
+        net.add_edge(0, 2);
+        net.add_edge(1, 3);
+        net.add_edge(2, 3);
+        let r = net.max_flow(0, 3, 2);
+        assert_eq!(r.flow, 2);
+        assert!(!r.exceeded_limit);
+    }
+}

@@ -1,0 +1,193 @@
+//! Shortest and longest path computations.
+//!
+//! Two path problems underpin the paper's label machinery:
+//!
+//! * **Maximum forward retiming values** (Lemma 1): `frt(v)` is the minimum
+//!   path *weight* (flip-flop count) over all paths from any PI to `v` — a
+//!   multi-source shortest path problem with non-negative weights, solved by
+//!   [`dijkstra`].
+//! * **l-values** (Theorem 1): `l(v)` is the maximum path *length* from any
+//!   PI to `v` where each edge `e(u,v)` has length `d(v) − Φ·w(e)`. The
+//!   retiming graph is cyclic, so this is a Bellman–Ford-style longest path
+//!   with positive cycles signalling infeasibility, solved by
+//!   [`longest_paths`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel for "unreachable" in longest-path results (acts as `−∞`).
+pub const NEG_INF: i64 = i64::MIN / 4;
+
+/// Multi-source Dijkstra over an adjacency list with non-negative `u64`
+/// weights.
+///
+/// Returns `dist[v] = None` for nodes unreachable from every source.
+///
+/// # Examples
+///
+/// ```
+/// let adj = vec![
+///     vec![(1, 0u64), (2, 2)], // node 0
+///     vec![(2, 1)],            // node 1
+///     vec![],                  // node 2
+/// ];
+/// let dist = graphalgo::paths::dijkstra(&adj, &[0]);
+/// assert_eq!(dist, vec![Some(0), Some(0), Some(1)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a source or edge target is out of range.
+pub fn dijkstra(adj: &[Vec<(usize, u64)>], sources: &[usize]) -> Vec<Option<u64>> {
+    let n = adj.len();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for &s in sources {
+        assert!(s < n, "source out of range");
+        if dist[s] != Some(0) {
+            dist[s] = Some(0);
+            heap.push(Reverse((0, s)));
+        }
+    }
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if dist[u] != Some(d) {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            let nd = d + w;
+            if dist[v].map_or(true, |cur| nd < cur) {
+                dist[v] = Some(nd);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Error from [`longest_paths`]: relaxation failed to converge, implying a
+/// positive-length cycle reachable from a source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LongestPathError;
+
+impl std::fmt::Display for LongestPathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "positive cycle reachable from a source")
+    }
+}
+
+impl std::error::Error for LongestPathError {}
+
+/// Longest paths from `sources` over possibly-cyclic graphs with `i64` edge
+/// lengths (Bellman–Ford relaxation).
+///
+/// Source nodes start at length 0; all other nodes at [`NEG_INF`]. A node
+/// that remains at `NEG_INF` is unreachable. Relaxation runs at most `n`
+/// rounds; if the lengths still change afterwards there is a positive cycle
+/// and `Err(LongestPathError)` is returned — for l-values this means the
+/// target clock period `Φ` is infeasible.
+///
+/// # Errors
+///
+/// Returns [`LongestPathError`] when a positive-length cycle is reachable
+/// from a source.
+///
+/// # Examples
+///
+/// ```
+/// // 0 -> 1 (len 1), 1 -> 2 (len -3), 0 -> 2 (len 0)
+/// let edges = [(0usize, 1usize, 1i64), (1, 2, -3), (0, 2, 0)];
+/// let l = graphalgo::paths::longest_paths(3, &edges, &[0]).unwrap();
+/// assert_eq!(l, vec![0, 1, 0]);
+/// ```
+pub fn longest_paths(
+    n: usize,
+    edges: &[(usize, usize, i64)],
+    sources: &[usize],
+) -> Result<Vec<i64>, LongestPathError> {
+    let mut len = vec![NEG_INF; n];
+    for &s in sources {
+        assert!(s < n, "source out of range");
+        len[s] = 0;
+    }
+    for round in 0..=n {
+        let mut changed = false;
+        for &(u, v, l) in edges {
+            if len[u] > NEG_INF && len[u] + l > len[v] {
+                len[v] = len[u] + l;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(len);
+        }
+        if round == n {
+            return Err(LongestPathError);
+        }
+    }
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dijkstra_multi_source_takes_min() {
+        let adj = vec![vec![(2, 5u64)], vec![(2, 1)], vec![(3, 0)], vec![]];
+        let dist = dijkstra(&adj, &[0, 1]);
+        assert_eq!(dist, vec![Some(0), Some(0), Some(1), Some(1)]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_none() {
+        let adj = vec![vec![], vec![(0, 1u64)]];
+        let dist = dijkstra(&adj, &[0]);
+        assert_eq!(dist, vec![Some(0), None]);
+    }
+
+    #[test]
+    fn dijkstra_zero_weight_cycle_ok() {
+        // 0 -> 1 -> 2 -> 1 with zero weights must terminate.
+        let adj = vec![vec![(1, 0u64)], vec![(2, 0)], vec![(1, 0)]];
+        let dist = dijkstra(&adj, &[0]);
+        assert_eq!(dist, vec![Some(0), Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn longest_path_on_dag() {
+        // Classic: two paths to node 3, lengths 3 and 1.
+        let edges = [(0, 1, 1), (1, 3, 2), (0, 2, 1), (2, 3, 0)];
+        let l = longest_paths(4, &edges, &[0]).unwrap();
+        assert_eq!(l[3], 3);
+    }
+
+    #[test]
+    fn longest_path_negative_cycle_converges() {
+        // Cycle 1 -> 2 -> 1 of total length -1: fine.
+        let edges = [(0, 1, 1), (1, 2, 1), (2, 1, -2)];
+        let l = longest_paths(3, &edges, &[0]).unwrap();
+        assert_eq!(l, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn longest_path_zero_cycle_converges() {
+        let edges = [(0, 1, 1), (1, 2, 1), (2, 1, -1)];
+        let l = longest_paths(3, &edges, &[0]).unwrap();
+        assert_eq!(l[1], 1);
+        assert_eq!(l[2], 2);
+    }
+
+    #[test]
+    fn longest_path_positive_cycle_errors() {
+        let edges = [(0, 1, 1), (1, 2, 1), (2, 1, 0)];
+        assert_eq!(longest_paths(3, &edges, &[0]), Err(LongestPathError));
+    }
+
+    #[test]
+    fn positive_cycle_unreachable_is_ignored() {
+        // Cycle 1 <-> 2 positive but not reachable from source 0.
+        let edges = [(1, 2, 1), (2, 1, 1)];
+        let l = longest_paths(3, &edges, &[0]).unwrap();
+        assert_eq!(l, vec![0, NEG_INF, NEG_INF]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Topological ordering with cycle reporting.
+//!
+//! Retiming graphs are cyclic, but their *zero-weight* subgraphs (the purely
+//! combinational paths) must be acyclic for a circuit to be well-formed, and
+//! every per-Φ computation walks that subgraph in topological order.
+
+/// Error returned by [`topo_order`] when the graph contains a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoError {
+    /// Nodes that could not be ordered (each lies on or downstream of a
+    /// cycle restricted to the unordered region).
+    pub cyclic_nodes: Vec<usize>,
+}
+
+impl std::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graph contains a cycle involving {} node(s)",
+            self.cyclic_nodes.len()
+        )
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Kahn's algorithm over an adjacency list.
+///
+/// Returns a topological order of all `adj.len()` nodes, or a [`TopoError`]
+/// listing the nodes left unordered when a cycle exists.
+///
+/// # Errors
+///
+/// Returns [`TopoError`] if the graph has a directed cycle.
+///
+/// # Examples
+///
+/// ```
+/// let adj = vec![vec![1usize], vec![2], vec![]];
+/// assert_eq!(graphalgo::topo::topo_order(&adj).unwrap(), vec![0, 1, 2]);
+/// ```
+pub fn topo_order(adj: &[Vec<usize>]) -> Result<Vec<usize>, TopoError> {
+    let n = adj.len();
+    let mut indeg = vec![0usize; n];
+    for out in adj {
+        for &v in out {
+            assert!(v < n, "edge target out of range");
+            indeg[v] += 1;
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &v in &adj[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                stack.push(v);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let mut in_order = vec![false; n];
+        for &v in &order {
+            in_order[v] = true;
+        }
+        Err(TopoError {
+            cyclic_nodes: (0..n).filter(|&v| !in_order[v]).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_dag() {
+        let adj = vec![vec![2], vec![2], vec![3], vec![]];
+        let order = topo_order(&adj).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[2] && pos[1] < pos[2] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let adj = vec![vec![1], vec![2], vec![0], vec![]];
+        let err = topo_order(&adj).unwrap_err();
+        assert_eq!(err.cyclic_nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let adj = vec![vec![0]];
+        assert!(topo_order(&adj).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(topo_order(&[]).unwrap(), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: the bounded max-flow equals the brute-force minimum
+//! node cut on small random DAGs, and both cut extraction sides return
+//! genuine minimum cuts.
+
+use graphalgo::NodeCutNetwork;
+use proptest::prelude::*;
+
+/// A random DAG over `n` nodes: edge (i, j) for i < j with density `p`.
+fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (4usize..9).prop_flat_map(|n| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let len = pairs.len();
+        (Just(n), Just(pairs), prop::collection::vec(prop::bool::ANY, len)).prop_map(
+            |(n, pairs, mask)| {
+                let edges = pairs
+                    .into_iter()
+                    .zip(mask)
+                    .filter(|(_, keep)| *keep)
+                    .map(|(e, _)| e)
+                    .collect();
+                (n, edges)
+            },
+        )
+    })
+}
+
+/// Brute force: the smallest set of intermediate nodes whose removal
+/// disconnects `0` from `n-1` (`None` when even removing all of them
+/// leaves a path, i.e. a direct source→sink edge exists).
+fn brute_min_cut(n: usize, edges: &[(usize, usize)]) -> Option<usize> {
+    let mids: Vec<usize> = (1..n - 1).collect();
+    let connected = |removed: u32| -> bool {
+        let mut reach = vec![false; n];
+        reach[0] = true;
+        let mut stack = vec![0usize];
+        while let Some(u) = stack.pop() {
+            for &(a, b) in edges {
+                if a == u && !reach[b] {
+                    let is_removed = mids
+                        .iter()
+                        .position(|&m| m == b)
+                        .map(|i| removed >> i & 1 == 1)
+                        .unwrap_or(false);
+                    if !is_removed {
+                        reach[b] = true;
+                        stack.push(b);
+                    }
+                }
+            }
+        }
+        reach[n - 1]
+    };
+    if !connected(0) {
+        return Some(0);
+    }
+    for size in 1..=mids.len() {
+        for removed in 0u32..(1 << mids.len()) {
+            if removed.count_ones() as usize != size && size != 0 {
+                continue;
+            }
+            if removed.count_ones() as usize == size && !connected(removed) {
+                return Some(size);
+            }
+        }
+    }
+    None // direct edge 0 -> n-1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn max_flow_matches_brute_force((n, edges) in dag_strategy()) {
+        let expected = brute_min_cut(n, &edges);
+        let mut net = NodeCutNetwork::new(n);
+        for &(a, b) in &edges {
+            net.add_edge(a, b);
+        }
+        let limit = n as u32 + 2;
+        let res = net.max_flow(0, n - 1, limit);
+        match expected {
+            Some(size) => {
+                prop_assert!(!res.exceeded_limit);
+                prop_assert_eq!(res.flow as usize, size);
+                // Both cut extractions return cuts of minimum size whose
+                // removal disconnects.
+                for cut in [net.min_cut(0), net.min_cut_near_sink(0)] {
+                    prop_assert_eq!(cut.cut_nodes.len(), size);
+                    let removed: Vec<(usize, usize)> = edges
+                        .iter()
+                        .copied()
+                        .filter(|&(a, b)| {
+                            !cut.cut_nodes.contains(&a) && !cut.cut_nodes.contains(&b)
+                        })
+                        .collect();
+                    prop_assert_eq!(brute_min_cut(n, &removed), Some(0));
+                }
+            }
+            None => {
+                // Direct source→sink edge: no finite node cut.
+                prop_assert!(res.exceeded_limit);
+            }
+        }
+    }
+}

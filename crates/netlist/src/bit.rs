@@ -1,0 +1,174 @@
+//! Three-valued logic values.
+//!
+//! Initial states may be partially assigned (the paper explicitly supports
+//! circuits "with partial initial state assignment"), so flip-flop values and
+//! simulation values are three-valued: `0`, `1`, or `X` (unknown).
+
+/// A three-valued logic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Bit {
+    /// Logic zero.
+    Zero,
+    /// Logic one.
+    One,
+    /// Unknown / don't-care.
+    #[default]
+    X,
+}
+
+impl Bit {
+    /// Converts a `bool` to a defined bit.
+    pub fn from_bool(b: bool) -> Bit {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for defined values, `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Bit::Zero => Some(false),
+            Bit::One => Some(true),
+            Bit::X => None,
+        }
+    }
+
+    /// True when the value is `0` or `1`.
+    pub fn is_defined(self) -> bool {
+        self != Bit::X
+    }
+
+    /// Three-valued NOT.
+    pub fn not(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+            Bit::X => Bit::X,
+        }
+    }
+
+    /// Three-valued AND (`0` dominates `X`).
+    pub fn and(self, other: Bit) -> Bit {
+        match (self, other) {
+            (Bit::Zero, _) | (_, Bit::Zero) => Bit::Zero,
+            (Bit::One, Bit::One) => Bit::One,
+            _ => Bit::X,
+        }
+    }
+
+    /// Three-valued OR (`1` dominates `X`).
+    pub fn or(self, other: Bit) -> Bit {
+        match (self, other) {
+            (Bit::One, _) | (_, Bit::One) => Bit::One,
+            (Bit::Zero, Bit::Zero) => Bit::Zero,
+            _ => Bit::X,
+        }
+    }
+
+    /// Three-valued XOR (`X` poisons).
+    pub fn xor(self, other: Bit) -> Bit {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Bit::from_bool(a ^ b),
+            _ => Bit::X,
+        }
+    }
+
+    /// True when `self` and `other` can denote the same concrete value
+    /// (equal, or at least one is `X`).
+    pub fn compatible(self, other: Bit) -> bool {
+        self == Bit::X || other == Bit::X || self == other
+    }
+
+    /// Merges two compatible values, preferring the defined one.
+    ///
+    /// Returns `None` when the values conflict (`0` vs `1`).
+    pub fn merge(self, other: Bit) -> Option<Bit> {
+        match (self, other) {
+            (Bit::X, b) => Some(b),
+            (a, Bit::X) => Some(a),
+            (a, b) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True when `self` refines `other`: every behaviour of `self` is
+    /// permitted by `other` (i.e. `other` is `X` or they are equal).
+    pub fn refines(self, other: Bit) -> bool {
+        other == Bit::X || self == other
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Bit {
+        Bit::from_bool(b)
+    }
+}
+
+impl std::fmt::Display for Bit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bit::Zero => write!(f, "0"),
+            Bit::One => write!(f, "1"),
+            Bit::X => write!(f, "x"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlling_values_dominate_x() {
+        assert_eq!(Bit::Zero.and(Bit::X), Bit::Zero);
+        assert_eq!(Bit::X.and(Bit::Zero), Bit::Zero);
+        assert_eq!(Bit::One.or(Bit::X), Bit::One);
+        assert_eq!(Bit::X.or(Bit::One), Bit::One);
+    }
+
+    #[test]
+    fn x_propagates_otherwise() {
+        assert_eq!(Bit::One.and(Bit::X), Bit::X);
+        assert_eq!(Bit::Zero.or(Bit::X), Bit::X);
+        assert_eq!(Bit::X.xor(Bit::One), Bit::X);
+        assert_eq!(Bit::X.not(), Bit::X);
+    }
+
+    #[test]
+    fn defined_ops_match_bool() {
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(
+                    Bit::from_bool(a).and(Bit::from_bool(b)),
+                    Bit::from_bool(a && b)
+                );
+                assert_eq!(
+                    Bit::from_bool(a).or(Bit::from_bool(b)),
+                    Bit::from_bool(a || b)
+                );
+                assert_eq!(
+                    Bit::from_bool(a).xor(Bit::from_bool(b)),
+                    Bit::from_bool(a ^ b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_and_compatible() {
+        assert_eq!(Bit::X.merge(Bit::One), Some(Bit::One));
+        assert_eq!(Bit::Zero.merge(Bit::X), Some(Bit::Zero));
+        assert_eq!(Bit::Zero.merge(Bit::One), None);
+        assert!(Bit::X.compatible(Bit::One));
+        assert!(!Bit::Zero.compatible(Bit::One));
+    }
+
+    #[test]
+    fn refinement_is_one_directional() {
+        assert!(Bit::One.refines(Bit::X));
+        assert!(!Bit::X.refines(Bit::One));
+        assert!(Bit::One.refines(Bit::One));
+    }
+}

@@ -1,0 +1,713 @@
+//! BLIF (Berkeley Logic Interchange Format) reader and writer.
+//!
+//! The paper's tool was embedded in SIS, whose native interchange format is
+//! BLIF. This module parses the structural subset relevant to sequential
+//! mapping — `.model`, `.inputs`, `.outputs`, `.names` (SOP planes),
+//! `.latch`, `.end` — and writes circuits back out.
+//!
+//! BLIF is signal-based with explicit latch *nodes*; our representation is a
+//! retiming graph with FFs on *edges*. The reader folds each latch into one
+//! FF on every consumer edge of the latch output (recording its initial
+//! value); the writer re-materialises shared latch chains per driver.
+//! Latch init values map as `0 → 0`, `1 → 1`, `2`/`3`/absent → `X`.
+
+use crate::bit::Bit;
+use crate::circuit::{Circuit, NodeId};
+use crate::error::NetlistError;
+use crate::truth::{TruthTable, MAX_INPUTS};
+use std::collections::HashMap;
+
+#[derive(Debug)]
+struct NamesBlock {
+    inputs: Vec<String>,
+    output: String,
+    cubes: Vec<(String, char)>,
+    line: usize,
+}
+
+#[derive(Debug)]
+struct LatchDecl {
+    input: String,
+    output: String,
+    init: Bit,
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a BLIF model into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed input,
+/// [`NetlistError::UndefinedSignal`] when a referenced signal has no driver,
+/// and construction errors for inconsistent structure.
+///
+/// # Examples
+///
+/// ```
+/// let src = "\
+/// .model counter
+/// .inputs en
+/// .outputs q
+/// .names en state q
+/// 01 1
+/// 10 1
+/// .latch q state 0
+/// .end
+/// ";
+/// let c = netlist::blif::parse_blif(src).unwrap();
+/// assert_eq!(c.name(), "counter");
+/// assert_eq!(c.ff_count_shared(), 1);
+/// ```
+pub fn parse_blif(text: &str) -> Result<Circuit, NetlistError> {
+    let mut model_name = String::from("unnamed");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut names_blocks: Vec<NamesBlock> = Vec::new();
+    let mut latches: Vec<LatchDecl> = Vec::new();
+
+    // Join continuation lines, remembering original line numbers.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let no_comment = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let trimmed = no_comment.trim_end();
+        let (continues, content) = match trimmed.strip_suffix('\\') {
+            Some(rest) => (true, rest),
+            None => (false, trimmed),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(content);
+                if continues {
+                    pending = Some((start, acc));
+                } else {
+                    logical.push((start, acc));
+                }
+            }
+            None => {
+                if continues {
+                    pending = Some((line_no, content.to_string()));
+                } else if !content.trim().is_empty() {
+                    logical.push((line_no, content.to_string()));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        logical.push((start, acc));
+    }
+
+    let mut current_names: Option<NamesBlock> = None;
+    let mut ended = false;
+    for (line_no, line) in logical {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.is_empty() {
+            continue;
+        }
+        if ended {
+            return Err(parse_err(line_no, "content after .end"));
+        }
+        if tokens[0].starts_with('.') {
+            if let Some(block) = current_names.take() {
+                names_blocks.push(block);
+            }
+            match tokens[0] {
+                ".model" => {
+                    if let Some(&name) = tokens.get(1) {
+                        model_name = name.to_string();
+                    }
+                }
+                ".inputs" => inputs.extend(tokens[1..].iter().map(|s| s.to_string())),
+                ".outputs" => outputs.extend(tokens[1..].iter().map(|s| s.to_string())),
+                ".names" => {
+                    if tokens.len() < 2 {
+                        return Err(parse_err(line_no, ".names needs an output signal"));
+                    }
+                    let output = tokens[tokens.len() - 1].to_string();
+                    let ins: Vec<String> =
+                        tokens[1..tokens.len() - 1].iter().map(|s| s.to_string()).collect();
+                    if ins.len() > MAX_INPUTS {
+                        return Err(parse_err(
+                            line_no,
+                            format!(".names with {} inputs exceeds limit {MAX_INPUTS}", ins.len()),
+                        ));
+                    }
+                    current_names = Some(NamesBlock {
+                        inputs: ins,
+                        output,
+                        cubes: Vec::new(),
+                        line: line_no,
+                    });
+                }
+                ".latch" => {
+                    // .latch input output [type control] [init]
+                    let args = &tokens[1..];
+                    if args.len() < 2 {
+                        return Err(parse_err(line_no, ".latch needs input and output"));
+                    }
+                    let init_tok = match args.len() {
+                        2 => None,
+                        3 => Some(args[2]),
+                        4 => None, // type + control, no init
+                        5 => Some(args[4]),
+                        _ => return Err(parse_err(line_no, "malformed .latch")),
+                    };
+                    let init = match init_tok {
+                        Some("0") => Bit::Zero,
+                        Some("1") => Bit::One,
+                        Some("2") | Some("3") | None => Bit::X,
+                        Some(other) => {
+                            return Err(parse_err(line_no, format!("bad latch init `{other}`")))
+                        }
+                    };
+                    latches.push(LatchDecl {
+                        input: args[0].to_string(),
+                        output: args[1].to_string(),
+                        init,
+                    });
+                }
+                ".end" => ended = true,
+                ".exdc" | ".subckt" | ".search" | ".gate" | ".mlatch" => {
+                    return Err(parse_err(
+                        line_no,
+                        format!("unsupported BLIF construct `{}`", tokens[0]),
+                    ));
+                }
+                other => {
+                    // Ignore unknown dot-directives (e.g. .default_input_arrival).
+                    let _ = other;
+                }
+            }
+        } else {
+            // A cube line inside a .names block.
+            match current_names.as_mut() {
+                Some(block) => {
+                    let (pattern, value) = if block.inputs.is_empty() {
+                        if tokens.len() != 1 || tokens[0].len() != 1 {
+                            return Err(parse_err(line_no, "constant .names expects `0` or `1`"));
+                        }
+                        (String::new(), tokens[0].chars().next().expect("len 1"))
+                    } else {
+                        if tokens.len() != 2 {
+                            return Err(parse_err(line_no, "cube must be `pattern value`"));
+                        }
+                        if tokens[0].len() != block.inputs.len() {
+                            return Err(parse_err(line_no, "cube width mismatch"));
+                        }
+                        let v = tokens[1];
+                        if v.len() != 1 {
+                            return Err(parse_err(line_no, "cube output must be 0 or 1"));
+                        }
+                        (tokens[0].to_string(), v.chars().next().expect("len 1"))
+                    };
+                    if value != '0' && value != '1' {
+                        return Err(parse_err(line_no, "cube output must be 0 or 1"));
+                    }
+                    if pattern.chars().any(|ch| !matches!(ch, '0' | '1' | '-')) {
+                        return Err(parse_err(line_no, "cube pattern must use 0/1/-"));
+                    }
+                    block.cubes.push((pattern, value));
+                }
+                None => return Err(parse_err(line_no, "cube outside of .names")),
+            }
+        }
+    }
+    if let Some(block) = current_names.take() {
+        names_blocks.push(block);
+    }
+
+    build_circuit(model_name, inputs, outputs, names_blocks, latches)
+}
+
+fn cube_tt(block: &NamesBlock) -> Result<TruthTable, NetlistError> {
+    let n = block.inputs.len();
+    if block.cubes.is_empty() {
+        return Ok(TruthTable::const_zero(n));
+    }
+    let value = block.cubes[0].1;
+    if block.cubes.iter().any(|(_, v)| *v != value) {
+        return Err(parse_err(block.line, "mixed on-set/off-set cubes"));
+    }
+    let covered = |r: usize| {
+        block.cubes.iter().any(|(pattern, _)| {
+            pattern.chars().enumerate().all(|(i, ch)| match ch {
+                '0' => r & (1 << i) == 0,
+                '1' => r & (1 << i) != 0,
+                _ => true,
+            })
+        })
+    };
+    Ok(TruthTable::from_fn(n, |r| {
+        if value == '1' {
+            covered(r)
+        } else {
+            !covered(r)
+        }
+    }))
+}
+
+fn build_circuit(
+    model_name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    names_blocks: Vec<NamesBlock>,
+    latches: Vec<LatchDecl>,
+) -> Result<Circuit, NetlistError> {
+    let mut c = Circuit::new(model_name);
+    let output_set: std::collections::HashSet<&str> =
+        outputs.iter().map(String::as_str).collect();
+
+    // Drivers: signal -> PI node / gate node / latch.
+    let mut pi_nodes: HashMap<String, NodeId> = HashMap::new();
+    for name in &inputs {
+        let node_name = if output_set.contains(name.as_str()) {
+            format!("{name}$g")
+        } else {
+            name.clone()
+        };
+        pi_nodes.insert(name.clone(), c.add_input(node_name)?);
+    }
+    let mut gate_nodes: HashMap<String, (NodeId, usize)> = HashMap::new();
+    for (bi, block) in names_blocks.iter().enumerate() {
+        if gate_nodes.contains_key(&block.output) {
+            return Err(parse_err(
+                block.line,
+                format!("signal `{}` has multiple drivers", block.output),
+            ));
+        }
+        let mut node_name = if output_set.contains(block.output.as_str()) {
+            format!("{}$g", block.output)
+        } else {
+            block.output.clone()
+        };
+        while c.find(&node_name).is_some() {
+            node_name.push_str("$g");
+        }
+        let tt = cube_tt(block)?;
+        let id = c.add_gate(node_name, tt)?;
+        gate_nodes.insert(block.output.clone(), (id, bi));
+    }
+    let latch_by_output: HashMap<&str, &LatchDecl> =
+        latches.iter().map(|l| (l.output.as_str(), l)).collect();
+
+    // Resolve a signal to (driving node, FF chain source→sink).
+    fn resolve(
+        signal: &str,
+        pi_nodes: &HashMap<String, NodeId>,
+        gate_nodes: &HashMap<String, (NodeId, usize)>,
+        latch_by_output: &HashMap<&str, &LatchDecl>,
+        depth: usize,
+    ) -> Result<(NodeId, Vec<Bit>), NetlistError> {
+        if depth > 100_000 {
+            return Err(NetlistError::Parse {
+                line: 0,
+                message: format!("latch cycle through `{signal}` with no logic"),
+            });
+        }
+        if let Some(&id) = pi_nodes.get(signal) {
+            return Ok((id, Vec::new()));
+        }
+        if let Some(&(id, _)) = gate_nodes.get(signal) {
+            return Ok((id, Vec::new()));
+        }
+        if let Some(latch) = latch_by_output.get(signal) {
+            let (id, mut chain) =
+                resolve(&latch.input, pi_nodes, gate_nodes, latch_by_output, depth + 1)?;
+            chain.push(latch.init);
+            return Ok((id, chain));
+        }
+        Err(NetlistError::UndefinedSignal(signal.to_string()))
+    }
+
+    // Wire gates.
+    for block in &names_blocks {
+        let (gate_id, _) = gate_nodes[&block.output];
+        for sig in &block.inputs {
+            let (src, chain) = resolve(sig, &pi_nodes, &gate_nodes, &latch_by_output, 0)?;
+            c.connect(src, gate_id, chain)?;
+        }
+    }
+    // Wire primary outputs.
+    for name in &outputs {
+        let po = c.add_output(name.clone())?;
+        let (src, chain) = resolve(name, &pi_nodes, &gate_nodes, &latch_by_output, 0)?;
+        c.connect(src, po, chain)?;
+    }
+    Ok(c)
+}
+
+/// Serialises a circuit to BLIF text.
+///
+/// FF chains are re-materialised as latches. When the fanout chains of a
+/// driver agree on their shared prefix (see
+/// [`Circuit::sharing_consistent`]) one shared latch chain `sig@1, sig@2,
+/// …` is emitted per driver; otherwise that driver's chains are emitted
+/// per-edge (`sig@e<edge>@<i>`), preserving simulation semantics exactly.
+pub fn write_blif(c: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", sanitize(c.name())));
+    let pi_names: Vec<String> = c
+        .inputs()
+        .iter()
+        .map(|&v| sanitize(c.node(v).name()))
+        .collect();
+    let po_names: Vec<String> = c
+        .outputs()
+        .iter()
+        .map(|&v| sanitize(c.node(v).name()))
+        .collect();
+    out.push_str(&format!(".inputs {}\n", pi_names.join(" ")));
+    out.push_str(&format!(".outputs {}\n", po_names.join(" ")));
+
+    // Decide sharing per driver.
+    let mut latch_lines = String::new();
+    let mut edge_signal: Vec<String> = vec![String::new(); c.num_edges()];
+    for v in c.node_ids() {
+        let node = c.node(v);
+        if node.is_output() {
+            continue;
+        }
+        let base = sanitize(node.name());
+        let fanout = node.fanout();
+        let chains: Vec<&[Bit]> = fanout.iter().map(|&e| c.edge(e).ffs()).collect();
+        let maxw = chains.iter().map(|ch| ch.len()).max().unwrap_or(0);
+        let mut shared_ok = true;
+        let mut merged: Vec<Bit> = vec![Bit::X; maxw];
+        for ch in &chains {
+            for (i, &b) in ch.iter().enumerate() {
+                match merged[i].merge(b) {
+                    Some(m) => merged[i] = m,
+                    None => {
+                        shared_ok = false;
+                    }
+                }
+            }
+        }
+        if shared_ok {
+            for (i, &init) in merged.iter().enumerate() {
+                let prev = if i == 0 {
+                    base.clone()
+                } else {
+                    format!("{base}@{i}")
+                };
+                latch_lines.push_str(&format!(
+                    ".latch {prev} {base}@{} {}\n",
+                    i + 1,
+                    init_char(init)
+                ));
+            }
+            for &e in fanout {
+                let w = c.edge(e).weight();
+                edge_signal[e.index()] = if w == 0 {
+                    base.clone()
+                } else {
+                    format!("{base}@{w}")
+                };
+            }
+        } else {
+            for &e in fanout {
+                let ffs = c.edge(e).ffs();
+                let mut prev = base.clone();
+                for (i, &init) in ffs.iter().enumerate() {
+                    let next = format!("{base}@e{}@{}", e.index(), i + 1);
+                    latch_lines.push_str(&format!(".latch {prev} {next} {}\n", init_char(init)));
+                    prev = next;
+                }
+                edge_signal[e.index()] = prev;
+            }
+        }
+    }
+    out.push_str(&latch_lines);
+
+    // Gates.
+    for v in c.gate_ids() {
+        let node = c.node(v);
+        let tt = node.function().expect("gate");
+        let in_sigs: Vec<String> = node
+            .fanin()
+            .iter()
+            .map(|&e| edge_signal[e.index()].clone())
+            .collect();
+        out.push_str(&format!(
+            ".names {} {}\n",
+            in_sigs.join(" "),
+            sanitize(node.name())
+        ));
+        // Emit the on-set (or a single constant line).
+        if tt.num_inputs() == 0 {
+            if tt.eval_row(0) {
+                out.push_str("1\n");
+            }
+        } else {
+            for r in 0..tt.num_rows() {
+                if tt.eval_row(r) {
+                    let pattern: String = (0..tt.num_inputs())
+                        .map(|i| if r & (1 << i) != 0 { '1' } else { '0' })
+                        .collect();
+                    out.push_str(&pattern);
+                    out.push_str(" 1\n");
+                }
+            }
+        }
+    }
+    // PO buffers where needed.
+    for &po in c.outputs() {
+        let node = c.node(po);
+        let e = node.fanin()[0];
+        let sig = &edge_signal[e.index()];
+        let name = sanitize(node.name());
+        if *sig != name {
+            out.push_str(&format!(".names {sig} {name}\n1 1\n"));
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn init_char(b: Bit) -> char {
+    match b {
+        Bit::Zero => '0',
+        Bit::One => '1',
+        Bit::X => '3',
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|ch| if ch.is_whitespace() { '_' } else { ch })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::{exhaustive_equiv, random_equiv};
+
+    const COUNTER: &str = "\
+.model counter
+.inputs en
+.outputs q
+.names en state q
+01 1
+10 1
+.latch q state 0
+.end
+";
+
+    #[test]
+    fn parse_counter() {
+        let c = parse_blif(COUNTER).unwrap();
+        assert_eq!(c.name(), "counter");
+        assert_eq!(c.inputs().len(), 1);
+        assert_eq!(c.outputs().len(), 1);
+        assert_eq!(c.num_gates(), 1);
+        assert_eq!(c.ff_count_shared(), 1);
+        crate::validate::validate(&c).unwrap();
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = parse_blif(COUNTER).unwrap();
+        let mut sim = crate::sim::Simulator::new(&c).unwrap();
+        let one = vec![Bit::One];
+        // XOR counter starting at 0: q toggles every enabled cycle.
+        assert_eq!(sim.step(&one), vec![Bit::One]);
+        assert_eq!(sim.step(&one), vec![Bit::Zero]);
+        assert_eq!(sim.step(&vec![Bit::Zero]), vec![Bit::Zero]);
+        assert_eq!(sim.step(&one), vec![Bit::One]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let c = parse_blif(COUNTER).unwrap();
+        let text = write_blif(&c);
+        let c2 = parse_blif(&text).unwrap();
+        assert!(exhaustive_equiv(&c, &c2, 5).unwrap().is_equivalent());
+        assert!(exhaustive_equiv(&c2, &c, 5).unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn latch_chain_accumulates() {
+        let src = "\
+.model chain
+.inputs a
+.outputs z
+.names b z
+1 1
+.latch a m 0
+.latch m b 1
+.end
+";
+        let c = parse_blif(src).unwrap();
+        assert_eq!(c.ff_count_shared(), 2);
+        // Chain from source: first latch init 0 then 1, feeding gate `z`.
+        let gate = c.find("z$g").or_else(|| c.find("z")).unwrap();
+        let e = c.node(gate).fanin()[0];
+        assert_eq!(c.edge(e).ffs(), &[Bit::Zero, Bit::One]);
+    }
+
+    #[test]
+    fn off_set_cubes() {
+        let src = "\
+.model offset
+.inputs a b
+.outputs z
+.names a b z
+11 0
+.end
+";
+        let c = parse_blif(src).unwrap();
+        let g = c.find("z$g").or_else(|| c.find("z")).unwrap();
+        let tt = c.node(g).function().unwrap();
+        assert_eq!(*tt, TruthTable::nand(2));
+    }
+
+    #[test]
+    fn dont_care_cube() {
+        let src = "\
+.model dc
+.inputs a b c
+.outputs z
+.names a b c z
+1-1 1
+.end
+";
+        let c = parse_blif(src).unwrap();
+        let g = c.find("z$g").or_else(|| c.find("z")).unwrap();
+        let tt = c.node(g).function().unwrap();
+        assert!(tt.eval(&[true, false, true]));
+        assert!(tt.eval(&[true, true, true]));
+        assert!(!tt.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn constant_names() {
+        let src = "\
+.model k
+.inputs a
+.outputs z y
+.names z
+1
+.names y
+.end
+";
+        let c = parse_blif(src).unwrap();
+        let z = c.find("z$g").unwrap();
+        let y = c.find("y$g").unwrap();
+        assert_eq!(c.node(z).function().unwrap().is_constant(), Some(true));
+        assert_eq!(c.node(y).function().unwrap().is_constant(), Some(false));
+    }
+
+    #[test]
+    fn undefined_signal_error() {
+        let src = ".model u\n.inputs a\n.outputs z\n.names ghost z\n1 1\n.end\n";
+        assert!(matches!(
+            parse_blif(src),
+            Err(NetlistError::UndefinedSignal(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_error() {
+        let src = "\
+.model m
+.inputs a
+.outputs z
+.names a z
+1 1
+.names a z
+0 1
+.end
+";
+        assert!(matches!(parse_blif(src), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn latch_init_variants() {
+        let src = "\
+.model l
+.inputs a
+.outputs z
+.names q z
+1 1
+.latch a q re clk 1
+.end
+";
+        let c = parse_blif(src).unwrap();
+        let g = c.find("z$g").or_else(|| c.find("z")).unwrap();
+        let e = c.node(g).fanin()[0];
+        assert_eq!(c.edge(e).ffs(), &[Bit::One]);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let src = ".model c\n.inputs a \\\nb\n.outputs z\n.names a b z\n11 1\n.end\n";
+        let c = parse_blif(src).unwrap();
+        assert_eq!(c.inputs().len(), 2);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let src = "# header\n.model c # name\n.inputs a\n.outputs z\n.names a z # buf\n1 1\n.end\n";
+        let c = parse_blif(src).unwrap();
+        assert_eq!(c.name(), "c");
+    }
+
+    #[test]
+    fn write_then_parse_sequential_roundtrip() {
+        // Build a circuit with a 2-deep shared chain and distinct taps.
+        let mut c = Circuit::new("taps");
+        let a = c.add_input("a").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::buf()).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::xor(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g1, vec![Bit::Zero, Bit::One]).unwrap();
+        c.connect(a, g2, vec![Bit::Zero]).unwrap();
+        c.connect(g1, g2, vec![]).unwrap();
+        c.connect(g2, o, vec![]).unwrap();
+        let text = write_blif(&c);
+        let c2 = parse_blif(&text).unwrap();
+        assert!(random_equiv(&c, &c2, 64, 17).unwrap().is_equivalent());
+        assert!(random_equiv(&c2, &c, 64, 18).unwrap().is_equivalent());
+        assert_eq!(c2.ff_count_shared(), 2);
+    }
+
+    #[test]
+    fn inconsistent_sharing_roundtrip() {
+        // Same driver, conflicting initial values on two branches.
+        let mut c = Circuit::new("conflict");
+        let a = c.add_input("a").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::buf()).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::buf()).unwrap();
+        let o1 = c.add_output("o1").unwrap();
+        let o2 = c.add_output("o2").unwrap();
+        c.connect(a, g1, vec![Bit::Zero]).unwrap();
+        c.connect(a, g2, vec![Bit::One]).unwrap();
+        c.connect(g1, o1, vec![]).unwrap();
+        c.connect(g2, o2, vec![]).unwrap();
+        let text = write_blif(&c);
+        let c2 = parse_blif(&text).unwrap();
+        assert!(random_equiv(&c, &c2, 64, 19).unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn po_directly_from_latched_pi() {
+        let src = ".model d\n.inputs a\n.outputs z\n.latch a z 0\n.end\n";
+        let c = parse_blif(src).unwrap();
+        assert_eq!(c.ff_count_shared(), 1);
+        let text = write_blif(&c);
+        let c2 = parse_blif(&text).unwrap();
+        assert!(exhaustive_equiv(&c, &c2, 4).unwrap().is_equivalent());
+    }
+}

@@ -1,0 +1,714 @@
+//! The sequential circuit / retiming graph representation.
+//!
+//! A [`Circuit`] is the retiming graph `G(V, E, W)` of the paper: nodes are
+//! primary inputs, primary outputs and gates (each gate carrying a
+//! [`TruthTable`]); each directed edge carries an ordered chain of flip-flops
+//! with three-valued initial values (`w(e)` = chain length). Under the unit
+//! delay model every gate has delay 1 and PIs/POs delay 0.
+//!
+//! The FF chain on an edge is ordered **from source to sink**: `ffs[0]` is
+//! the register closest to the driving node, `ffs[w-1]` feeds the consumer.
+
+use crate::bit::Bit;
+use crate::error::NetlistError;
+use crate::truth::TruthTable;
+use std::collections::HashMap;
+
+/// Identifier of a node within one [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge within one [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Primary input (no fanin, delay 0).
+    Input,
+    /// Primary output (exactly one fanin, identity function, delay 0).
+    Output,
+    /// Logic gate or LUT computing the given function of its ordered fanins.
+    Gate(TruthTable),
+}
+
+/// A node of the retiming graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    name: String,
+    kind: NodeKind,
+    fanin: Vec<EdgeId>,
+    fanout: Vec<EdgeId>,
+}
+
+impl Node {
+    /// The node's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's kind.
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// Ordered fanin edges (gate pin `i` = `fanin()[i]`).
+    pub fn fanin(&self) -> &[EdgeId] {
+        &self.fanin
+    }
+
+    /// Fanout edges (unordered).
+    pub fn fanout(&self) -> &[EdgeId] {
+        &self.fanout
+    }
+
+    /// The gate function, if this node is a gate.
+    pub fn function(&self) -> Option<&TruthTable> {
+        match &self.kind {
+            NodeKind::Gate(tt) => Some(tt),
+            _ => None,
+        }
+    }
+
+    /// True for primary inputs.
+    pub fn is_input(&self) -> bool {
+        matches!(self.kind, NodeKind::Input)
+    }
+
+    /// True for primary outputs.
+    pub fn is_output(&self) -> bool {
+        matches!(self.kind, NodeKind::Output)
+    }
+
+    /// True for gates.
+    pub fn is_gate(&self) -> bool {
+        matches!(self.kind, NodeKind::Gate(_))
+    }
+
+    /// Unit-model delay: 1 for gates, 0 for PIs/POs.
+    pub fn delay(&self) -> u64 {
+        if self.is_gate() {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// An edge of the retiming graph with its flip-flop chain.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    from: NodeId,
+    to: NodeId,
+    ffs: Vec<Bit>,
+}
+
+impl Edge {
+    /// Driving node.
+    pub fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// Consuming node.
+    pub fn to(&self) -> NodeId {
+        self.to
+    }
+
+    /// Edge weight `w(e)` — the number of flip-flops on the connection.
+    pub fn weight(&self) -> usize {
+        self.ffs.len()
+    }
+
+    /// Initial values of the FF chain, ordered from source to sink.
+    pub fn ffs(&self) -> &[Bit] {
+        &self.ffs
+    }
+}
+
+/// A sequential circuit represented as a retiming graph.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{Bit, Circuit, TruthTable};
+///
+/// // A 1-bit toggle: ff_out = NOT(ff_out), one FF initialised to 0.
+/// let mut c = Circuit::new("toggle");
+/// let inv = c.add_gate("inv", TruthTable::not()).unwrap();
+/// let po = c.add_output("out").unwrap();
+/// c.connect(inv, inv, vec![Bit::Zero]).unwrap();
+/// c.connect(inv, po, vec![]).unwrap();
+/// assert_eq!(c.num_gates(), 1);
+/// assert_eq!(c.ff_count_shared(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    name: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    names: HashMap<String, NodeId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new(name: impl Into<String>) -> Circuit {
+        Circuit {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            names: HashMap::new(),
+        }
+    }
+
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    fn add_node(&mut self, name: String, kind: NodeKind) -> Result<NodeId, NetlistError> {
+        if self.names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.names.insert(name.clone(), id);
+        self.nodes.push(Node {
+            name,
+            kind,
+            fanin: Vec::new(),
+            fanout: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Result<NodeId, NetlistError> {
+        let id = self.add_node(name.into(), NodeKind::Input)?;
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a primary output (connect its single fanin with [`Circuit::connect`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_output(&mut self, name: impl Into<String>) -> Result<NodeId, NetlistError> {
+        let id = self.add_node(name.into(), NodeKind::Output)?;
+        self.outputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a gate computing `function` of its future fanins (in connect
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        function: TruthTable,
+    ) -> Result<NodeId, NetlistError> {
+        self.add_node(name.into(), NodeKind::Gate(function))
+    }
+
+    /// Connects `from -> to` with the given FF chain (`ffs[0]` nearest
+    /// `from`). The new edge becomes the next fanin pin of `to`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::InputHasFanin`] when `to` is a primary input.
+    /// * [`NetlistError::OutputHasFanout`] when `from` is a primary output.
+    /// * [`NetlistError::ArityMismatch`] when `to` already has as many
+    ///   fanins as its function allows (or an output already has one).
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        ffs: Vec<Bit>,
+    ) -> Result<EdgeId, NetlistError> {
+        if self.node(to).is_input() {
+            return Err(NetlistError::InputHasFanin(self.node(to).name.clone()));
+        }
+        if self.node(from).is_output() {
+            return Err(NetlistError::OutputHasFanout(self.node(from).name.clone()));
+        }
+        let max_pins = match &self.node(to).kind {
+            NodeKind::Output => 1,
+            NodeKind::Gate(tt) => tt.num_inputs(),
+            NodeKind::Input => unreachable!(),
+        };
+        if self.node(to).fanin.len() >= max_pins {
+            return Err(NetlistError::ArityMismatch {
+                node: self.node(to).name.clone(),
+                expected: max_pins,
+                actual: self.node(to).fanin.len() + 1,
+            });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { from, to, ffs });
+        self.nodes[to.index()].fanin.push(id);
+        self.nodes[from.index()].fanout.push(id);
+        Ok(id)
+    }
+
+    /// Convenience: connect with `w` flip-flops all initialised to `init`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Circuit::connect`].
+    pub fn connect_w(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        w: usize,
+        init: Bit,
+    ) -> Result<EdgeId, NetlistError> {
+        self.connect(from, to, vec![init; w])
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Mutable FF chain of an edge (for retiming moves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn ffs_mut(&mut self, id: EdgeId) -> &mut Vec<Bit> {
+        &mut self.edges[id.index()].ffs
+    }
+
+    /// Redirects the *source* of an existing edge to `new_from`, keeping
+    /// its sink, pin position and FF chain (used by netlist growth and
+    /// rewiring passes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::OutputHasFanout`] when `new_from` is a
+    /// primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `new_from` is out of range.
+    pub fn rewire_from(&mut self, id: EdgeId, new_from: NodeId) -> Result<(), NetlistError> {
+        if self.node(new_from).is_output() {
+            return Err(NetlistError::OutputHasFanout(
+                self.node(new_from).name.clone(),
+            ));
+        }
+        let old_from = self.edges[id.index()].from;
+        if old_from == new_from {
+            return Ok(());
+        }
+        let fanout = &mut self.nodes[old_from.index()].fanout;
+        let pos = fanout
+            .iter()
+            .position(|&e| e == id)
+            .expect("edge listed in its source's fanout");
+        fanout.remove(pos);
+        self.edges[id.index()].from = new_from;
+        self.nodes[new_from.index()].fanout.push(id);
+        Ok(())
+    }
+
+    /// Replaces a gate's function (used by logic restructuring passes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a gate or the arity changes.
+    pub fn set_function(&mut self, id: NodeId, function: TruthTable) {
+        let node = &mut self.nodes[id.index()];
+        match &node.kind {
+            NodeKind::Gate(old) => {
+                assert_eq!(
+                    old.num_inputs(),
+                    function.num_inputs(),
+                    "set_function must preserve arity"
+                );
+                node.kind = NodeKind::Gate(function);
+            }
+            _ => panic!("set_function on a non-gate node"),
+        }
+    }
+
+    /// Looks a node up by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Ids of gate nodes.
+    pub fn gate_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&v| self.node(v).is_gate())
+    }
+
+    /// Number of nodes (PIs + POs + gates).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_gate()).count()
+    }
+
+    /// Total FF count without register sharing (sum of edge weights).
+    pub fn ff_count_total(&self) -> usize {
+        self.edges.iter().map(|e| e.weight()).sum()
+    }
+
+    /// FF count **with register sharing**: each node contributes the maximum
+    /// weight over its fanout edges (a shared shift register that consumers
+    /// tap at their own depth). This is the FF metric reported by the
+    /// retiming literature and by Table 1 of the paper.
+    pub fn ff_count_shared(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.fanout
+                    .iter()
+                    .map(|&e| self.edge(e).weight())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// True when, for every node, the FF chains of its fanout edges agree on
+    /// their shared prefix (so the sharing count of
+    /// [`Circuit::ff_count_shared`] is physically realisable with these
+    /// initial values).
+    pub fn sharing_consistent(&self) -> bool {
+        self.nodes.iter().all(|n| {
+            let chains: Vec<&[Bit]> = n.fanout.iter().map(|&e| self.edge(e).ffs()).collect();
+            let maxw = chains.iter().map(|c| c.len()).max().unwrap_or(0);
+            (0..maxw).all(|i| {
+                let mut merged = Bit::X;
+                for c in &chains {
+                    if let Some(&b) = c.get(i) {
+                        match merged.merge(b) {
+                            Some(m) => merged = m,
+                            None => return false,
+                        }
+                    }
+                }
+                true
+            })
+        })
+    }
+
+    /// Adjacency over **combinational** (zero-weight) edges, as plain index
+    /// lists for the graph algorithms.
+    pub fn comb_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            if e.weight() == 0 {
+                adj[e.from.index()].push(e.to.index());
+            }
+        }
+        adj
+    }
+
+    /// Adjacency over all edges with FF counts as weights.
+    pub fn weighted_adjacency(&self) -> Vec<Vec<(usize, u64)>> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            adj[e.from.index()].push((e.to.index(), e.weight() as u64));
+        }
+        adj
+    }
+
+    /// A topological order of the zero-weight subgraph (evaluation order for
+    /// one clock cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] when the circuit has a
+    /// zero-weight cycle.
+    pub fn comb_topo_order(&self) -> Result<Vec<NodeId>, NetlistError> {
+        graphalgo::topo_order(&self.comb_adjacency())
+            .map(|o| o.into_iter().map(|i| NodeId(i as u32)).collect())
+            .map_err(|e| NetlistError::CombinationalCycle {
+                nodes: e
+                    .cyclic_nodes
+                    .iter()
+                    .map(|&i| self.nodes[i].name.clone())
+                    .collect(),
+            })
+    }
+
+    /// The clock period under the unit delay model: the maximum number of
+    /// gates on any register-free path (between PIs, POs and FFs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] on zero-weight cycles.
+    pub fn clock_period(&self) -> Result<u64, NetlistError> {
+        let order = self.comb_topo_order()?;
+        let mut arrival = vec![0u64; self.nodes.len()];
+        let mut period = 0u64;
+        for v in order {
+            let node = self.node(v);
+            let mut best = 0u64;
+            for &e in &node.fanin {
+                let edge = self.edge(e);
+                if edge.weight() == 0 {
+                    best = best.max(arrival[edge.from.index()]);
+                }
+            }
+            arrival[v.index()] = best + node.delay();
+            period = period.max(arrival[v.index()]);
+        }
+        Ok(period)
+    }
+
+    /// Maximum gate fanin.
+    pub fn max_fanin(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_gate())
+            .map(|n| n.fanin.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for Circuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} PIs, {} POs, {} gates, {} FFs (shared)",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.num_gates(),
+            self.ff_count_shared()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Circuit, NodeId, NodeId, NodeId, NodeId) {
+        let mut c = Circuit::new("tiny");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g = c.add_gate("g", TruthTable::and(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(b, g, vec![Bit::One]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        (c, a, b, g, o)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (c, a, _b, g, o) = tiny();
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.num_gates(), 1);
+        assert_eq!(c.ff_count_total(), 1);
+        assert_eq!(c.ff_count_shared(), 1);
+        assert_eq!(c.find("g"), Some(g));
+        assert_eq!(c.node(a).fanout().len(), 1);
+        assert_eq!(c.node(o).fanin().len(), 1);
+        assert_eq!(c.node(g).delay(), 1);
+        assert_eq!(c.node(a).delay(), 0);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut c = Circuit::new("t");
+        c.add_input("a").unwrap();
+        assert!(matches!(
+            c.add_gate("a", TruthTable::not()),
+            Err(NetlistError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("g", TruthTable::not()).unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        assert!(matches!(
+            c.connect(a, g, vec![]),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn input_cannot_have_fanin() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        assert!(matches!(
+            c.connect(a, b, vec![]),
+            Err(NetlistError::InputHasFanin(_))
+        ));
+    }
+
+    #[test]
+    fn output_cannot_drive() {
+        let mut c = Circuit::new("t");
+        let o = c.add_output("o").unwrap();
+        let g = c.add_gate("g", TruthTable::not()).unwrap();
+        assert!(matches!(
+            c.connect(o, g, vec![]),
+            Err(NetlistError::OutputHasFanout(_))
+        ));
+    }
+
+    #[test]
+    fn clock_period_counts_gates_between_ffs() {
+        // a -> g1 -> g2 -FF-> g3 -> o : longest comb path has 2 gates.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::buf()).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::buf()).unwrap();
+        let g3 = c.add_gate("g3", TruthTable::buf()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g1, vec![]).unwrap();
+        c.connect(g1, g2, vec![]).unwrap();
+        c.connect(g2, g3, vec![Bit::Zero]).unwrap();
+        c.connect(g3, o, vec![]).unwrap();
+        assert_eq!(c.clock_period().unwrap(), 2);
+    }
+
+    #[test]
+    fn comb_cycle_detected() {
+        let mut c = Circuit::new("t");
+        let g1 = c.add_gate("g1", TruthTable::buf()).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::buf()).unwrap();
+        c.connect(g1, g2, vec![]).unwrap();
+        c.connect(g2, g1, vec![]).unwrap();
+        assert!(matches!(
+            c.clock_period(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn ff_cycle_is_fine() {
+        let mut c = Circuit::new("t");
+        let g1 = c.add_gate("g1", TruthTable::buf()).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::buf()).unwrap();
+        c.connect(g1, g2, vec![]).unwrap();
+        c.connect(g2, g1, vec![Bit::Zero]).unwrap();
+        assert_eq!(c.clock_period().unwrap(), 2);
+    }
+
+    #[test]
+    fn shared_ff_count_uses_max_fanout_weight() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::buf()).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::buf()).unwrap();
+        let o1 = c.add_output("o1").unwrap();
+        let o2 = c.add_output("o2").unwrap();
+        c.connect(a, g1, vec![Bit::Zero, Bit::One]).unwrap();
+        c.connect(a, g2, vec![Bit::Zero]).unwrap();
+        c.connect(g1, o1, vec![]).unwrap();
+        c.connect(g2, o2, vec![]).unwrap();
+        assert_eq!(c.ff_count_total(), 3);
+        assert_eq!(c.ff_count_shared(), 2);
+        assert!(c.sharing_consistent());
+    }
+
+    #[test]
+    fn sharing_conflict_detected() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::buf()).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::buf()).unwrap();
+        let o1 = c.add_output("o1").unwrap();
+        let o2 = c.add_output("o2").unwrap();
+        c.connect(a, g1, vec![Bit::Zero]).unwrap();
+        c.connect(a, g2, vec![Bit::One]).unwrap();
+        c.connect(g1, o1, vec![]).unwrap();
+        c.connect(g2, o2, vec![]).unwrap();
+        assert!(!c.sharing_consistent());
+    }
+}

@@ -1,0 +1,101 @@
+//! Graphviz DOT export for retiming graphs.
+//!
+//! Registers are rendered as labelled boxes on the edges (with their
+//! initial values), matching the paper's figures, so small circuits —
+//! the Figure 1–4 examples in particular — can be inspected visually:
+//!
+//! ```bash
+//! cargo run --release -p tmfrt -- gen:dk17 -a turbomap-frt -o /tmp/m.blif
+//! # then render /tmp/m.dot with `dot -Tsvg`
+//! ```
+
+use crate::bit::Bit;
+use crate::circuit::{Circuit, NodeKind};
+use std::fmt::Write;
+
+/// Renders the circuit as Graphviz DOT text.
+///
+/// PIs are rendered as triangles, POs as inverted houses, gates as boxes
+/// labelled with their name and function; an edge with registers shows
+/// `w:values` on the label.
+pub fn to_dot(c: &Circuit) -> String {
+    let mut s = String::new();
+    writeln!(s, "digraph \"{}\" {{", escape(c.name())).ok();
+    writeln!(s, "  rankdir=LR;").ok();
+    for v in c.node_ids() {
+        let node = c.node(v);
+        let (shape, label) = match node.kind() {
+            NodeKind::Input => ("triangle", node.name().to_string()),
+            NodeKind::Output => ("house", node.name().to_string()),
+            NodeKind::Gate(tt) => ("box", format!("{}\\n{}", node.name(), tt)),
+        };
+        writeln!(
+            s,
+            "  n{} [shape={shape}, label=\"{}\"];",
+            v.index(),
+            escape(&label)
+        )
+        .ok();
+    }
+    for e in c.edge_ids() {
+        let edge = c.edge(e);
+        if edge.weight() == 0 {
+            writeln!(s, "  n{} -> n{};", edge.from().index(), edge.to().index()).ok();
+        } else {
+            let vals: String = edge
+                .ffs()
+                .iter()
+                .map(|b| match b {
+                    Bit::Zero => '0',
+                    Bit::One => '1',
+                    Bit::X => 'x',
+                })
+                .collect();
+            writeln!(
+                s,
+                "  n{} -> n{} [label=\"{}:{}\", style=bold];",
+                edge.from().index(),
+                edge.to().index(),
+                edge.weight(),
+                vals
+            )
+            .ok();
+        }
+    }
+    writeln!(s, "}}").ok();
+    s
+}
+
+fn escape(t: &str) -> String {
+    t.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthTable;
+
+    #[test]
+    fn renders_nodes_and_registered_edges() {
+        let mut c = Circuit::new("dot");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("g", TruthTable::not()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![Bit::One, Bit::X]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        let dot = to_dot(&c);
+        assert!(dot.contains("digraph \"dot\""));
+        assert!(dot.contains("shape=triangle"));
+        assert!(dot.contains("shape=house"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("label=\"2:1x\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let c = Circuit::new("we\"ird");
+        let dot = to_dot(&c);
+        assert!(dot.contains("we\\\"ird"));
+    }
+}

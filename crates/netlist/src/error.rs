@@ -1,0 +1,91 @@
+//! Error types for the netlist substrate.
+
+/// Errors produced while building, validating or parsing circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A node name was used twice.
+    DuplicateName(String),
+    /// A node was connected with the wrong number of fanins.
+    ArityMismatch {
+        /// Name of the offending node.
+        node: String,
+        /// Expected fanin count.
+        expected: usize,
+        /// Actual fanin count.
+        actual: usize,
+    },
+    /// A primary input was given a fanin.
+    InputHasFanin(String),
+    /// A primary output was used as a driver.
+    OutputHasFanout(String),
+    /// The circuit has a register-free cycle.
+    CombinationalCycle {
+        /// Names of the nodes on or downstream of the cycle.
+        nodes: Vec<String>,
+    },
+    /// Nodes not reachable from any primary input (a precondition of the
+    /// label computations; see DESIGN.md).
+    UnreachableFromInputs {
+        /// Names of the unreachable nodes.
+        nodes: Vec<String>,
+    },
+    /// A gate exceeds the fanin bound required by the mapper.
+    FaninTooLarge {
+        /// Name of the gate.
+        node: String,
+        /// Its fanin count.
+        fanin: usize,
+        /// The bound.
+        bound: usize,
+    },
+    /// A primary output is missing its fanin.
+    UnconnectedOutput(String),
+    /// A gate has fewer fanins than its function's arity.
+    UnconnectedGate(String),
+    /// BLIF syntax error.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A referenced signal was never defined.
+    UndefinedSignal(String),
+    /// The two circuits given to an equivalence check have different
+    /// interfaces.
+    InterfaceMismatch(String),
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "duplicate node name `{n}`"),
+            NetlistError::ArityMismatch {
+                node,
+                expected,
+                actual,
+            } => write!(f, "node `{node}` expects {expected} fanins, got {actual}"),
+            NetlistError::InputHasFanin(n) => write!(f, "primary input `{n}` given a fanin"),
+            NetlistError::OutputHasFanout(n) => write!(f, "primary output `{n}` used as driver"),
+            NetlistError::CombinationalCycle { nodes } => {
+                write!(f, "combinational cycle through {} node(s)", nodes.len())
+            }
+            NetlistError::UnreachableFromInputs { nodes } => write!(
+                f,
+                "{} node(s) unreachable from any primary input (e.g. `{}`)",
+                nodes.len(),
+                nodes.first().map(String::as_str).unwrap_or("?")
+            ),
+            NetlistError::FaninTooLarge { node, fanin, bound } => {
+                write!(f, "gate `{node}` has fanin {fanin} > bound {bound}")
+            }
+            NetlistError::UnconnectedOutput(n) => write!(f, "primary output `{n}` unconnected"),
+            NetlistError::UnconnectedGate(n) => write!(f, "gate `{n}` has unconnected fanins"),
+            NetlistError::Parse { line, message } => write!(f, "BLIF line {line}: {message}"),
+            NetlistError::UndefinedSignal(n) => write!(f, "undefined signal `{n}`"),
+            NetlistError::InterfaceMismatch(m) => write!(f, "interface mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

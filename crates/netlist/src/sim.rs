@@ -1,0 +1,223 @@
+//! Three-valued cycle-accurate simulation.
+//!
+//! [`Simulator`] steps a circuit one clock at a time: combinational
+//! evaluation in topological order, then a synchronous shift of every FF
+//! chain. Initial FF values come from the circuit itself; `X` values
+//! propagate pessimistically through gate functions (a gate output is
+//! defined only when every completion of its `X` inputs agrees).
+//!
+//! Simulation is also the engine of forward-retiming initial state
+//! computation: moving a register forward across a gate assigns it the
+//! gate's output under the old registers' initial values — exactly one
+//! simulation step of that gate (Touati & Brayton 1993).
+
+use crate::bit::Bit;
+use crate::circuit::{Circuit, NodeId};
+use crate::error::NetlistError;
+
+/// A cycle-accurate three-valued simulator borrowing a circuit.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    circuit: &'a Circuit,
+    /// Current FF chain contents, per edge (source-to-sink order).
+    state: Vec<Vec<Bit>>,
+    order: Vec<NodeId>,
+    values: Vec<Bit>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator starting from the circuit's initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] when the circuit cannot
+    /// be evaluated.
+    pub fn new(circuit: &'a Circuit) -> Result<Simulator<'a>, NetlistError> {
+        let order = circuit.comb_topo_order()?;
+        let state = circuit
+            .edge_ids()
+            .map(|e| circuit.edge(e).ffs().to_vec())
+            .collect();
+        Ok(Simulator {
+            circuit,
+            state,
+            order,
+            values: vec![Bit::X; circuit.num_nodes()],
+        })
+    }
+
+    /// Current FF chain contents (indexed by edge id).
+    pub fn state(&self) -> &[Vec<Bit>] {
+        &self.state
+    }
+
+    /// Advances one clock cycle with the given PI values (in
+    /// [`Circuit::inputs`] order) and returns the PO values (in
+    /// [`Circuit::outputs`] order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of PIs.
+    pub fn step(&mut self, inputs: &[Bit]) -> Vec<Bit> {
+        let c = self.circuit;
+        assert_eq!(inputs.len(), c.inputs().len(), "PI vector length mismatch");
+        for (&pi, &v) in c.inputs().iter().zip(inputs) {
+            self.values[pi.index()] = v;
+        }
+        let mut pin_values: Vec<Bit> = Vec::new();
+        for &v in &self.order {
+            let node = c.node(v);
+            if node.is_input() {
+                continue;
+            }
+            pin_values.clear();
+            for &e in node.fanin() {
+                let edge = c.edge(e);
+                let w = edge.weight();
+                let val = if w == 0 {
+                    self.values[edge.from().index()]
+                } else {
+                    self.state[e.index()][w - 1]
+                };
+                pin_values.push(val);
+            }
+            self.values[v.index()] = match node.function() {
+                Some(tt) => tt.eval3(&pin_values),
+                None => pin_values.first().copied().unwrap_or(Bit::X), // PO
+            };
+        }
+        // Synchronous FF shift: each chain takes the driver's new value at
+        // the source end and delivers its sink-end value next cycle.
+        for e in c.edge_ids() {
+            let w = c.edge(e).weight();
+            if w > 0 {
+                let from_val = self.values[c.edge(e).from().index()];
+                let chain = &mut self.state[e.index()];
+                chain.pop();
+                chain.insert(0, from_val);
+            }
+        }
+        c.outputs()
+            .iter()
+            .map(|&po| self.values[po.index()])
+            .collect()
+    }
+
+    /// Runs a whole input sequence, returning one PO vector per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input vector has the wrong length.
+    pub fn run(&mut self, sequence: &[Vec<Bit>]) -> Vec<Vec<Bit>> {
+        sequence.iter().map(|inp| self.step(inp)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthTable;
+
+    fn bits(s: &str) -> Vec<Bit> {
+        s.chars()
+            .map(|ch| match ch {
+                '0' => Bit::Zero,
+                '1' => Bit::One,
+                _ => Bit::X,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn combinational_and() {
+        let mut c = Circuit::new("and");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g = c.add_gate("g", TruthTable::and(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(b, g, vec![]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        let mut sim = Simulator::new(&c).unwrap();
+        assert_eq!(sim.step(&bits("11")), bits("1"));
+        assert_eq!(sim.step(&bits("10")), bits("0"));
+        assert_eq!(sim.step(&bits("1x")), bits("x"));
+        assert_eq!(sim.step(&bits("0x")), bits("0"));
+    }
+
+    #[test]
+    fn ff_delays_by_one() {
+        let mut c = Circuit::new("dff");
+        let a = c.add_input("a").unwrap();
+        let o = c.add_output("o").unwrap();
+        let g = c.add_gate("g", TruthTable::buf()).unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(g, o, vec![Bit::Zero]).unwrap();
+        let mut sim = Simulator::new(&c).unwrap();
+        assert_eq!(sim.step(&bits("1")), bits("0")); // initial value
+        assert_eq!(sim.step(&bits("0")), bits("1")); // previous input
+        assert_eq!(sim.step(&bits("1")), bits("0"));
+    }
+
+    #[test]
+    fn chain_of_two_ffs() {
+        let mut c = Circuit::new("sr2");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("g", TruthTable::buf()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(g, o, vec![Bit::One, Bit::Zero]).unwrap();
+        let mut sim = Simulator::new(&c).unwrap();
+        // Cycle 1 delivers ffs[1] (nearest sink) = 0, cycle 2 delivers 1.
+        assert_eq!(sim.step(&bits("1")), bits("0"));
+        assert_eq!(sim.step(&bits("0")), bits("1"));
+        assert_eq!(sim.step(&bits("0")), bits("1")); // then the cycle-1 input
+        assert_eq!(sim.step(&bits("0")), bits("0"));
+    }
+
+    #[test]
+    fn toggle_flip_flop() {
+        // inv feeds itself through a FF initialised to 0: output alternates.
+        let mut c = Circuit::new("toggle");
+        c.add_input("unused").unwrap();
+        let inv = c.add_gate("inv", TruthTable::not()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(inv, inv, vec![Bit::Zero]).unwrap();
+        c.connect(inv, o, vec![]).unwrap();
+        let mut sim = Simulator::new(&c).unwrap();
+        let outs: Vec<Bit> = (0..4).map(|_| sim.step(&bits("0"))[0]).collect();
+        assert_eq!(outs, bits("1010"));
+    }
+
+    #[test]
+    fn x_initial_state_washes_out() {
+        // XOR(a, ff) with ff initial X: first output X, then defined.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("g", TruthTable::xor(2)).unwrap();
+        let d = c.add_gate("d", TruthTable::buf()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(d, g, vec![Bit::X]).unwrap();
+        c.connect(a, d, vec![]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        let mut sim = Simulator::new(&c).unwrap();
+        assert_eq!(sim.step(&bits("1")), bits("x"));
+        assert_eq!(sim.step(&bits("1")), bits("0")); // 1 xor prev(1)
+        assert_eq!(sim.step(&bits("0")), bits("1")); // 0 xor prev(1)
+    }
+
+    #[test]
+    fn run_matches_steps() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let o = c.add_output("o").unwrap();
+        let g = c.add_gate("g", TruthTable::not()).unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        let seq = vec![bits("1"), bits("0"), bits("x")];
+        let mut s1 = Simulator::new(&c).unwrap();
+        let outs = s1.run(&seq);
+        assert_eq!(outs, vec![bits("0"), bits("1"), bits("x")]);
+    }
+}

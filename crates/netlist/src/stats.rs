@@ -1,0 +1,89 @@
+//! Circuit statistics used by the benchmark harness and reports.
+
+use crate::circuit::Circuit;
+use crate::error::NetlistError;
+
+/// A summary of a circuit's size and timing, in the unit-delay model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of gates (the `N` column of Table 1 counts gates).
+    pub gates: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// FF count with register sharing (the `F`/`FF` columns of Table 1).
+    pub ffs_shared: usize,
+    /// FF count without sharing (sum of edge weights).
+    pub ffs_total: usize,
+    /// Maximum gate fanin.
+    pub max_fanin: usize,
+    /// Clock period (longest register-free gate path).
+    pub clock_period: u64,
+}
+
+impl CircuitStats {
+    /// Gathers statistics for a circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] when the clock period is
+    /// undefined.
+    pub fn of(c: &Circuit) -> Result<CircuitStats, NetlistError> {
+        Ok(CircuitStats {
+            name: c.name().to_string(),
+            inputs: c.inputs().len(),
+            outputs: c.outputs().len(),
+            gates: c.num_gates(),
+            edges: c.num_edges(),
+            ffs_shared: c.ff_count_shared(),
+            ffs_total: c.ff_count_total(),
+            max_fanin: c.max_fanin(),
+            clock_period: c.clock_period()?,
+        })
+    }
+}
+
+impl std::fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: N={} F={} Φ={} (PI={} PO={} maxfanin={})",
+            self.name,
+            self.gates,
+            self.ffs_shared,
+            self.clock_period,
+            self.inputs,
+            self.outputs,
+            self.max_fanin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bit::Bit;
+    use crate::truth::TruthTable;
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let mut c = Circuit::new("s");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("g", TruthTable::not()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![Bit::Zero]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        let s = CircuitStats::of(&c).unwrap();
+        assert_eq!(s.gates, 1);
+        assert_eq!(s.ffs_shared, 1);
+        assert_eq!(s.clock_period, 1);
+        assert_eq!(s.inputs, 1);
+        assert_eq!(s.outputs, 1);
+        assert!(s.to_string().contains("N=1"));
+    }
+}

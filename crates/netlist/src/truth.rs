@@ -1,0 +1,441 @@
+//! Truth tables: the logic function attached to every gate and LUT.
+//!
+//! A [`TruthTable`] over `k ≤ MAX_INPUTS` inputs stores its on-set as a
+//! bitmap. Input `i` corresponds to bit `i` of the row index (input 0 is the
+//! least significant bit). Besides plain evaluation it supports three-valued
+//! evaluation (for simulation with partial initial states) and
+//! **justification** — finding an input vector that produces a required
+//! output, the primitive behind backward-retiming initial state computation.
+
+use crate::bit::Bit;
+
+/// Maximum supported truth table arity.
+///
+/// `2^16` rows (1 KiB of bitmap) is plenty: gates are decomposed to ≤ 2
+/// inputs before mapping and LUTs have at most `K ≤ 8` inputs.
+pub const MAX_INPUTS: usize = 16;
+
+/// A complete Boolean function of `k` inputs, stored as its on-set bitmap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_inputs: u8,
+    /// Bit `r` of `words[r / 64]` is 1 iff row `r` is in the on-set.
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    fn word_count(num_inputs: usize) -> usize {
+        let rows = 1usize << num_inputs;
+        rows.div_ceil(64)
+    }
+
+    /// The constant-zero function of `num_inputs` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > MAX_INPUTS`.
+    pub fn const_zero(num_inputs: usize) -> TruthTable {
+        assert!(num_inputs <= MAX_INPUTS, "too many truth table inputs");
+        TruthTable {
+            num_inputs: num_inputs as u8,
+            words: vec![0; Self::word_count(num_inputs)],
+        }
+    }
+
+    /// The constant-one function of `num_inputs` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > MAX_INPUTS`.
+    pub fn const_one(num_inputs: usize) -> TruthTable {
+        let mut tt = Self::const_zero(num_inputs);
+        let rows = 1usize << num_inputs;
+        for r in 0..rows {
+            tt.set(r, true);
+        }
+        tt
+    }
+
+    /// Builds a table from a row predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > MAX_INPUTS`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netlist::TruthTable;
+    /// let maj = TruthTable::from_fn(3, |r| (r.count_ones() >= 2));
+    /// assert!(maj.eval_row(0b011));
+    /// assert!(!maj.eval_row(0b100));
+    /// ```
+    pub fn from_fn(num_inputs: usize, mut f: impl FnMut(usize) -> bool) -> TruthTable {
+        let mut tt = Self::const_zero(num_inputs);
+        for r in 0..(1usize << num_inputs) {
+            if f(r) {
+                tt.set(r, true);
+            }
+        }
+        tt
+    }
+
+    /// The identity function of one input (a buffer).
+    pub fn buf() -> TruthTable {
+        Self::from_fn(1, |r| r == 1)
+    }
+
+    /// NOT of one input.
+    pub fn not() -> TruthTable {
+        Self::from_fn(1, |r| r == 0)
+    }
+
+    /// AND of `k` inputs.
+    pub fn and(k: usize) -> TruthTable {
+        Self::from_fn(k, |r| r == (1usize << k) - 1)
+    }
+
+    /// OR of `k` inputs.
+    pub fn or(k: usize) -> TruthTable {
+        Self::from_fn(k, |r| r != 0)
+    }
+
+    /// NAND of `k` inputs.
+    pub fn nand(k: usize) -> TruthTable {
+        Self::from_fn(k, |r| r != (1usize << k) - 1)
+    }
+
+    /// NOR of `k` inputs.
+    pub fn nor(k: usize) -> TruthTable {
+        Self::from_fn(k, |r| r == 0)
+    }
+
+    /// XOR (odd parity) of `k` inputs.
+    pub fn xor(k: usize) -> TruthTable {
+        Self::from_fn(k, |r| r.count_ones() % 2 == 1)
+    }
+
+    /// 2-to-1 multiplexer: inputs `(sel, a, b)`, output `a` when `sel = 0`,
+    /// `b` when `sel = 1`.
+    pub fn mux() -> TruthTable {
+        Self::from_fn(3, |r| {
+            let sel = r & 1 != 0;
+            let a = r & 2 != 0;
+            let b = r & 4 != 0;
+            if sel {
+                b
+            } else {
+                a
+            }
+        })
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs as usize
+    }
+
+    /// Number of rows (`2^k`).
+    pub fn num_rows(&self) -> usize {
+        1usize << self.num_inputs
+    }
+
+    /// Sets row `r` of the on-set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn set(&mut self, r: usize, value: bool) {
+        assert!(r < self.num_rows(), "row out of range");
+        if value {
+            self.words[r / 64] |= 1u64 << (r % 64);
+        } else {
+            self.words[r / 64] &= !(1u64 << (r % 64));
+        }
+    }
+
+    /// Evaluates row `r` (input `i` = bit `i` of `r`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn eval_row(&self, r: usize) -> bool {
+        assert!(r < self.num_rows(), "row out of range");
+        (self.words[r / 64] >> (r % 64)) & 1 == 1
+    }
+
+    /// Evaluates on a slice of concrete inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.num_inputs(), "arity mismatch");
+        let mut r = 0usize;
+        for (i, &b) in inputs.iter().enumerate() {
+            if b {
+                r |= 1 << i;
+            }
+        }
+        self.eval_row(r)
+    }
+
+    /// Three-valued evaluation: returns `0`/`1` if the output is the same
+    /// for every completion of the `X` inputs, else `X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval3(&self, inputs: &[Bit]) -> Bit {
+        assert_eq!(inputs.len(), self.num_inputs(), "arity mismatch");
+        let mut base = 0usize;
+        let mut x_positions: Vec<usize> = Vec::new();
+        for (i, &b) in inputs.iter().enumerate() {
+            match b {
+                Bit::One => base |= 1 << i,
+                Bit::Zero => {}
+                Bit::X => x_positions.push(i),
+            }
+        }
+        let first = self.eval_row(base);
+        // Enumerate all completions of the X inputs.
+        let combos = 1usize << x_positions.len();
+        for c in 1..combos {
+            let mut r = base;
+            for (j, &pos) in x_positions.iter().enumerate() {
+                if (c >> j) & 1 == 1 {
+                    r |= 1 << pos;
+                }
+            }
+            if self.eval_row(r) != first {
+                return Bit::X;
+            }
+        }
+        Bit::from_bool(first)
+    }
+
+    /// Finds an input vector `j` with `f(j) = target`, maximising the number
+    /// of `X` inputs greedily (an `X` is kept only if the output stays
+    /// defined and equal to `target`).
+    ///
+    /// Returns `None` when `target` is not in the function's range. This is
+    /// the core primitive of backward-retiming initial state justification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is `X` (justifying an unknown is trivially all-X
+    /// and callers should handle it directly).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netlist::{Bit, TruthTable};
+    /// let and2 = TruthTable::and(2);
+    /// assert_eq!(and2.justify(Bit::One), Some(vec![Bit::One, Bit::One]));
+    /// let j0 = and2.justify(Bit::Zero).unwrap();
+    /// assert_eq!(and2.eval3(&j0), Bit::Zero);
+    /// assert!(j0.contains(&Bit::X)); // one input X'd out
+    /// ```
+    pub fn justify(&self, target: Bit) -> Option<Vec<Bit>> {
+        let want = target
+            .to_bool()
+            .expect("cannot justify an X target; handle X at the call site");
+        let row = (0..self.num_rows()).find(|&r| self.eval_row(r) == want)?;
+        let mut assignment: Vec<Bit> = (0..self.num_inputs())
+            .map(|i| Bit::from_bool((row >> i) & 1 == 1))
+            .collect();
+        // Greedily generalise inputs to X where the output stays defined.
+        for i in 0..assignment.len() {
+            let saved = assignment[i];
+            assignment[i] = Bit::X;
+            if self.eval3(&assignment) == target {
+                continue;
+            }
+            assignment[i] = saved;
+        }
+        Some(assignment)
+    }
+
+    /// True when the function ignores input `i`.
+    pub fn input_is_redundant(&self, i: usize) -> bool {
+        assert!(i < self.num_inputs(), "input index out of range");
+        let mask = 1usize << i;
+        (0..self.num_rows())
+            .filter(|r| r & mask == 0)
+            .all(|r| self.eval_row(r) == self.eval_row(r | mask))
+    }
+
+    /// Returns the cofactor obtained by fixing input `i` to `value` (the
+    /// result has one fewer input; remaining inputs keep their order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn cofactor(&self, i: usize, value: bool) -> TruthTable {
+        assert!(i < self.num_inputs(), "input index out of range");
+        let k = self.num_inputs() - 1;
+        TruthTable::from_fn(k, |r| {
+            let low = r & ((1 << i) - 1);
+            let high = (r >> i) << (i + 1);
+            let mut full = low | high;
+            if value {
+                full |= 1 << i;
+            }
+            self.eval_row(full)
+        })
+    }
+
+    /// True for the constant-zero or constant-one function.
+    pub fn is_constant(&self) -> Option<bool> {
+        let ones = self.count_ones();
+        if ones == 0 {
+            Some(false)
+        } else if ones == self.num_rows() {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Number of on-set rows.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+impl std::fmt::Display for TruthTable {
+    /// Hex on-set, most significant row first, e.g. `and(2)` is `tt2:8`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tt{}:", self.num_inputs)?;
+        let rows = self.num_rows();
+        let nibbles = rows.div_ceil(4).max(1);
+        for n in (0..nibbles).rev() {
+            let mut nib = 0u8;
+            for b in 0..4 {
+                let r = n * 4 + b;
+                if r < rows && self.eval_row(r) {
+                    nib |= 1 << b;
+                }
+            }
+            write!(f, "{nib:x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_constructors() {
+        assert!(TruthTable::and(3).eval(&[true, true, true]));
+        assert!(!TruthTable::and(3).eval(&[true, false, true]));
+        assert!(TruthTable::or(2).eval(&[false, true]));
+        assert!(TruthTable::nand(2).eval(&[true, false]));
+        assert!(TruthTable::nor(2).eval(&[false, false]));
+        assert!(TruthTable::xor(2).eval(&[true, false]));
+        assert!(!TruthTable::xor(2).eval(&[true, true]));
+        assert!(TruthTable::not().eval(&[false]));
+        assert!(TruthTable::buf().eval(&[true]));
+    }
+
+    #[test]
+    fn mux_semantics() {
+        let m = TruthTable::mux();
+        // (sel, a, b)
+        assert!(m.eval(&[false, true, false]));
+        assert!(!m.eval(&[false, false, true]));
+        assert!(m.eval(&[true, false, true]));
+        assert!(!m.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn eval3_controlling_input() {
+        let and2 = TruthTable::and(2);
+        assert_eq!(and2.eval3(&[Bit::Zero, Bit::X]), Bit::Zero);
+        assert_eq!(and2.eval3(&[Bit::One, Bit::X]), Bit::X);
+        let or2 = TruthTable::or(2);
+        assert_eq!(or2.eval3(&[Bit::One, Bit::X]), Bit::One);
+    }
+
+    #[test]
+    fn eval3_xor_redundancy() {
+        // f = a XOR a-like: a function where an X input is actually
+        // redundant must still evaluate defined.
+        let f = TruthTable::from_fn(2, |r| r & 1 == 1); // ignores input 1
+        assert_eq!(f.eval3(&[Bit::One, Bit::X]), Bit::One);
+        assert_eq!(f.eval3(&[Bit::Zero, Bit::X]), Bit::Zero);
+        assert!(f.input_is_redundant(1));
+        assert!(!f.input_is_redundant(0));
+    }
+
+    #[test]
+    fn justify_respects_target() {
+        for tt in [
+            TruthTable::and(3),
+            TruthTable::or(3),
+            TruthTable::xor(3),
+            TruthTable::nand(2),
+            TruthTable::mux(),
+        ] {
+            for target in [Bit::Zero, Bit::One] {
+                let j = tt.justify(target).expect("non-constant function");
+                assert_eq!(tt.eval3(&j), target, "{tt} target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn justify_constant_range() {
+        let zero = TruthTable::const_zero(2);
+        assert_eq!(zero.justify(Bit::One), None);
+        assert!(zero.justify(Bit::Zero).is_some());
+        // Constant of arity 0.
+        let one0 = TruthTable::const_one(0);
+        assert_eq!(one0.justify(Bit::One), Some(vec![]));
+        assert_eq!(one0.justify(Bit::Zero), None);
+    }
+
+    #[test]
+    fn justify_generalises_with_x() {
+        let or3 = TruthTable::or(3);
+        let j = or3.justify(Bit::One).unwrap();
+        // One input 1 is enough; the others should be X.
+        assert_eq!(j.iter().filter(|&&b| b == Bit::X).count(), 2);
+    }
+
+    #[test]
+    fn cofactor_shrinks_and_matches() {
+        let m = TruthTable::mux();
+        let sel0 = m.cofactor(0, false); // output = a, inputs now (a, b)
+        assert!(sel0.eval(&[true, false]));
+        assert!(!sel0.eval(&[false, true]));
+        let sel1 = m.cofactor(0, true); // output = b
+        assert!(sel1.eval(&[false, true]));
+        assert!(!sel1.eval(&[true, false]));
+    }
+
+    #[test]
+    fn constants_detected() {
+        assert_eq!(TruthTable::const_zero(3).is_constant(), Some(false));
+        assert_eq!(TruthTable::const_one(3).is_constant(), Some(true));
+        assert_eq!(TruthTable::and(2).is_constant(), None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(TruthTable::and(2).to_string(), "tt2:8");
+        assert_eq!(TruthTable::or(2).to_string(), "tt2:e");
+        assert_eq!(TruthTable::const_one(0).to_string(), "tt0:1");
+    }
+
+    #[test]
+    fn large_arity_words() {
+        let tt = TruthTable::xor(10);
+        assert_eq!(tt.num_rows(), 1024);
+        assert_eq!(tt.count_ones(), 512);
+        assert!(tt.eval_row(0b1));
+        assert!(!tt.eval_row(0b11));
+    }
+}

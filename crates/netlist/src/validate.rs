@@ -1,0 +1,201 @@
+//! Structural validation of circuits.
+//!
+//! The mapping and retiming algorithms assume well-formed retiming graphs:
+//! every gate fully connected with the arity of its function, every PO
+//! driven, no register-free cycles, and — as in the original papers — every
+//! node reachable from some primary input. [`validate`] checks all of this
+//! at once; [`check_k_bounded`] additionally enforces the fanin bound
+//! required before LUT mapping.
+
+use crate::circuit::Circuit;
+use crate::error::NetlistError;
+
+/// Validates circuit structure.
+///
+/// # Errors
+///
+/// The first violated property is reported:
+/// * [`NetlistError::UnconnectedGate`] / [`NetlistError::UnconnectedOutput`]
+///   for missing fanins,
+/// * [`NetlistError::CombinationalCycle`] for register-free cycles,
+/// * [`NetlistError::UnreachableFromInputs`] for nodes with no path from a
+///   PI (constant generators and autonomous register loops; the label
+///   computations of the paper require PI-reachability — see DESIGN.md).
+///
+/// Circuits without PIs (fully autonomous) are rejected unless they have no
+/// nodes at all.
+pub fn validate(c: &Circuit) -> Result<(), NetlistError> {
+    // Fanin completeness.
+    for v in c.node_ids() {
+        let node = c.node(v);
+        match node.function() {
+            Some(tt) => {
+                if node.fanin().len() != tt.num_inputs() {
+                    return Err(NetlistError::UnconnectedGate(node.name().to_string()));
+                }
+            }
+            None if node.is_output() => {
+                if node.fanin().len() != 1 {
+                    return Err(NetlistError::UnconnectedOutput(node.name().to_string()));
+                }
+            }
+            None => {}
+        }
+    }
+    // Combinational cycles.
+    c.comb_topo_order()?;
+    // PI reachability.
+    let unreachable = unreachable_from_inputs(c);
+    if !unreachable.is_empty() {
+        return Err(NetlistError::UnreachableFromInputs {
+            nodes: unreachable
+                .iter()
+                .map(|&v| c.node(v).name().to_string())
+                .collect(),
+        });
+    }
+    Ok(())
+}
+
+/// Nodes with no directed path from any primary input (ignoring weights).
+///
+/// Zero-fanin gates (constants) count as unreachable unless the circuit has
+/// no PIs at all, in which case everything is vacuously "reachable" — but
+/// [`validate`] treats a PI-less circuit with gates as unreachable anyway,
+/// matching the papers' model where PIs always exist.
+pub fn unreachable_from_inputs(c: &Circuit) -> Vec<crate::circuit::NodeId> {
+    let n = c.num_nodes();
+    let mut reach = vec![false; n];
+    let mut stack: Vec<usize> = c.inputs().iter().map(|v| v.index()).collect();
+    for &s in &stack {
+        reach[s] = true;
+    }
+    // Zero-arity gates (constants) are self-justifying sources too.
+    for v in c.node_ids() {
+        let node = c.node(v);
+        if node.is_gate() && node.fanin().is_empty() && node.function().is_some() {
+            if node
+                .function()
+                .map(|tt| tt.num_inputs() == 0)
+                .unwrap_or(false)
+                && !reach[v.index()]
+            {
+                reach[v.index()] = true;
+                stack.push(v.index());
+            }
+        }
+    }
+    while let Some(u) = stack.pop() {
+        for &e in c.node(crate::circuit::NodeId(u as u32)).fanout() {
+            let t = c.edge(e).to().index();
+            if !reach[t] {
+                reach[t] = true;
+                stack.push(t);
+            }
+        }
+    }
+    c.node_ids().filter(|v| !reach[v.index()]).collect()
+}
+
+/// Checks that every gate has fanin at most `k`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::FaninTooLarge`] naming the first offender.
+pub fn check_k_bounded(c: &Circuit, k: usize) -> Result<(), NetlistError> {
+    for v in c.gate_ids() {
+        let node = c.node(v);
+        if node.fanin().len() > k {
+            return Err(NetlistError::FaninTooLarge {
+                node: node.name().to_string(),
+                fanin: node.fanin().len(),
+                bound: k,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bit::Bit;
+    use crate::truth::TruthTable;
+
+    fn valid_circuit() -> Circuit {
+        let mut c = Circuit::new("ok");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("g", TruthTable::not()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(g, o, vec![Bit::Zero]).unwrap();
+        c
+    }
+
+    #[test]
+    fn accepts_valid() {
+        assert!(validate(&valid_circuit()).is_ok());
+    }
+
+    #[test]
+    fn rejects_unconnected_gate() {
+        let mut c = Circuit::new("t");
+        c.add_input("a").unwrap();
+        c.add_gate("g", TruthTable::and(2)).unwrap();
+        assert!(matches!(
+            validate(&c),
+            Err(NetlistError::UnconnectedGate(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unconnected_output() {
+        let mut c = Circuit::new("t");
+        c.add_input("a").unwrap();
+        c.add_output("o").unwrap();
+        assert!(matches!(
+            validate(&c),
+            Err(NetlistError::UnconnectedOutput(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_autonomous_loop() {
+        let mut c = Circuit::new("t");
+        c.add_input("a").unwrap(); // a PI exists, but the loop ignores it
+        let g1 = c.add_gate("g1", TruthTable::not()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(g1, g1, vec![Bit::Zero]).unwrap();
+        c.connect(g1, o, vec![]).unwrap();
+        assert!(matches!(
+            validate(&c),
+            Err(NetlistError::UnreachableFromInputs { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_gate_counts_as_source() {
+        let mut c = Circuit::new("t");
+        let k = c.add_gate("const1", TruthTable::const_one(0)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(k, o, vec![]).unwrap();
+        assert!(validate(&c).is_ok());
+    }
+
+    #[test]
+    fn k_bound_check() {
+        let c = valid_circuit();
+        assert!(check_k_bounded(&c, 1).is_ok());
+        let mut c2 = Circuit::new("t");
+        let a = c2.add_input("a").unwrap();
+        let b = c2.add_input("b").unwrap();
+        let g = c2.add_gate("g", TruthTable::and(2)).unwrap();
+        c2.connect(a, g, vec![]).unwrap();
+        c2.connect(b, g, vec![]).unwrap();
+        assert!(matches!(
+            check_k_bounded(&c2, 1),
+            Err(NetlistError::FaninTooLarge { .. })
+        ));
+        assert!(check_k_bounded(&c2, 2).is_ok());
+    }
+}

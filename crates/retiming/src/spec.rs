@@ -1,0 +1,184 @@
+//! Retiming assignments and their legality.
+//!
+//! A retiming is a map `r : V → Z` in the Leiserson–Saxe sign convention:
+//! after retiming, edge `e(u, v)` carries `w_r(e) = w(e) + r(v) − r(u)`
+//! flip-flops. **Negative** `r(v)` moves registers *forward* across `v`
+//! (from its inputs to its output); positive `r(v)` moves them backward.
+//! The paper's forward-retiming values satisfy `r_M(v) = −r(v) ≥ 0`
+//! (footnote 2 of the paper).
+//!
+//! Primary inputs and outputs are the environment boundary and must have
+//! `r = 0`.
+
+use crate::error::RetimingError;
+use netlist::{Circuit, NodeId};
+
+/// A retiming assignment for one circuit (indexed by node id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Retiming {
+    values: Vec<i64>,
+}
+
+impl Retiming {
+    /// The identity retiming (all zeros) for `c`.
+    pub fn zero(c: &Circuit) -> Retiming {
+        Retiming {
+            values: vec![0; c.num_nodes()],
+        }
+    }
+
+    /// Builds a retiming from per-node values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the circuit size implied by
+    /// later use (checked at [`Retiming::validate`]).
+    pub fn from_values(values: Vec<i64>) -> Retiming {
+        Retiming { values }
+    }
+
+    /// The retiming value of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn get(&self, v: NodeId) -> i64 {
+        self.values[v.index()]
+    }
+
+    /// Sets the retiming value of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn set(&mut self, v: NodeId, r: i64) {
+        self.values[v.index()] = r;
+    }
+
+    /// All values, indexed by node id.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// The retimed weight `w_r(e) = w(e) + r(to) − r(from)` of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` was built for a different circuit.
+    pub fn retimed_weight(&self, c: &Circuit, e: netlist::EdgeId) -> i64 {
+        let edge = c.edge(e);
+        edge.weight() as i64 + self.get(edge.to()) - self.get(edge.from())
+    }
+
+    /// True when every node value is ≤ 0 (a pure forward retiming).
+    pub fn is_forward(&self) -> bool {
+        self.values.iter().all(|&r| r <= 0)
+    }
+
+    /// Checks legality against `c`: sizes match, PIs/POs have `r = 0`, and
+    /// every retimed edge weight is non-negative.
+    ///
+    /// # Errors
+    ///
+    /// * [`RetimingError::SizeMismatch`] when built for another circuit,
+    /// * [`RetimingError::NonZeroBoundary`] when a PI/PO moves,
+    /// * [`RetimingError::NegativeEdgeWeight`] when an edge would carry a
+    ///   negative number of registers.
+    pub fn validate(&self, c: &Circuit) -> Result<(), RetimingError> {
+        if self.values.len() != c.num_nodes() {
+            return Err(RetimingError::SizeMismatch {
+                expected: c.num_nodes(),
+                actual: self.values.len(),
+            });
+        }
+        for &v in c.inputs().iter().chain(c.outputs()) {
+            if self.get(v) != 0 {
+                return Err(RetimingError::NonZeroBoundary {
+                    node: c.node(v).name().to_string(),
+                    r: self.get(v),
+                });
+            }
+        }
+        for e in c.edge_ids() {
+            let wr = self.retimed_weight(c, e);
+            if wr < 0 {
+                let edge = c.edge(e);
+                return Err(RetimingError::NegativeEdgeWeight {
+                    from: c.node(edge.from()).name().to_string(),
+                    to: c.node(edge.to()).name().to_string(),
+                    weight: wr,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{Bit, TruthTable};
+
+    fn pipeline() -> Circuit {
+        // a -> g1 -FF-> g2 -> o
+        let mut c = Circuit::new("p");
+        let a = c.add_input("a").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::buf()).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::buf()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g1, vec![]).unwrap();
+        c.connect(g1, g2, vec![Bit::Zero]).unwrap();
+        c.connect(g2, o, vec![]).unwrap();
+        c
+    }
+
+    #[test]
+    fn zero_is_legal() {
+        let c = pipeline();
+        Retiming::zero(&c).validate(&c).unwrap();
+    }
+
+    #[test]
+    fn forward_move_legal() {
+        let c = pipeline();
+        let mut r = Retiming::zero(&c);
+        r.set(c.find("g2").unwrap(), -1); // pull the FF through g2
+        r.validate(&c).unwrap();
+        assert!(r.is_forward());
+        // FF moved to the g2 -> o edge.
+        let e_out = c.node(c.find("o").unwrap()).fanin()[0];
+        assert_eq!(r.retimed_weight(&c, e_out), 1);
+    }
+
+    #[test]
+    fn illegal_negative_weight() {
+        let c = pipeline();
+        let mut r = Retiming::zero(&c);
+        r.set(c.find("g1").unwrap(), -1); // would need a FF on a -> g1
+        assert!(matches!(
+            r.validate(&c),
+            Err(RetimingError::NegativeEdgeWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn boundary_must_be_zero() {
+        let c = pipeline();
+        let mut r = Retiming::zero(&c);
+        r.set(c.find("a").unwrap(), -1);
+        assert!(matches!(
+            r.validate(&c),
+            Err(RetimingError::NonZeroBoundary { .. })
+        ));
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let c = pipeline();
+        let r = Retiming::from_values(vec![0; 2]);
+        assert!(matches!(
+            r.validate(&c),
+            Err(RetimingError::SizeMismatch { .. })
+        ));
+    }
+}

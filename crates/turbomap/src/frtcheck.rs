@@ -1,0 +1,408 @@
+//! FRTcheck: iterative label-pair computation (Figure 5 / Section 3.2).
+//!
+//! For a target clock period `Φ`, every node carries a lower-bound pair
+//! `(l^s(v), r(v))` on its node label pair `(L^s(v), R(v))` (Definitions
+//! 1–2): `l^s` is the l-value of the corresponding *simple* mapping
+//! solution and `r` the number of registers pulled forward across the LUT.
+//! Starting from `(0, 0)` at PIs and `(−∞, 0)` elsewhere, `LabelUpdate`
+//! tightens the bounds monotonically via min-height-min-weight K-cuts on
+//! the expanded circuits `F_v^{frt(v)}` until they converge to the label
+//! pairs — or provably exceed the feasibility condition
+//! `l^s(v) + Φ·r(v) ≤ Φ` (Corollary 1), in which case `Φ` is infeasible.
+//!
+//! Since lower bounds only grow and any node with `l^s(v) > Φ` already
+//! violates Corollary 1 for every `r ≥ 0`, divergence is detected long
+//! before the theoretical `|V|²` iteration cap.
+
+use crate::cutsearch::{find_cut, min_weight_cut, ExpCut};
+use crate::expand::ExpandedCircuit;
+use netlist::{Circuit, NodeId};
+
+/// Practical ceiling on expanded-circuit size; `F_v^i` beyond this is
+/// treated as cut-less at that bound (conservative; never triggered by the
+/// benchmark suite — see DESIGN.md).
+pub const MAX_EXPANDED_NODES: usize = 500_000;
+
+/// Sentinel for `−∞` labels.
+pub const LS_NEG_INF: i64 = i64::MIN / 4;
+
+/// Per-node label pairs.
+#[derive(Debug, Clone)]
+pub struct LabelPairs {
+    /// `l^s` lower bounds, per node id.
+    pub ls: Vec<i64>,
+    /// `r` lower bounds, per node id.
+    pub r: Vec<u64>,
+}
+
+/// Outcome of one FRTcheck run.
+#[derive(Debug, Clone)]
+pub struct FrtCheck {
+    /// True when a feasible FRT mapping solution exists for the period.
+    pub feasible: bool,
+    /// Final label pairs (meaningful when feasible).
+    pub labels: LabelPairs,
+    /// Sweeps executed (the paper reports 5–15 in practice).
+    pub iterations: usize,
+}
+
+/// Precomputed per-circuit state shared across FRTcheck runs (binary
+/// search on `Φ` re-uses it).
+pub struct FrtContext<'a> {
+    circuit: &'a Circuit,
+    /// Capped `frt(v)` per node.
+    pub frt: Vec<u64>,
+    /// Expanded circuit per gate, at bound `frt(v)`.
+    expanded: Vec<Option<ExpandedCircuit>>,
+    /// Combinational topological order (good label propagation order).
+    order: Vec<NodeId>,
+    /// Inverted cone index: `influenced[x]` lists the gates whose
+    /// expanded circuits contain node `x` (whose labels therefore depend
+    /// on `x`'s label through the cut heights).
+    influenced: Vec<Vec<u32>>,
+    k: usize,
+}
+
+impl<'a> FrtContext<'a> {
+    /// Builds the context: `frt` values (Lemma 1, Dijkstra) and expanded
+    /// circuits `F_v^{frt(v)}` for every gate.
+    ///
+    /// `frt_cap` bounds the forward-retiming horizon (Definition 3 allows
+    /// arbitrarily large values on register-heavy inputs; the cap trades
+    /// optimality for memory and is far beyond anything the benchmarks
+    /// need).
+    ///
+    /// # Panics
+    ///
+    /// Panics on combinational cycles (validate first).
+    pub fn new(circuit: &'a Circuit, k: usize, frt_cap: u64) -> FrtContext<'a> {
+        let frt: Vec<u64> = retiming::max_forward_retiming_values(circuit)
+            .into_iter()
+            .map(|f| f.min(frt_cap))
+            .collect();
+        let order = circuit
+            .comb_topo_order()
+            .expect("combinational cycles must be rejected before mapping");
+        let mut expanded: Vec<Option<ExpandedCircuit>> = vec![None; circuit.num_nodes()];
+        let mut influenced: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_nodes()];
+        for v in circuit.gate_ids() {
+            let exp = ExpandedCircuit::build(circuit, v, frt[v.index()], MAX_EXPANDED_NODES);
+            if let Some(exp) = &exp {
+                let mut seen = vec![false; circuit.num_nodes()];
+                for en in &exp.nodes {
+                    if !seen[en.node.index()] {
+                        seen[en.node.index()] = true;
+                        influenced[en.node.index()].push(v.0);
+                    }
+                }
+            }
+            expanded[v.index()] = exp;
+        }
+        FrtContext {
+            circuit,
+            frt,
+            expanded,
+            order,
+            influenced,
+            k,
+        }
+    }
+
+    /// The expanded circuit of a gate (None when the size cap was hit).
+    pub fn expanded(&self, v: NodeId) -> Option<&ExpandedCircuit> {
+        self.expanded[v.index()].as_ref()
+    }
+
+    /// `ℒ^s(v) = max { l^s(u) − Φ·w(e) }` over fanin edges (§3.2).
+    fn script_l(&self, ls: &[i64], v: NodeId, phi: i64) -> i64 {
+        let mut best = LS_NEG_INF;
+        for &e in self.circuit.node(v).fanin() {
+            let edge = self.circuit.edge(e);
+            let lu = ls[edge.from().index()];
+            if lu > LS_NEG_INF {
+                best = best.max(lu - phi * edge.weight() as i64);
+            }
+        }
+        best
+    }
+
+    /// Runs FRTcheck for one target period.
+    pub fn check(&self, phi: u64) -> FrtCheck {
+        let c = self.circuit;
+        let n = c.num_nodes();
+        let phi_i = phi as i64;
+        let mut labels = LabelPairs {
+            ls: vec![LS_NEG_INF; n],
+            r: vec![0; n],
+        };
+        for &pi in c.inputs() {
+            labels.ls[pi.index()] = 0;
+        }
+        let cap = n.saturating_mul(n).max(4);
+        let mut iterations = 0usize;
+        // Dirty-driven sweeps: a node needs re-evaluation only when some
+        // fanin label changed since its last update (the practical
+        // speed-up behind the paper's "5–15 iterations per Φ").
+        let mut dirty = vec![true; n];
+        loop {
+            iterations += 1;
+            let mut changed = false;
+            for &v in &self.order {
+                let node = c.node(v);
+                if node.is_input() || !dirty[v.index()] {
+                    continue;
+                }
+                dirty[v.index()] = false;
+                let (new_ls, new_r) = if node.is_output() {
+                    (self.script_l(&labels.ls, v, phi_i), 0u64)
+                } else {
+                    match self.label_update(&labels.ls, v, phi_i) {
+                        Some(pair) => pair,
+                        None => continue, // no information yet
+                    }
+                };
+                let i = v.index();
+                if new_ls > labels.ls[i] || (new_ls == labels.ls[i] && new_r > labels.r[i]) {
+                    labels.ls[i] = new_ls;
+                    labels.r[i] = new_r;
+                    changed = true;
+                    // Direct fanouts see the change through ℒ^s; gates
+                    // whose expanded circuits contain `v` see it through
+                    // their cut heights.
+                    for &e in node.fanout() {
+                        dirty[c.edge(e).to().index()] = true;
+                    }
+                    for &g in &self.influenced[i] {
+                        dirty[g as usize] = true;
+                    }
+                    if new_ls > phi_i {
+                        // Lower bound already violates Corollary 1 for
+                        // every r ≥ 0: infeasible.
+                        return FrtCheck {
+                            feasible: false,
+                            labels,
+                            iterations,
+                        };
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            if iterations >= cap {
+                return FrtCheck {
+                    feasible: false,
+                    labels,
+                    iterations,
+                };
+            }
+        }
+        // Converged: Corollary 1 must hold at every node.
+        let feasible = c.node_ids().all(|v| {
+            let i = v.index();
+            labels.ls[i] <= LS_NEG_INF
+                || labels.ls[i] + phi_i * labels.r[i] as i64 <= phi_i
+        });
+        FrtCheck {
+            feasible,
+            labels,
+            iterations,
+        }
+    }
+
+    /// `LabelUpdate` (§3.2): the tightened pair for a gate, or `None` when
+    /// the fanins carry no information yet.
+    fn label_update(&self, ls: &[i64], v: NodeId, phi: i64) -> Option<(i64, u64)> {
+        let script = self.script_l(ls, v, phi);
+        if script <= LS_NEG_INF {
+            return None;
+        }
+        let exp = match self.expanded(v) {
+            Some(exp) => exp,
+            None => return Some((script + 1, 0)), // conservative on cap
+        };
+        let frt_v = self.frt[v.index()];
+        match min_weight_cut(exp, ls, phi, script, frt_v, self.k) {
+            None => Some((script + 1, 0)),
+            Some((w_min, _)) => {
+                if script + phi * w_min as i64 <= phi {
+                    Some((script, w_min))
+                } else {
+                    Some((script + 1, 0))
+                }
+            }
+        }
+    }
+
+    /// Extracts, for every gate, the K-cut consistent with the final
+    /// labels: height ≤ `l^s(v)`, cone weight ≤ `r(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cut cannot be re-derived (would contradict
+    /// convergence).
+    pub fn final_cuts(&self, labels: &LabelPairs, phi: u64) -> Vec<Option<ExpCut>> {
+        let phi_i = phi as i64;
+        let mut cuts: Vec<Option<ExpCut>> = vec![None; self.circuit.num_nodes()];
+        for v in self.circuit.gate_ids() {
+            let i = v.index();
+            if labels.ls[i] <= LS_NEG_INF {
+                continue;
+            }
+            let exp = self.expanded(v).expect("expanded circuit exists");
+            let cut = find_cut(exp, &labels.ls, phi_i, labels.ls[i], labels.r[i], self.k)
+                .expect("converged labels admit a cut");
+            cuts[i] = Some(cut);
+        }
+        cuts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{Bit, TruthTable};
+
+    /// Figure 2(a) of the paper (our reconstruction): a 2-gate chain from
+    /// i1 plus a register-carrying side path, K = 3. The paper's point:
+    /// Φ = 2 has no *simple* FRT solution but does have a non-simple one.
+    fn chainy() -> Circuit {
+        let mut c = Circuit::new("t");
+        let i1 = c.add_input("i1").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::not()).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::not()).unwrap();
+        let g3 = c.add_gate("g3", TruthTable::not()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(i1, g1, vec![Bit::Zero]).unwrap();
+        c.connect(g1, g2, vec![]).unwrap();
+        c.connect(g2, g3, vec![]).unwrap();
+        c.connect(g3, o, vec![]).unwrap();
+        c
+    }
+
+    #[test]
+    fn pis_stay_zero() {
+        let c = chainy();
+        let ctx = FrtContext::new(&c, 2, 32);
+        let res = ctx.check(3);
+        assert!(res.feasible);
+        for &pi in c.inputs() {
+            assert_eq!(res.labels.ls[pi.index()], 0);
+            assert_eq!(res.labels.r[pi.index()], 0);
+        }
+    }
+
+    #[test]
+    fn single_lut_when_k_large() {
+        // Whole chain fits one LUT; with the register pulled forward
+        // (r = 1), Φ = 1 becomes feasible... the cut {i1^1} has weight 1:
+        // l^s = 0 - Φ·1 + ... cut height = l(i1) - Φ·1 + 1 = -Φ + 1 ≤ 0.
+        let c = chainy();
+        let ctx = FrtContext::new(&c, 3, 32);
+        let res = ctx.check(1);
+        assert!(res.feasible, "labels: {:?}", res.labels);
+        let g3 = c.find("g3").unwrap();
+        assert!(res.labels.ls[g3.index()] + res.labels.r[g3.index()] as i64 <= 1);
+    }
+
+    #[test]
+    fn k1_collapses_inverter_chain() {
+        // With K=1 the whole inverter chain is a single 1-input LUT, so
+        // pulling the register forward gives Φ = 1.
+        let c = chainy();
+        let ctx = FrtContext::new(&c, 1, 32);
+        assert!(ctx.check(1).feasible);
+    }
+
+    #[test]
+    fn wide_chain_needs_period_two() {
+        // Each gate mixes the chain with a fresh PI: at K=2 every gate is
+        // its own LUT, and the single register can only split the 3-LUT
+        // path as 1+2 → Φ=2 optimal, Φ=1 infeasible.
+        let mut c = Circuit::new("w");
+        let i1 = c.add_input("i1").unwrap();
+        let i2 = c.add_input("i2").unwrap();
+        let i3 = c.add_input("i3").unwrap();
+        let i4 = c.add_input("i4").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::and(2)).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::or(2)).unwrap();
+        let g3 = c.add_gate("g3", TruthTable::xor(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(i1, g1, vec![Bit::Zero]).unwrap();
+        c.connect(i2, g1, vec![Bit::Zero]).unwrap();
+        c.connect(g1, g2, vec![]).unwrap();
+        c.connect(i3, g2, vec![]).unwrap();
+        c.connect(g2, g3, vec![]).unwrap();
+        c.connect(i4, g3, vec![]).unwrap();
+        c.connect(g3, o, vec![]).unwrap();
+        let ctx = FrtContext::new(&c, 2, 32);
+        assert!(!ctx.check(1).feasible);
+        assert!(ctx.check(2).feasible);
+    }
+
+    #[test]
+    fn iterations_reported_small() {
+        let c = chainy();
+        let ctx = FrtContext::new(&c, 2, 32);
+        let res = ctx.check(2);
+        assert!(res.feasible);
+        assert!(res.iterations <= 10, "iterations = {}", res.iterations);
+    }
+
+    #[test]
+    fn labels_monotone_under_phi() {
+        // Feasibility is monotone in Φ.
+        let c = chainy();
+        for k in 1..=3 {
+            let ctx = FrtContext::new(&c, k, 32);
+            let mut prev = false;
+            for phi in 1..=4 {
+                let f = ctx.check(phi).feasible;
+                assert!(!prev || f, "k={k} phi={phi}");
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn final_cuts_respect_labels() {
+        let c = chainy();
+        let ctx = FrtContext::new(&c, 2, 32);
+        let res = ctx.check(2);
+        assert!(res.feasible);
+        let cuts = ctx.final_cuts(&res.labels, 2);
+        for v in c.gate_ids() {
+            let cut = cuts[v.index()].as_ref().expect("gate cut");
+            assert!(cut.signals.len() <= 2);
+            for s in &cut.signals {
+                let h = res.labels.ls[s.node.index()] - 2 * s.weight as i64 + 1;
+                assert!(h <= res.labels.ls[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_ratio_infeasibility_detected() {
+        // 3-gate register loop, one register, and a fresh PI into every
+        // loop gate: at K=2 no LUT can absorb two loop gates (3 distinct
+        // inputs), so the loop stays 3 LUTs with 1 register → Φ ≥ 3.
+        let mut c = Circuit::new("loop");
+        let a1 = c.add_input("a1").unwrap();
+        let a2 = c.add_input("a2").unwrap();
+        let a3 = c.add_input("a3").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::xor(2)).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::and(2)).unwrap();
+        let g3 = c.add_gate("g3", TruthTable::or(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a1, g1, vec![]).unwrap();
+        c.connect(g3, g1, vec![Bit::Zero]).unwrap();
+        c.connect(a2, g2, vec![]).unwrap();
+        c.connect(g1, g2, vec![]).unwrap();
+        c.connect(a3, g3, vec![]).unwrap();
+        c.connect(g2, g3, vec![]).unwrap();
+        c.connect(g3, o, vec![]).unwrap();
+        let ctx = FrtContext::new(&c, 2, 32);
+        assert!(!ctx.check(2).feasible);
+        assert!(ctx.check(3).feasible);
+    }
+}

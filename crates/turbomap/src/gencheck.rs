@@ -1,0 +1,308 @@
+//! Label computation for TurboMap with **general** retiming (the ICCD'96
+//! baseline the paper compares against).
+//!
+//! With unrestricted retiming the l-values are single labels: Pan & Liu's
+//! condition says a mapping solution can be retimed to period ≤ `Φ` iff
+//! `l(po) ≤ Φ` at every primary output. Internal labels may exceed `Φ`
+//! (registers can be borrowed backward from downstream). The update rule
+//! matches FRTcheck's but without the `(L^s, R)` pair logic, and LUT
+//! cones may absorb registers up to the configured weight horizon instead
+//! of `frt(v)` — nothing guarantees forward-only register motion, which is
+//! exactly why this baseline's initial states need NP-hard justification.
+
+use crate::cutsearch::{find_cut, ExpCut};
+use crate::expand::ExpandedCircuit;
+use crate::frtcheck::{LS_NEG_INF, MAX_EXPANDED_NODES};
+use netlist::{Circuit, NodeId};
+
+/// Outcome of one general-label check.
+#[derive(Debug, Clone)]
+pub struct GeneralCheck {
+    /// True when some mapping + general retiming meets the period.
+    pub feasible: bool,
+    /// Final labels (indexed by node id).
+    pub labels: Vec<i64>,
+    /// Sweeps executed.
+    pub iterations: usize,
+}
+
+/// Precomputed state for general-retiming label runs.
+pub struct GeneralContext<'a> {
+    circuit: &'a Circuit,
+    expanded: Vec<Option<ExpandedCircuit>>,
+    order: Vec<NodeId>,
+    /// Gates that reach a PO (dead logic is skipped; see DESIGN.md).
+    live: Vec<bool>,
+    /// Inverted cone index (see `FrtContext::influenced`).
+    influenced: Vec<Vec<u32>>,
+    k: usize,
+    horizon: u64,
+}
+
+impl<'a> GeneralContext<'a> {
+    /// Builds expanded circuits with the weight horizon for every live
+    /// gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on combinational cycles.
+    pub fn new(circuit: &'a Circuit, k: usize, horizon: u64) -> GeneralContext<'a> {
+        let order = circuit
+            .comb_topo_order()
+            .expect("combinational cycles must be rejected before mapping");
+        let live = po_reachable(circuit);
+        let mut expanded: Vec<Option<ExpandedCircuit>> = vec![None; circuit.num_nodes()];
+        let mut influenced: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_nodes()];
+        for v in circuit.gate_ids() {
+            if live[v.index()] {
+                let exp = ExpandedCircuit::build(circuit, v, horizon, MAX_EXPANDED_NODES);
+                if let Some(exp) = &exp {
+                    let mut seen = vec![false; circuit.num_nodes()];
+                    for en in &exp.nodes {
+                        if !seen[en.node.index()] {
+                            seen[en.node.index()] = true;
+                            influenced[en.node.index()].push(v.0);
+                        }
+                    }
+                }
+                expanded[v.index()] = exp;
+            }
+        }
+        GeneralContext {
+            circuit,
+            expanded,
+            order,
+            live,
+            influenced,
+            k,
+            horizon,
+        }
+    }
+
+    /// The expanded circuit of a live gate (None when dead or capped).
+    pub fn expanded(&self, v: NodeId) -> Option<&ExpandedCircuit> {
+        self.expanded[v.index()].as_ref()
+    }
+
+    fn script_l(&self, ls: &[i64], v: NodeId, phi: i64) -> i64 {
+        let mut best = LS_NEG_INF;
+        for &e in self.circuit.node(v).fanin() {
+            let edge = self.circuit.edge(e);
+            let lu = ls[edge.from().index()];
+            if lu > LS_NEG_INF {
+                best = best.max(lu - phi * edge.weight() as i64);
+            }
+        }
+        best
+    }
+
+    /// Runs the label iteration for one target period.
+    pub fn check(&self, phi: u64) -> GeneralCheck {
+        let c = self.circuit;
+        let n = c.num_nodes();
+        let phi_i = phi as i64;
+        let mut labels = vec![LS_NEG_INF; n];
+        for &pi in c.inputs() {
+            labels[pi.index()] = 0;
+        }
+        let cap = n.saturating_mul(n).max(4);
+        let mut iterations = 0usize;
+        let mut dirty = vec![true; n];
+        loop {
+            iterations += 1;
+            let mut changed = false;
+            for &v in &self.order {
+                let node = c.node(v);
+                if node.is_input() || !self.live[v.index()] || !dirty[v.index()] {
+                    continue;
+                }
+                dirty[v.index()] = false;
+                let script = self.script_l(&labels, v, phi_i);
+                if script <= LS_NEG_INF {
+                    continue;
+                }
+                let new_l = if node.is_output() {
+                    script
+                } else {
+                    let exp = self.expanded[v.index()].as_ref();
+                    match exp.and_then(|e| find_cut(e, &labels, phi_i, script, self.horizon, self.k))
+                    {
+                        Some(_) => script,
+                        None => script + 1,
+                    }
+                };
+                if new_l > labels[v.index()] {
+                    labels[v.index()] = new_l;
+                    changed = true;
+                    for &e in node.fanout() {
+                        dirty[c.edge(e).to().index()] = true;
+                    }
+                    for &g in &self.influenced[v.index()] {
+                        dirty[g as usize] = true;
+                    }
+                    if node.is_output() && new_l > phi_i {
+                        // PO lower bound already exceeds Φ: infeasible.
+                        return GeneralCheck {
+                            feasible: false,
+                            labels,
+                            iterations,
+                        };
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            if iterations >= cap {
+                return GeneralCheck {
+                    feasible: false,
+                    labels,
+                    iterations,
+                };
+            }
+        }
+        let feasible = c
+            .outputs()
+            .iter()
+            .all(|&po| labels[po.index()] <= phi_i);
+        GeneralCheck {
+            feasible,
+            labels,
+            iterations,
+        }
+    }
+
+    /// Extracts a cut consistent with the final labels for every live
+    /// gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a converged label admits no cut (contradiction).
+    pub fn final_cuts(&self, labels: &[i64], phi: u64) -> Vec<Option<ExpCut>> {
+        let phi_i = phi as i64;
+        let mut cuts: Vec<Option<ExpCut>> = vec![None; self.circuit.num_nodes()];
+        for v in self.circuit.gate_ids() {
+            let i = v.index();
+            if !self.live[i] || labels[i] <= LS_NEG_INF {
+                continue;
+            }
+            let exp = self.expanded[i].as_ref().expect("live gate expanded");
+            let cut = find_cut(exp, labels, phi_i, labels[i], self.horizon, self.k)
+                .expect("converged labels admit a cut");
+            cuts[i] = Some(cut);
+        }
+        cuts
+    }
+}
+
+/// True per node when it reaches some primary output.
+pub fn po_reachable(c: &Circuit) -> Vec<bool> {
+    let n = c.num_nodes();
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = c.outputs().iter().map(|v| v.index()).collect();
+    for &s in &stack {
+        live[s] = true;
+    }
+    while let Some(u) = stack.pop() {
+        for &e in c.node(NodeId(u as u32)).fanin() {
+            let f = c.edge(e).from().index();
+            if !live[f] {
+                live[f] = true;
+                stack.push(f);
+            }
+        }
+    }
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{Bit, TruthTable};
+
+    /// FF *behind* a 3-gate chain: forward retiming can't improve the
+    /// period, general retiming can.
+    fn back_ff_chain() -> Circuit {
+        let mut c = Circuit::new("t");
+        let i1 = c.add_input("i1").unwrap();
+        let i2 = c.add_input("i2").unwrap();
+        let i3 = c.add_input("i3").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::and(2)).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::or(2)).unwrap();
+        let g3 = c.add_gate("g3", TruthTable::xor(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(i1, g1, vec![]).unwrap();
+        c.connect(i2, g1, vec![]).unwrap();
+        c.connect(g1, g2, vec![]).unwrap();
+        c.connect(i3, g2, vec![]).unwrap();
+        c.connect(g2, g3, vec![]).unwrap();
+        c.connect(i1, g3, vec![]).unwrap();
+        c.connect(g3, o, vec![Bit::One]).unwrap();
+        c
+    }
+
+    #[test]
+    fn general_beats_forward_with_back_register() {
+        let c = back_ff_chain();
+        let gctx = GeneralContext::new(&c, 2, 16);
+        let fctx = crate::frtcheck::FrtContext::new(&c, 2, 16);
+        // K=2: three LUT levels; the register behind g3 can move backward
+        // only under general retiming: Φ=2 feasible generally, not
+        // forward-only.
+        assert!(gctx.check(2).feasible);
+        assert!(!fctx.check(2).feasible);
+        assert!(fctx.check(3).feasible);
+    }
+
+    #[test]
+    fn po_labels_bound_feasibility() {
+        let c = back_ff_chain();
+        let ctx = GeneralContext::new(&c, 2, 16);
+        let res = ctx.check(3);
+        assert!(res.feasible);
+        for &po in c.outputs() {
+            assert!(res.labels[po.index()] <= 3);
+        }
+    }
+
+    #[test]
+    fn infeasible_when_no_registers() {
+        // Pure combinational 3-level K=2 structure: Φ < 3 impossible.
+        let mut c = back_ff_chain();
+        // Remove the register by rebuilding: easier to zero the chain.
+        let o = c.find("o").unwrap();
+        let e = c.node(o).fanin()[0];
+        c.ffs_mut(e).clear();
+        let ctx = GeneralContext::new(&c, 2, 16);
+        assert!(!ctx.check(2).feasible);
+        assert!(ctx.check(3).feasible);
+    }
+
+    #[test]
+    fn dead_logic_is_ignored() {
+        let mut c = back_ff_chain();
+        // Dead register cycle with ratio 5 (five gates, one register):
+        // would force Φ ≥ 5 if counted, but it feeds no PO.
+        let i1 = c.find("i1").unwrap();
+        let dmix = c.add_gate("dmix", TruthTable::and(2)).unwrap();
+        let mut prev = dmix;
+        for i in 0..4 {
+            let d = c.add_gate(format!("d{i}"), TruthTable::not()).unwrap();
+            c.connect(prev, d, vec![]).unwrap();
+            prev = d;
+        }
+        c.connect(i1, dmix, vec![]).unwrap();
+        c.connect(prev, dmix, vec![Bit::Zero]).unwrap();
+        let ctx = GeneralContext::new(&c, 2, 16);
+        assert!(ctx.check(3).feasible);
+        assert!(!po_reachable(&c)[dmix.index()]);
+    }
+
+    #[test]
+    fn iterations_stay_small() {
+        let c = back_ff_chain();
+        let ctx = GeneralContext::new(&c, 2, 16);
+        let res = ctx.check(3);
+        assert!(res.iterations <= 10);
+    }
+}

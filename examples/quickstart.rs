@@ -1,0 +1,71 @@
+//! Quickstart: build a small sequential circuit, map it with
+//! TurboMap-frt, and verify the result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use netlist::{Bit, Circuit, CircuitStats, TruthTable};
+use turbomap::{turbomap_frt, Options};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-bit Johnson-counter-style circuit with an enable input: four
+    // registers in a twisted ring, gated by `en`, with a decoded output.
+    let mut c = Circuit::new("johnson4");
+    let en = c.add_input("en")?;
+
+    // Ring bits: b0 <- NOT(b3) when enabled; b_{i+1} <- b_i.
+    // Model "when enabled" as  next = (en AND shifted) OR (NOT en AND own).
+    let bits: Vec<_> = (0..4)
+        .map(|i| c.add_gate(format!("b{i}"), TruthTable::buf()))
+        .collect::<Result<_, _>>()?;
+    let n3 = c.add_gate("n3", TruthTable::not())?;
+    c.connect(bits[3], n3, vec![])?;
+    let mux = TruthTable::mux(); // (sel, a, b): sel ? b : a
+    let mut prev = n3;
+    for i in 0..4 {
+        let m = c.add_gate(format!("m{i}"), mux.clone())?;
+        c.connect(en, m, vec![])?;
+        c.connect(bits[i], m, vec![])?; // hold when en = 0
+        c.connect(prev, m, vec![])?; // shift when en = 1
+        // The register: each ring bit samples its mux through one FF.
+        c.connect(m, bits[i], vec![Bit::Zero])?;
+        prev = bits[i];
+    }
+    // Output: ring in the "hot" phase (b0 AND NOT b3).
+    let dec = c.add_gate("dec", TruthTable::and(2))?;
+    c.connect(bits[0], dec, vec![])?;
+    c.connect(n3, dec, vec![])?;
+    let po = c.add_output("hot")?;
+    c.connect(dec, po, vec![])?;
+
+    netlist::validate(&c)?;
+    println!("original: {}", CircuitStats::of(&c)?);
+
+    // Map to 4-LUTs with forward retiming; initial state is computed by
+    // simulation and can never fail (the paper's headline guarantee).
+    let mapped = turbomap_frt(&c, Options::with_k(4))?;
+    println!(
+        "mapped:   Φ = {}, {} LUTs, {} FFs, initial state {}",
+        mapped.period,
+        mapped.luts,
+        mapped.ffs,
+        if mapped.initial_state_lost {
+            "LOST (impossible for forward retiming)"
+        } else {
+            "computed"
+        }
+    );
+
+    // Verify sequential equivalence with 3008 random vectors (the
+    // paper's protocol for large circuits) — here it is exact enough.
+    let equiv = netlist::random_equiv(&c, &mapped.circuit, 3008, 42)?;
+    println!("equivalence check: {:?}", equiv.is_equivalent());
+    assert!(equiv.is_equivalent());
+
+    // The mapped circuit can be written back to BLIF.
+    let blif = netlist::write_blif(&mapped.circuit);
+    println!("--- mapped BLIF (first lines) ---");
+    for line in blif.lines().take(8) {
+        println!("{line}");
+    }
+    Ok(())
+}
