@@ -14,7 +14,10 @@ use turbomap::{turbomap_frt, turbomap_general, Options};
 fn main() {
     let names = ["dk16", "ex1", "kirkman", "sand", "keyb", "scf"];
     println!("== ablation 1+3: TurboMap-frt horizon (0 = simple solutions only) ==");
-    println!("{:<10} {:>10} {:>10} {:>14}", "circuit", "Φ full", "Φ simple", "LUT full/simple");
+    println!(
+        "{:<10} {:>10} {:>10} {:>14}",
+        "circuit", "Φ full", "Φ simple", "LUT full/simple"
+    );
     for name in names {
         let p = workloads::presets()
             .into_iter()
@@ -59,11 +62,7 @@ fn main() {
                 },
             )
             .expect("maps");
-            cells.push(format!(
-                "{}{}",
-                r.period,
-                if r.star() { "*" } else { " " }
-            ));
+            cells.push(format!("{}{}", r.period, if r.star() { "*" } else { " " }));
         }
         println!(
             "{:<10} {:>12} {:>12} {:>12}",

@@ -1,0 +1,243 @@
+//! The versioned `BENCH_table1.json` artifact.
+//!
+//! Schema `turbomap-bench/table1/v1` — see DESIGN.md for the
+//! field-by-field description. Objects render with insertion-ordered
+//! keys via [`engine::JsonValue`], so the artifact is byte-deterministic
+//! for a given suite result. The `canonical` flag zeroes every timing
+//! field (wall seconds, cpu seconds, phase timers) while keeping the
+//! deterministic algorithmic counters; two runs that differ only in
+//! scheduling (`--jobs 1` vs `--jobs 8`) produce **byte-identical**
+//! canonical artifacts.
+
+use crate::{geomean, Measured, Row};
+use engine::telemetry::{Telemetry, COUNTER_NAMES, NUM_COUNTERS, PHASE_NAMES};
+use engine::{JobOutcome, JobReport, JsonValue};
+
+/// Artifact schema identifier (bump on breaking changes).
+pub const SCHEMA: &str = "turbomap-bench/table1/v1";
+
+fn secs(value: f64, canonical: bool) -> JsonValue {
+    JsonValue::Float(if canonical { 0.0 } else { value })
+}
+
+fn counters_json(t: &Telemetry) -> JsonValue {
+    JsonValue::Object(
+        (0..NUM_COUNTERS)
+            .map(|i| (COUNTER_NAMES[i].to_string(), JsonValue::UInt(t.counters[i])))
+            .collect(),
+    )
+}
+
+fn phases_json(t: &Telemetry, canonical: bool) -> JsonValue {
+    JsonValue::Object(
+        PHASE_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                (
+                    name.to_string(),
+                    secs(t.phase_nanos[i] as f64 / 1e9, canonical),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn measured_json(m: &Measured, canonical: bool) -> JsonValue {
+    JsonValue::object(vec![
+        ("phi", JsonValue::UInt(m.phi)),
+        ("luts", JsonValue::UInt(m.luts as u64)),
+        ("ffs", JsonValue::UInt(m.ffs as u64)),
+        ("star", JsonValue::Bool(m.star)),
+        ("verified", JsonValue::Bool(m.verified)),
+        ("cpu_secs", secs(m.cpu, canonical)),
+        ("phases", phases_json(&m.telemetry, canonical)),
+        ("counters", counters_json(&m.telemetry)),
+    ])
+}
+
+fn row_json(row: &Row, canonical: bool) -> Vec<(&'static str, JsonValue)> {
+    vec![
+        ("n", JsonValue::UInt(row.n as u64)),
+        ("f", JsonValue::UInt(row.f as u64)),
+        ("best_valid_phi", JsonValue::UInt(row.best_valid_phi())),
+        ("flowmap_frt", measured_json(&row.flowmap_frt, canonical)),
+        ("turbomap", measured_json(&row.turbomap, canonical)),
+        ("turbomap_frt", measured_json(&row.turbomap_frt, canonical)),
+        (
+            "frt_iterations",
+            JsonValue::Array(
+                row.frt_iterations
+                    .iter()
+                    .map(|&(phi, sweeps)| {
+                        JsonValue::object(vec![
+                            ("phi", JsonValue::UInt(phi)),
+                            ("sweeps", JsonValue::UInt(sweeps as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+fn circuit_json(report: &JobReport<Row>, canonical: bool) -> JsonValue {
+    let mut pairs = vec![
+        ("name", JsonValue::str(report.name.clone())),
+        ("status", JsonValue::str(report.outcome.status())),
+    ];
+    match &report.outcome {
+        JobOutcome::Completed(row) => pairs.extend(row_json(row, canonical)),
+        JobOutcome::Failed(e) => pairs.push(("error", JsonValue::str(e.clone()))),
+        JobOutcome::Panicked(msg) => pairs.push(("error", JsonValue::str(msg.clone()))),
+        JobOutcome::DeadlineExceeded { limit } => {
+            pairs.push(("timeout_secs", JsonValue::Float(limit.as_secs_f64())))
+        }
+    }
+    pairs.push(("wall_secs", secs(report.wall.as_secs_f64(), canonical)));
+    pairs.push(("job_phases", phases_json(&report.telemetry, canonical)));
+    pairs.push(("job_counters", counters_json(&report.telemetry)));
+    JsonValue::object(pairs)
+}
+
+fn geomean_json(rows: &[&Row], canonical: bool) -> JsonValue {
+    let gm = |f: &dyn Fn(&Row) -> f64| geomean(rows.iter().map(|r| f(r)));
+    let alg = |m: &dyn Fn(&Row) -> Measured| {
+        let phi = gm(&|r| m(r).phi as f64);
+        let luts = gm(&|r| m(r).luts as f64);
+        let ffs = gm(&|r| m(r).ffs as f64);
+        let cpu = if canonical { 0.0 } else { gm(&|r| m(r).cpu) };
+        JsonValue::object(vec![
+            ("phi", JsonValue::Float(phi)),
+            ("luts", JsonValue::Float(luts)),
+            ("ffs", JsonValue::Float(ffs)),
+            ("cpu_secs", JsonValue::Float(cpu)),
+        ])
+    };
+    JsonValue::object(vec![
+        ("flowmap_frt", alg(&|r| r.flowmap_frt)),
+        ("turbomap", alg(&|r| r.turbomap)),
+        ("turbomap_frt", alg(&|r| r.turbomap_frt)),
+        (
+            "best_valid_phi",
+            JsonValue::Float(gm(&|r| r.best_valid_phi() as f64)),
+        ),
+    ])
+}
+
+/// Builds the full artifact for one suite run.
+///
+/// `canonical` zeroes every timing field so the rendering depends only
+/// on the algorithmic results (the `--jobs`-independence guarantee).
+pub fn table1_json(
+    reports: &[JobReport<Row>],
+    k: usize,
+    verify_vectors: usize,
+    canonical: bool,
+) -> JsonValue {
+    let completed: Vec<&Row> = reports
+        .iter()
+        .filter_map(|r| r.outcome.completed())
+        .collect();
+    let stars = completed.iter().filter(|r| r.turbomap.star).count();
+    let failures: Vec<JsonValue> = reports
+        .iter()
+        .filter(|r| !r.outcome.is_completed())
+        .map(|r| {
+            JsonValue::object(vec![
+                ("name", JsonValue::str(r.name.clone())),
+                ("status", JsonValue::str(r.outcome.status())),
+            ])
+        })
+        .collect();
+    JsonValue::object(vec![
+        ("schema", JsonValue::str(SCHEMA)),
+        ("k", JsonValue::UInt(k as u64)),
+        ("verify_vectors", JsonValue::UInt(verify_vectors as u64)),
+        ("canonical", JsonValue::Bool(canonical)),
+        (
+            "circuits",
+            JsonValue::Array(reports.iter().map(|r| circuit_json(r, canonical)).collect()),
+        ),
+        (
+            "summary",
+            JsonValue::object(vec![
+                ("total", JsonValue::UInt(reports.len() as u64)),
+                ("completed", JsonValue::UInt(completed.len() as u64)),
+                ("turbomap_stars", JsonValue::UInt(stars as u64)),
+                ("failures", JsonValue::Array(failures)),
+                ("geomean", geomean_json(&completed, canonical)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::telemetry::Telemetry;
+    use std::time::Duration;
+
+    fn fake_measured(phi: u64) -> Measured {
+        let mut t = Telemetry::default();
+        t.counters[0] = 42;
+        t.phase_nanos[0] = 1_500_000_000;
+        Measured {
+            phi,
+            luts: 10,
+            ffs: 4,
+            cpu: 1.5,
+            star: false,
+            verified: true,
+            telemetry: t,
+        }
+    }
+
+    fn fake_report(name: &str) -> JobReport<Row> {
+        let row = Row {
+            name: name.into(),
+            n: 20,
+            f: 5,
+            flowmap_frt: fake_measured(7),
+            turbomap: fake_measured(5),
+            turbomap_frt: fake_measured(6),
+            frt_iterations: vec![(6, 3)],
+        };
+        JobReport {
+            name: name.into(),
+            outcome: JobOutcome::Completed(row),
+            wall: Duration::from_millis(1234),
+            telemetry: Telemetry::default(),
+        }
+    }
+
+    #[test]
+    fn canonical_artifact_has_no_timing() {
+        let reports = vec![fake_report("a")];
+        let text = table1_json(&reports, 5, 3008, true).render_pretty();
+        assert!(text.contains("\"schema\": \"turbomap-bench/table1/v1\""));
+        assert!(text.contains("\"cpu_secs\": 0.0"));
+        assert!(!text.contains("1.5"), "timing leaked: {text}");
+        // Counters survive canonicalisation.
+        assert!(text.contains("\"flow_augmentations\": 42"));
+    }
+
+    #[test]
+    fn failures_are_listed_and_rows_kept() {
+        let mut reports = vec![fake_report("a"), fake_report("b")];
+        reports[1].outcome = JobOutcome::Panicked("boom".into());
+        let text = table1_json(&reports, 5, 3008, true).render();
+        assert!(text.contains("\"status\":\"panicked\""));
+        assert!(text.contains("\"error\":\"boom\""));
+        assert!(text.contains("\"completed\":1"));
+        assert!(text.contains("\"total\":2"));
+    }
+
+    #[test]
+    fn artifact_is_deterministic() {
+        let reports = vec![fake_report("a"), fake_report("b")];
+        let one = table1_json(&reports, 5, 3008, false).render_pretty();
+        let two = table1_json(&reports, 5, 3008, false).render_pretty();
+        assert_eq!(one, two);
+    }
+}

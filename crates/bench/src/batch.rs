@@ -1,0 +1,98 @@
+//! Parallel Table-1 suite execution on the engine batch runner.
+//!
+//! Each circuit becomes one [`JobSpec`]: the job runs all three
+//! algorithms via [`crate::try_run_row`] under the engine's panic
+//! isolation and (optional) soft deadline. Reports come back in suite
+//! order regardless of worker count, so the text table, the JSON
+//! artifact and the `--jobs 1` baseline all agree on ordering.
+
+use crate::Row;
+use engine::{run_batch, BatchOptions, JobReport, JobSpec};
+use std::time::Duration;
+
+/// Configuration of one suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// LUT input bound.
+    pub k: usize,
+    /// Run the random-vector equivalence check per mapping.
+    pub verify: bool,
+    /// Worker threads (0 → one worker).
+    pub jobs: usize,
+    /// Per-job soft deadline (`None` → no deadline).
+    pub timeout: Option<Duration>,
+    /// Keep only circuits with at most this many gates (`None` → all 18).
+    pub max_gates: Option<usize>,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> SuiteConfig {
+        SuiteConfig {
+            k: 5,
+            verify: true,
+            jobs: 1,
+            timeout: None,
+            max_gates: None,
+        }
+    }
+}
+
+/// Runs the Table-1 suite under `cfg`, one engine job per circuit.
+/// Reports are in suite (submission) order.
+pub fn run_table1_suite(cfg: &SuiteConfig) -> Vec<JobReport<Row>> {
+    let suite = match cfg.max_gates {
+        Some(m) => workloads::table1_suite_small(m),
+        None => workloads::table1_suite(),
+    };
+    let specs: Vec<JobSpec<Row>> = suite
+        .into_iter()
+        .map(|(p, c)| {
+            let k = cfg.k;
+            let verify = cfg.verify;
+            JobSpec::new(p.name, move || crate::try_run_row(p.name, &c, k, verify))
+        })
+        .collect();
+    let mut opts = BatchOptions::with_jobs(cfg.jobs);
+    if let Some(t) = cfg.timeout {
+        opts = opts.with_timeout(t);
+    }
+    run_batch(specs, &opts)
+}
+
+/// Names of jobs that did not complete, with their status keyword
+/// (`failed` / `panicked` / `deadline`).
+pub fn failures(reports: &[JobReport<Row>]) -> Vec<(String, &'static str)> {
+    reports
+        .iter()
+        .filter(|r| !r.outcome.is_completed())
+        .map(|r| (r.name.clone(), r.outcome.status()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_runs_in_order() {
+        let cfg = SuiteConfig {
+            verify: false,
+            jobs: 4,
+            max_gates: Some(40),
+            ..SuiteConfig::default()
+        };
+        let reports = run_table1_suite(&cfg);
+        assert!(!reports.is_empty());
+        let expected: Vec<&str> = workloads::table1_suite_small(40)
+            .iter()
+            .map(|(p, _)| p.name)
+            .collect();
+        let got: Vec<&str> = reports.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(got, expected);
+        assert!(failures(&reports).is_empty());
+        for r in &reports {
+            let row = r.outcome.completed().expect("job completed");
+            assert!(row.turbomap_frt.phi >= row.turbomap.phi);
+        }
+    }
+}

@@ -3,31 +3,57 @@
 //!
 //! Usage:
 //!   table1 [--max-gates N] [--k K] [--no-verify] [--stats]
+//!          [--jobs N] [--timeout-secs S] [--json PATH] [--canonical]
+//!
+//! Circuits run as isolated jobs on the `engine` batch runner: `--jobs`
+//! picks the worker count (results are identical and identically ordered
+//! for any value), `--timeout-secs` arms a per-circuit soft deadline, and
+//! `--json` writes the versioned `turbomap-bench/table1/v1` artifact
+//! (`--canonical` zeroes its timing fields so reruns are byte-identical).
+//! A panicking or deadline-exceeded circuit is reported and skipped; the
+//! remaining rows still print and the process exits nonzero naming it.
 //!
 //! `--stats` additionally prints the FRTcheck iteration counts per probed
 //! clock period (the paper's §3.2 claim of 5–15 iterations).
 
-use bench::{geomean, run_row, Row};
+use bench::batch::{failures, run_table1_suite, SuiteConfig};
+use bench::{artifact, geomean, Row};
+use std::time::Duration;
 
 fn main() {
-    let mut max_gates = usize::MAX;
-    let mut k = 5usize;
-    let mut verify = true;
+    let mut cfg = SuiteConfig::default();
     let mut stats = false;
+    let mut json_path: Option<String> = None;
+    let mut canonical = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--max-gates" => {
-                max_gates = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--max-gates N");
+                cfg.max_gates = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-gates N"),
+                );
             }
             "--k" => {
-                k = args.next().and_then(|v| v.parse().ok()).expect("--k K");
+                cfg.k = args.next().and_then(|v| v.parse().ok()).expect("--k K");
             }
-            "--no-verify" => verify = false,
+            "--no-verify" => cfg.verify = false,
             "--stats" => stats = true,
+            "--jobs" => {
+                cfg.jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N");
+            }
+            "--timeout-secs" => {
+                let s: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--timeout-secs S");
+                cfg.timeout = Some(Duration::from_secs(s));
+            }
+            "--json" => {
+                json_path = Some(args.next().expect("--json PATH"));
+            }
+            "--canonical" => canonical = true,
             other => {
                 eprintln!("unknown flag `{other}`");
                 std::process::exit(2);
@@ -36,8 +62,11 @@ fn main() {
     }
 
     println!(
-        "TurboMap-frt reproduction — Table 1 (K = {k}, {} random verification vectors)",
-        if verify { bench::VERIFY_VECTORS } else { 0 }
+        "TurboMap-frt reproduction — Table 1 (K = {}, {} random verification vectors, {} worker{})",
+        cfg.k,
+        if cfg.verify { bench::VERIFY_VECTORS } else { 0 },
+        cfg.jobs.max(1),
+        if cfg.jobs.max(1) == 1 { "" } else { "s" },
     );
     println!(
         "{:<10} {:>6}{:>6} | {:^25} | {:^27} | {:>5} | {:^25}",
@@ -48,12 +77,26 @@ fn main() {
         "circuit", "N", "F", "Φ", "LUT", "FF", "CPU", "Φ", "LUT", "FF", "CPU", "", "Φ", "LUT", "FF", "CPU"
     );
 
-    let mut rows: Vec<Row> = Vec::new();
-    for (p, c) in workloads::table1_suite() {
-        if c.num_gates() > max_gates {
+    let reports = run_table1_suite(&cfg);
+    let mut rows: Vec<&Row> = Vec::new();
+    for report in &reports {
+        let Some(row) = report.outcome.completed() else {
+            let detail = match &report.outcome {
+                engine::JobOutcome::Failed(e) => format!("error: {e}"),
+                engine::JobOutcome::Panicked(msg) => format!("panic: {msg}"),
+                engine::JobOutcome::DeadlineExceeded { limit } => {
+                    format!("deadline exceeded ({}s)", limit.as_secs_f64())
+                }
+                engine::JobOutcome::Completed(_) => unreachable!(),
+            };
+            println!(
+                "{:<10} {:>12} | [{}] {detail}",
+                report.name,
+                "",
+                report.outcome.status()
+            );
             continue;
-        }
-        let row = run_row(p.name, &c, k, verify);
+        };
         let tm_star = if row.turbomap.star { "*" } else { " " };
         println!(
             "{:<10} {:>6}{:>6} | {:>4}{:>6}{:>6}{:>9.2} | {}{:>5}{:>6}{:>6}{:>9.2} | {:>5} | {:>4}{:>6}{:>6}{:>9.2}{}",
@@ -74,7 +117,7 @@ fn main() {
             row.turbomap_frt.luts,
             row.turbomap_frt.ffs,
             row.turbomap_frt.cpu,
-            if verify {
+            if cfg.verify {
                 let ok = row.flowmap_frt.verified
                     && row.turbomap_frt.verified
                     && (row.turbomap.verified || row.turbomap.star);
@@ -97,13 +140,23 @@ fn main() {
         }
         rows.push(row);
     }
-    if rows.is_empty() {
-        println!("no circuits within --max-gates bound");
-        return;
+
+    if let Some(path) = &json_path {
+        let doc = artifact::table1_json(&reports, cfg.k, bench::VERIFY_VECTORS, canonical);
+        if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path} ({})", artifact::SCHEMA);
     }
 
-    // Geometric means and the paper's % comparison rows.
-    let gm = |f: &dyn Fn(&Row) -> f64| geomean(rows.iter().map(f));
+    if rows.is_empty() {
+        println!("no circuits completed");
+        std::process::exit(1);
+    }
+
+    // Geometric means (over completed rows) and the paper's % comparison.
+    let gm = |f: &dyn Fn(&Row) -> f64| geomean(rows.iter().map(|r| f(r)));
     let fm_phi = gm(&|r| r.flowmap_frt.phi as f64);
     let tm_phi = gm(&|r| r.turbomap.phi as f64);
     let tf_phi = gm(&|r| r.turbomap_frt.phi as f64);
@@ -140,4 +193,19 @@ fn main() {
         rows.len()
     );
     println!("paper geomeans for reference: Φ 7.0 / 5.6 / 5.8, %Φ +20.2 / -2.8 / +8.6 (best)");
+
+    let failed = failures(&reports);
+    if !failed.is_empty() {
+        let names: Vec<String> = failed
+            .iter()
+            .map(|(name, status)| format!("{name} ({status})"))
+            .collect();
+        eprintln!(
+            "{} of {} circuits did not complete: {}",
+            failed.len(),
+            reports.len(),
+            names.join(", ")
+        );
+        std::process::exit(1);
+    }
 }

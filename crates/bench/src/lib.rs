@@ -1,8 +1,16 @@
 //! Benchmark harness support: runs the paper's three algorithms on a
 //! circuit and formats Table-1-style reports.
+//!
+//! Timing comes from one source: the `engine` phase timers that the
+//! mapping crates themselves maintain (label / search / generate /
+//! verify). The text report and the JSON artifact read the same
+//! [`engine::Telemetry`] snapshots, so they can never disagree.
 
+pub mod artifact;
+pub mod batch;
+
+use engine::telemetry::{self, Phase, Telemetry};
 use netlist::Circuit;
-use std::time::Instant;
 
 /// One algorithm's measured row fragment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -13,12 +21,16 @@ pub struct Measured {
     pub luts: usize,
     /// FF count (register sharing).
     pub ffs: usize,
-    /// Wall-clock seconds.
+    /// Mapping seconds: the label + search + generate phase timers
+    /// (verification is timed separately under [`Phase::Verify`]).
     pub cpu: f64,
     /// `⋆`: no usable equivalent initial state.
     pub star: bool,
     /// Sequential equivalence verified (random vectors).
     pub verified: bool,
+    /// Full telemetry delta attributed to this algorithm (phase timers
+    /// plus algorithmic counters).
+    pub telemetry: Telemetry,
 }
 
 /// All three algorithms on one circuit.
@@ -56,38 +68,50 @@ impl Row {
 /// for its largest circuits).
 pub const VERIFY_VECTORS: usize = 3008;
 
-/// Runs the three algorithms on one circuit.
+/// Mapping seconds of a telemetry delta: every phase except verify.
+fn mapping_secs(t: &Telemetry) -> f64 {
+    t.total_phase_secs() - t.phase_secs(Phase::Verify)
+}
+
+/// Runs the three algorithms on one circuit, returning an error string
+/// instead of panicking (the batch runner's preferred shape: a cancelled
+/// or failed algorithm becomes a reportable job outcome).
 ///
 /// `verify` enables the random-vector equivalence check (skippable for
 /// timing-only runs).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when an algorithm fails on a valid benchmark (a bug, not a
-/// measurement).
-pub fn run_row(name: &str, c: &Circuit, k: usize, verify: bool) -> Row {
+/// Returns a message naming the failing algorithm; cancellation
+/// (`TurboMapError::Cancelled`) propagates as an error mentioning it.
+pub fn try_run_row(name: &str, c: &Circuit, k: usize, verify: bool) -> Result<Row, String> {
     let opts = turbomap::Options::with_k(k);
-
-    let t0 = Instant::now();
-    let prep = turbomap::prepare(c, k).expect("benchmarks are valid");
-    let fm = flowmap::flowmap_frt(&prep, k).expect("flowmap-frt succeeds");
-    let fm_cpu = t0.elapsed().as_secs_f64();
-
-    let t0 = Instant::now();
-    let tf = turbomap::turbomap_frt(c, opts).expect("turbomap-frt succeeds");
-    let tf_cpu = t0.elapsed().as_secs_f64();
-
-    let t0 = Instant::now();
-    let tm = turbomap::turbomap_general(c, opts).expect("turbomap succeeds");
-    let tm_cpu = t0.elapsed().as_secs_f64();
-
     let check = |mapped: &Circuit, seed: u64| -> bool {
+        let _t = telemetry::time_phase(Phase::Verify);
         verify
             && netlist::random_equiv(c, mapped, VERIFY_VECTORS, seed)
                 .map(|r| r.is_equivalent())
                 .unwrap_or(false)
     };
-    Row {
+
+    let t0 = telemetry::snapshot();
+    let prep = turbomap::prepare(c, k).map_err(|e| format!("prepare: {e}"))?;
+    let fm = flowmap::flowmap_frt(&prep, k).map_err(|e| format!("flowmap-frt: {e}"))?;
+    let fm_verified = check(&fm.circuit, 1);
+    let t1 = telemetry::snapshot();
+
+    let tf = turbomap::turbomap_frt(c, opts).map_err(|e| format!("turbomap-frt: {e}"))?;
+    let tf_verified = check(&tf.circuit, 3);
+    let t2 = telemetry::snapshot();
+
+    let tm = turbomap::turbomap_general(c, opts).map_err(|e| format!("turbomap: {e}"))?;
+    let tm_verified = check(&tm.circuit, 2);
+    let t3 = telemetry::snapshot();
+
+    let fm_t = t1.since(&t0);
+    let tf_t = t2.since(&t1);
+    let tm_t = t3.since(&t2);
+    Ok(Row {
         name: name.to_string(),
         n: c.num_gates(),
         f: c.ff_count_shared(),
@@ -95,28 +119,41 @@ pub fn run_row(name: &str, c: &Circuit, k: usize, verify: bool) -> Row {
             phi: fm.period,
             luts: fm.luts,
             ffs: fm.ffs,
-            cpu: fm_cpu,
+            cpu: mapping_secs(&fm_t),
             star: false,
-            verified: check(&fm.circuit, 1),
+            verified: fm_verified,
+            telemetry: fm_t,
         },
         turbomap: Measured {
             phi: tm.period,
             luts: tm.luts,
             ffs: tm.ffs,
-            cpu: tm_cpu,
+            cpu: mapping_secs(&tm_t),
             star: tm.star(),
-            verified: check(&tm.circuit, 2),
+            verified: tm_verified,
+            telemetry: tm_t,
         },
         turbomap_frt: Measured {
             phi: tf.period,
             luts: tf.luts,
             ffs: tf.ffs,
-            cpu: tf_cpu,
+            cpu: mapping_secs(&tf_t),
             star: tf.star(),
-            verified: check(&tf.circuit, 3),
+            verified: tf_verified,
+            telemetry: tf_t,
         },
         frt_iterations: tf.iterations,
-    }
+    })
+}
+
+/// Runs the three algorithms on one circuit.
+///
+/// # Panics
+///
+/// Panics when an algorithm fails on a valid benchmark (a bug, not a
+/// measurement). Use [`try_run_row`] for the non-panicking form.
+pub fn run_row(name: &str, c: &Circuit, k: usize, verify: bool) -> Row {
+    try_run_row(name, c, k, verify).expect("benchmarks are valid")
 }
 
 /// Geometric mean helper.
@@ -137,6 +174,7 @@ pub fn geomean(values: impl Iterator<Item = f64>) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use engine::telemetry::Counter;
 
     #[test]
     fn run_row_on_tiny_preset() {
@@ -150,6 +188,38 @@ mod tests {
         assert!(row.turbomap_frt.verified);
         assert!(!row.turbomap_frt.star);
         assert!(row.best_valid_phi() >= row.turbomap.phi || row.turbomap.star);
+    }
+
+    #[test]
+    fn telemetry_attributed_per_algorithm() {
+        let presets = workloads::presets();
+        let p = &presets[1]; // bbtas
+        let c = workloads::build_preset(p);
+        let row = run_row(p.name, &c, 5, true);
+        // TurboMap-frt runs FRTcheck sweeps and max-flow augmentations.
+        assert!(row.turbomap_frt.telemetry.counter(Counter::FrtSweeps) > 0);
+        assert!(
+            row.turbomap_frt
+                .telemetry
+                .counter(Counter::FlowAugmentations)
+                > 0
+        );
+        // Verification was timed but excluded from the mapping cpu.
+        assert!(row.turbomap_frt.telemetry.phase_secs(Phase::Verify) > 0.0);
+        assert!(row.turbomap_frt.cpu <= row.turbomap_frt.telemetry.total_phase_secs());
+        // FlowMap-frt does no FRTcheck sweeps.
+        assert_eq!(row.flowmap_frt.telemetry.counter(Counter::FrtSweeps), 0);
+    }
+
+    #[test]
+    fn cancelled_row_is_an_error_not_a_panic() {
+        let token = engine::CancelToken::new();
+        token.cancel();
+        let _g = engine::cancel::install(token);
+        let presets = workloads::presets();
+        let c = workloads::build_preset(&presets[1]);
+        let err = try_run_row("bbtas", &c, 5, false).unwrap_err();
+        assert!(err.contains("cancelled"), "err = {err}");
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! `--jobs`-independence: a suite run's results (Φ / LUT / FF per
+//! circuit, ordering, counters) must not depend on the worker count.
+//! The canonical artifact — timing fields zeroed — must therefore be
+//! **byte-identical** between a 1-worker and an 8-worker run.
+
+use bench::artifact::table1_json;
+use bench::batch::{run_table1_suite, SuiteConfig};
+use bench::VERIFY_VECTORS;
+
+#[test]
+fn canonical_artifact_identical_for_jobs_1_and_8() {
+    // A debug-build-sized subset of the Table 1 suite.
+    let base = SuiteConfig {
+        verify: false,
+        max_gates: Some(60),
+        ..SuiteConfig::default()
+    };
+    let one = run_table1_suite(&SuiteConfig { jobs: 1, ..base });
+    let eight = run_table1_suite(&SuiteConfig { jobs: 8, ..base });
+    assert!(one.len() >= 2, "subset too small to exercise parallelism");
+
+    let a = table1_json(&one, base.k, VERIFY_VECTORS, true).render_pretty();
+    let b = table1_json(&eight, base.k, VERIFY_VECTORS, true).render_pretty();
+    assert_eq!(a, b, "--jobs 1 and --jobs 8 artifacts differ");
+
+    // The artifact carries real algorithmic work, not just zeros.
+    assert!(a.contains("\"schema\": \"turbomap-bench/table1/v1\""));
+    let sweeps_nonzero = one.iter().any(|r| {
+        r.outcome
+            .completed()
+            .map(|row| {
+                row.turbomap_frt
+                    .telemetry
+                    .counter(engine::telemetry::Counter::FrtSweeps)
+                    > 0
+            })
+            .unwrap_or(false)
+    });
+    assert!(sweeps_nonzero, "no FRTcheck sweeps recorded");
+}

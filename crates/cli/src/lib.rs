@@ -4,6 +4,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
+
 use netlist::Circuit;
 use std::fmt::Write as _;
 
@@ -136,6 +138,7 @@ pub const USAGE: &str = "\
 tmfrt — FPGA mapping with forward retiming (Cong & Wu, DAC'98 reproduction)
 
 USAGE: tmfrt <input> [-o out.blif] [-a ALGO] [-k K] [--pushback] [--verify N] [--onehot]
+       tmfrt batch <dir> [--jobs N] [--timeout-secs S] [-o OUTDIR] …  (see `tmfrt batch --help`)
 
   <input>      circuit: a .blif file, a .kiss2 file, `-` (BLIF on stdin),
                or gen:<name> for a generated Table-1 benchmark (e.g. gen:sand)
@@ -181,7 +184,9 @@ pub fn load_circuit(args: &Args) -> Result<Circuit, String> {
         std::fs::read_to_string(&args.input)
             .map_err(|e| format!("reading `{}`: {e}", args.input))?
     };
-    if args.input.ends_with(".kiss2") || args.input.ends_with(".kiss") || text.contains("\n.s ")
+    if args.input.ends_with(".kiss2")
+        || args.input.ends_with(".kiss")
+        || text.contains("\n.s ")
         || text.starts_with(".i ") && text.contains(".r ")
     {
         let stg = workloads::parse_kiss2(&text).map_err(|e| e.to_string())?;

@@ -1,9 +1,14 @@
 //! `tmfrt` — map BLIF/KISS2 circuits with the DAC'98 TurboMap-frt flows.
 
+use tmfrt_cli::batch::{run_batch_dir, BatchArgs};
 use tmfrt_cli::{load_circuit, run, Args};
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("batch") {
+        run_batch_main(&raw[1..]);
+        return;
+    }
     let args = match Args::parse(&raw) {
         Ok(a) => a,
         Err(msg) => {
@@ -40,6 +45,64 @@ fn main() {
             }
             if outcome.star {
                 std::process::exit(3); // distinct status for ⋆ results
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `tmfrt batch <dir>` subcommand: exits 2 on usage errors, 1 when
+/// some circuit failed/panicked/hit its deadline (after reporting the
+/// rest), 0 otherwise.
+fn run_batch_main(raw: &[String]) {
+    let args = match BatchArgs::parse(raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match run_batch_dir(&args) {
+        Ok(summary) => {
+            for report in &summary.reports {
+                match &report.outcome {
+                    engine::JobOutcome::Completed(res) => {
+                        eprintln!(
+                            "=== {} ({:.2}s){}",
+                            report.name,
+                            report.wall.as_secs_f64(),
+                            if res.star { " ⋆" } else { "" }
+                        );
+                        eprint!("{}", res.report);
+                    }
+                    engine::JobOutcome::Failed(e) => {
+                        eprintln!("=== {} [failed] {e}", report.name);
+                    }
+                    engine::JobOutcome::Panicked(msg) => {
+                        eprintln!("=== {} [panicked] {msg}", report.name);
+                    }
+                    engine::JobOutcome::DeadlineExceeded { limit } => {
+                        eprintln!(
+                            "=== {} [deadline] exceeded {:.0}s",
+                            report.name,
+                            limit.as_secs_f64()
+                        );
+                    }
+                }
+            }
+            let done = summary.reports.len() - summary.failures.len();
+            eprintln!("batch: {done}/{} circuits completed", summary.reports.len());
+            if !summary.failures.is_empty() {
+                let names: Vec<String> = summary
+                    .failures
+                    .iter()
+                    .map(|(n, s)| format!("{n} ({s})"))
+                    .collect();
+                eprintln!("incomplete: {}", names.join(", "));
+                std::process::exit(1);
             }
         }
         Err(msg) => {

@@ -1,0 +1,231 @@
+//! A minimal, deterministic JSON writer (std-only).
+//!
+//! Result artifacts (`BENCH_table1.json`, batch reports) need
+//! machine-readable output but no external serialisation crates are
+//! available offline. [`JsonValue`] covers the JSON data model; objects
+//! preserve **insertion order**, so the same value always renders to the
+//! same bytes — the property the `--jobs 1` vs `--jobs 8` byte-equality
+//! guarantee rests on.
+//!
+//! Floats render via Rust's shortest-roundtrip `Display`, which is
+//! deterministic across platforms; non-finite floats render as `null`
+//! (JSON has no NaN/Infinity).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A double (non-finite renders as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience: an object from key/value pairs.
+    pub fn object(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// Renders compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Renders with two-space indentation and a trailing newline —
+    /// the format of the committed `BENCH_*.json` artifacts.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Float(f) => write_float(out, *f),
+            JsonValue::Str(s) => write_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Object(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Integral floats render with a decimal point so the field stays
+        // type-stable for consumers (`1.0`, not `1`).
+        let _ = write!(out, "{f:.1}");
+    } else {
+        let _ = write!(out, "{f}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::Int(-3).render(), "-3");
+        assert_eq!(
+            JsonValue::UInt(18_446_744_073_709_551_615).render(),
+            "18446744073709551615"
+        );
+        assert_eq!(JsonValue::Float(1.5).render(), "1.5");
+        assert_eq!(JsonValue::Float(2.0).render(), "2.0");
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            JsonValue::str("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let v = JsonValue::object(vec![
+            ("zebra", JsonValue::Int(1)),
+            ("alpha", JsonValue::Int(2)),
+        ]);
+        assert_eq!(v.render(), r#"{"zebra":1,"alpha":2}"#);
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let v = JsonValue::object(vec![
+            ("name", JsonValue::str("x")),
+            (
+                "items",
+                JsonValue::Array(vec![JsonValue::Int(1), JsonValue::Int(2)]),
+            ),
+            ("empty", JsonValue::Array(vec![])),
+        ]);
+        let pretty = v.render_pretty();
+        assert!(pretty.starts_with("{\n"));
+        assert!(pretty.contains("\"items\": [\n"));
+        assert!(pretty.contains("\"empty\": []"));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            JsonValue::object(vec![
+                ("phi", JsonValue::UInt(7)),
+                ("cpu", JsonValue::Float(0.0)),
+                ("name", JsonValue::str("s5378")),
+            ])
+        };
+        assert_eq!(build().render_pretty(), build().render_pretty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Parallel batch-execution engine for the TurboMap-frt reproduction.
+//!
+//! The repo's flows — the 18-circuit Table-1 suite, the ablation driver
+//! and the `tmfrt` CLI — are batch jobs over independent circuits. This
+//! crate executes such batches concurrently with production-grade
+//! plumbing, using **only the standard library**:
+//!
+//! * [`pool`] — a work-stealing thread pool (per-worker deques plus a
+//!   shared injector; idle workers steal from their siblings),
+//! * [`batch`] — the job runner: per-job panic isolation
+//!   (`catch_unwind` turns a crash into [`batch::JobOutcome::Panicked`]),
+//!   soft deadlines enforced by a watchdog thread through cooperative
+//!   [`cancel`] tokens, and **deterministic result ordering** regardless
+//!   of worker count,
+//! * [`cancel`] — cancellation tokens installed thread-locally so deep
+//!   algorithm loops (the Φ binary search, the FRTcheck sweeps) can poll
+//!   [`cancel::cancelled`] without threading a token through every call,
+//! * [`telemetry`] — lock-free per-job counters and monotonic phase
+//!   timers accumulated in thread-locals and merged at job end,
+//! * [`json`] — a small deterministic JSON writer for versioned result
+//!   artifacts (`BENCH_table1.json`),
+//! * [`rng`] — a seeded splitmix64 generator backing the workload
+//!   generators and randomized tests (replaces the external `rand`
+//!   dependency, which is unresolvable offline).
+//!
+//! # Examples
+//!
+//! ```
+//! use engine::batch::{run_batch, BatchOptions, JobOutcome, JobSpec};
+//!
+//! let jobs: Vec<JobSpec<u64>> = (0..8u64)
+//!     .map(|i| JobSpec::new(format!("job{i}"), move || Ok(i * i)))
+//!     .collect();
+//! let reports = run_batch(jobs, &BatchOptions::with_jobs(4));
+//! assert_eq!(reports.len(), 8);
+//! // Results come back in submission order, whatever the thread count.
+//! for (i, r) in reports.iter().enumerate() {
+//!     assert!(matches!(r.outcome, JobOutcome::Completed(v) if v == (i * i) as u64));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cancel;
+pub mod json;
+pub mod pool;
+pub mod rng;
+pub mod telemetry;
+
+pub use batch::{run_batch, BatchOptions, JobOutcome, JobReport, JobSpec};
+pub use cancel::CancelToken;
+pub use json::JsonValue;
+pub use pool::Pool;
+pub use rng::Rng64;
+pub use telemetry::{Counter, Phase, Telemetry};

@@ -1,0 +1,149 @@
+//! A small deterministic PRNG (splitmix64), std-only.
+//!
+//! Replaces the external `rand` crate for workload generation and
+//! randomized tests: the container has no registry access, and the
+//! generators only need reproducible, well-mixed streams — not
+//! cryptographic strength. Splitmix64 passes BigCrush and, unlike raw
+//! xorshift, has no weak low bits, so `below`/`chance` can use simple
+//! reductions.
+
+/// A 64-bit splitmix64 generator. `Clone` copies the stream state.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator seeded with `seed` (any value, including 0,
+    /// yields a full-quality stream — splitmix64 has no bad seeds).
+    pub fn new(seed: u64) -> Rng64 {
+        Rng64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Uses the widening-multiply reduction (Lemire); the modulo bias is
+    /// at most 2⁻⁶⁴·n — irrelevant for workload generation.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Rng64::below(0)");
+        let wide = u128::from(self.next_u64()) * (n as u128);
+        (wide >> 64) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. Panics if `lo >= hi`.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "Rng64::range_usize: empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`. Panics if `lo >= hi`.
+    #[inline]
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "Rng64::range_i64: empty range {lo}..{hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        let wide = u128::from(self.next_u64()) * u128::from(span);
+        lo.wrapping_add((wide >> 64) as i64)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare the top 53 bits against p scaled to the same lattice.
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::new(43);
+        assert_ne!(Rng64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_in_range_and_covers() {
+        let mut rng = Rng64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.below(5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut rng = Rng64::new(9);
+        for _ in 0..500 {
+            let v = rng.range_usize(10, 20);
+            assert!((10..20).contains(&v));
+            let w = rng.range_i64(-4, 4);
+            assert!((-4..4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn chance_extremes_and_rough_frequency() {
+        let mut rng = Rng64::new(11);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = Rng64::new(5);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut rng = Rng64::new(0);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

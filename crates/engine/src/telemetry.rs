@@ -1,0 +1,263 @@
+//! Structured per-job telemetry: counters and phase timers.
+//!
+//! Hot paths increment plain thread-local [`Cell`]s — no locks, no
+//! atomics — and the batch runner snapshots and resets them around each
+//! job ([`take`]), merging the result into the job's report. A job runs
+//! entirely on one worker thread, so thread-local accumulation is exact.
+//!
+//! Counters cover the algorithmic work the paper reports on: max-flow
+//! augmentations (`graphalgo::flow`), FRTcheck sweeps and re-queued
+//! gates (`turbomap::frtcheck`), expanded-circuit node-cache hits and
+//! misses (`turbomap::expand`), and unit register moves
+//! (`retiming::moves`). Phase timers split wall time into the pipeline's
+//! four stages: label / search / generate / verify.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// Algorithmic event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Augmenting paths found by `graphalgo::flow::NodeCutNetwork`.
+    FlowAugmentations = 0,
+    /// FRTcheck label sweeps executed (the paper's 5–15 per Φ).
+    FrtSweeps = 1,
+    /// Gates re-queued (marked dirty) during FRTcheck sweeps.
+    FrtRequeuedGates = 2,
+    /// Expanded-circuit node-cache hits (`(node, weight)` already built).
+    ExpandCacheHits = 3,
+    /// Expanded-circuit node-cache misses (fresh expanded node).
+    ExpandCacheMisses = 4,
+    /// Forward unit register moves applied by `retiming::moves`.
+    ForwardMoves = 5,
+    /// Backward unit register moves (each required justification).
+    BackwardMoves = 6,
+}
+
+/// Number of [`Counter`] variants.
+pub const NUM_COUNTERS: usize = 7;
+
+/// Stable snake_case names, indexed by `Counter as usize` (used as JSON
+/// keys — part of the `BENCH_table1.json` schema).
+pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
+    "flow_augmentations",
+    "frt_sweeps",
+    "frt_requeued_gates",
+    "expand_cache_hits",
+    "expand_cache_misses",
+    "forward_moves",
+    "backward_moves",
+];
+
+/// Pipeline phases timed per job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Label computation (FRTcheck / general check / FlowMap labels).
+    Label = 0,
+    /// Structure search: expanded-circuit construction and final cuts.
+    Search = 1,
+    /// Mapping generation, retiming and initial-state computation.
+    Generate = 2,
+    /// Equivalence verification of the result.
+    Verify = 3,
+}
+
+/// Number of [`Phase`] variants.
+pub const NUM_PHASES: usize = 4;
+
+/// Stable phase names, indexed by `Phase as usize` (JSON keys).
+pub const PHASE_NAMES: [&str; NUM_PHASES] = ["label", "search", "generate", "verify"];
+
+/// A merged telemetry snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Telemetry {
+    /// Counter values, indexed by `Counter as usize`.
+    pub counters: [u64; NUM_COUNTERS],
+    /// Accumulated phase durations in nanoseconds, indexed by
+    /// `Phase as usize`.
+    pub phase_nanos: [u64; NUM_PHASES],
+}
+
+impl Telemetry {
+    /// Value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Accumulated seconds spent in one phase.
+    pub fn phase_secs(&self, p: Phase) -> f64 {
+        self.phase_nanos[p as usize] as f64 / 1e9
+    }
+
+    /// Total seconds across all phases.
+    pub fn total_phase_secs(&self) -> f64 {
+        self.phase_nanos.iter().sum::<u64>() as f64 / 1e9
+    }
+
+    /// Adds another snapshot into this one.
+    pub fn merge(&mut self, other: &Telemetry) {
+        for i in 0..NUM_COUNTERS {
+            self.counters[i] += other.counters[i];
+        }
+        for i in 0..NUM_PHASES {
+            self.phase_nanos[i] += other.phase_nanos[i];
+        }
+    }
+
+    /// This snapshot minus an earlier one (saturating).
+    pub fn since(&self, earlier: &Telemetry) -> Telemetry {
+        let mut out = Telemetry::default();
+        for i in 0..NUM_COUNTERS {
+            out.counters[i] = self.counters[i].saturating_sub(earlier.counters[i]);
+        }
+        for i in 0..NUM_PHASES {
+            out.phase_nanos[i] = self.phase_nanos[i].saturating_sub(earlier.phase_nanos[i]);
+        }
+        out
+    }
+}
+
+thread_local! {
+    static COUNTERS: [Cell<u64>; NUM_COUNTERS] = const {
+        [const { Cell::new(0) }; NUM_COUNTERS]
+    };
+    static PHASES: [Cell<u64>; NUM_PHASES] = const {
+        [const { Cell::new(0) }; NUM_PHASES]
+    };
+}
+
+/// Adds `n` to a counter on the current thread. Lock-free: one
+/// thread-local access and a `Cell` read-modify-write.
+#[inline]
+pub fn count(c: Counter, n: u64) {
+    COUNTERS.with(|cs| {
+        let cell = &cs[c as usize];
+        cell.set(cell.get().wrapping_add(n));
+    });
+}
+
+/// Snapshots the current thread's telemetry without resetting it.
+pub fn snapshot() -> Telemetry {
+    let mut t = Telemetry::default();
+    COUNTERS.with(|cs| {
+        for (i, cell) in cs.iter().enumerate() {
+            t.counters[i] = cell.get();
+        }
+    });
+    PHASES.with(|ps| {
+        for (i, cell) in ps.iter().enumerate() {
+            t.phase_nanos[i] = cell.get();
+        }
+    });
+    t
+}
+
+/// Snapshots **and resets** the current thread's telemetry (job boundary).
+pub fn take() -> Telemetry {
+    let t = snapshot();
+    COUNTERS.with(|cs| cs.iter().for_each(|c| c.set(0)));
+    PHASES.with(|ps| ps.iter().for_each(|p| p.set(0)));
+    t
+}
+
+/// Resets the current thread's telemetry to zero.
+pub fn reset() {
+    let _ = take();
+}
+
+/// RAII timer: created by [`time_phase`], adds the elapsed monotonic time
+/// to the phase's thread-local accumulator on drop.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    phase: Phase,
+    start: Instant,
+}
+
+impl Drop for PhaseTimer {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        PHASES.with(|ps| {
+            let cell = &ps[self.phase as usize];
+            cell.set(cell.get().wrapping_add(nanos));
+        });
+    }
+}
+
+/// Starts timing `phase` until the returned guard drops.
+#[inline]
+pub fn time_phase(phase: Phase) -> PhaseTimer {
+    PhaseTimer {
+        phase,
+        start: Instant::now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_take_roundtrip() {
+        reset();
+        count(Counter::FlowAugmentations, 3);
+        count(Counter::FlowAugmentations, 2);
+        count(Counter::FrtSweeps, 1);
+        let t = take();
+        assert_eq!(t.counter(Counter::FlowAugmentations), 5);
+        assert_eq!(t.counter(Counter::FrtSweeps), 1);
+        // take() reset everything.
+        assert_eq!(take(), Telemetry::default());
+    }
+
+    #[test]
+    fn phase_timer_accumulates() {
+        reset();
+        {
+            let _t = time_phase(Phase::Label);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let t = take();
+        assert!(t.phase_nanos[Phase::Label as usize] > 0);
+        assert_eq!(t.phase_nanos[Phase::Verify as usize], 0);
+        assert!(t.phase_secs(Phase::Label) > 0.0);
+    }
+
+    #[test]
+    fn merge_and_since() {
+        let mut a = Telemetry::default();
+        a.counters[0] = 2;
+        a.phase_nanos[1] = 10;
+        let mut b = Telemetry::default();
+        b.counters[0] = 3;
+        b.phase_nanos[1] = 5;
+        a.merge(&b);
+        assert_eq!(a.counters[0], 5);
+        assert_eq!(a.phase_nanos[1], 15);
+        let d = a.since(&b);
+        assert_eq!(d.counters[0], 2);
+        assert_eq!(d.phase_nanos[1], 10);
+    }
+
+    #[test]
+    fn names_cover_variants() {
+        assert_eq!(COUNTER_NAMES.len(), NUM_COUNTERS);
+        assert_eq!(PHASE_NAMES.len(), NUM_PHASES);
+        assert_eq!(
+            COUNTER_NAMES[Counter::BackwardMoves as usize],
+            "backward_moves"
+        );
+        assert_eq!(PHASE_NAMES[Phase::Verify as usize], "verify");
+    }
+
+    #[test]
+    fn telemetry_is_thread_local() {
+        reset();
+        count(Counter::FrtSweeps, 7);
+        let handle = std::thread::spawn(take);
+        let other = handle.join().unwrap();
+        assert_eq!(other, Telemetry::default());
+        assert_eq!(take().counter(Counter::FrtSweeps), 7);
+    }
+}

@@ -251,10 +251,12 @@ pub fn build_lut_network(
         let cut = &roots[&root];
         let lut = map[&root];
         for sig in &cut.signals {
-            let src = *map.get(&sig.node).ok_or_else(|| MapError::InconsistentCut {
-                root: c.node(root).name().to_string(),
-                signal: c.node(sig.node).name().to_string(),
-            })?;
+            let src = *map
+                .get(&sig.node)
+                .ok_or_else(|| MapError::InconsistentCut {
+                    root: c.node(root).name().to_string(),
+                    signal: c.node(sig.node).name().to_string(),
+                })?;
             out.connect(src, lut, sig.chain.clone())?;
         }
     }

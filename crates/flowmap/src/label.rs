@@ -130,20 +130,12 @@ fn dedup_signals(it: impl Iterator<Item = CutSignal>) -> Vec<CutSignal> {
 
 /// Searches a K-feasible cut of `v`'s combinational cone whose cut objects
 /// all have labels `< p` (taps and PIs have label 0 `< p`).
-fn min_height_cut(
-    c: &Circuit,
-    v: NodeId,
-    labels: &[u64],
-    p: u64,
-    k: usize,
-) -> Option<Cut> {
+fn min_height_cut(c: &Circuit, v: NodeId, labels: &[u64], p: u64, k: usize) -> Option<Cut> {
     // Enumerate the cone objects: gates reachable backward through
     // weight-0 edges, plus boundary PIs and taps.
     let mut obj_index: HashMap<ConeObj, usize> = HashMap::new();
     let mut objs: Vec<ConeObj> = Vec::new();
-    let intern = |objs: &mut Vec<ConeObj>,
-                      obj_index: &mut HashMap<ConeObj, usize>,
-                      o: ConeObj| {
+    let intern = |objs: &mut Vec<ConeObj>, obj_index: &mut HashMap<ConeObj, usize>, o: ConeObj| {
         if let Some(&i) = obj_index.get(&o) {
             return i;
         }

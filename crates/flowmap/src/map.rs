@@ -116,7 +116,11 @@ pub(crate) fn collect_roots(c: &Circuit, labeling: &Labeling) -> HashMap<NodeId,
 ///
 /// Panics if the circuit is not K-bounded (decompose first).
 pub fn flowmap(c: &Circuit, k: usize) -> Result<FlowMapResult, FlowMapError> {
-    let labeling = flowmap_labels(c, k);
+    let labeling = {
+        let _t = engine::telemetry::time_phase(engine::telemetry::Phase::Label);
+        flowmap_labels(c, k)
+    };
+    let _t = engine::telemetry::time_phase(engine::telemetry::Phase::Generate);
     let roots = collect_roots(c, &labeling);
     let mapped = build_lut_network(c, &roots, &format!("{}_flowmap", c.name()))?;
     let depth = mapped.clock_period()?;
@@ -157,6 +161,7 @@ pub struct FlowMapFrtResult {
 /// Panics if the circuit is not K-bounded (decompose first).
 pub fn flowmap_frt(c: &Circuit, k: usize) -> Result<FlowMapFrtResult, FlowMapError> {
     let mapped = flowmap(c, k)?;
+    let _t = engine::telemetry::time_phase(engine::telemetry::Phase::Generate);
     let res = retime_min_period_forward(&mapped.circuit)?;
     Ok(FlowMapFrtResult {
         period: res.period,
@@ -195,7 +200,9 @@ mod tests {
     fn flowmap_preserves_behaviour() {
         let c = sequential_sample();
         let res = flowmap(&c, 5).unwrap();
-        assert!(exhaustive_equiv(&c, &res.circuit, 4).unwrap().is_equivalent());
+        assert!(exhaustive_equiv(&c, &res.circuit, 4)
+            .unwrap()
+            .is_equivalent());
         // K=5 fits each block in one LUT per visible gate.
         assert!(res.luts <= c.num_gates());
         assert!(res.depth <= c.clock_period().unwrap());
@@ -205,7 +212,9 @@ mod tests {
     fn flowmap_frt_equivalent_and_no_slower() {
         let c = sequential_sample();
         let res = flowmap_frt(&c, 5).unwrap();
-        assert!(exhaustive_equiv(&c, &res.circuit, 5).unwrap().is_equivalent());
+        assert!(exhaustive_equiv(&c, &res.circuit, 5)
+            .unwrap()
+            .is_equivalent());
         assert!(res.period <= c.clock_period().unwrap());
         assert_eq!(res.circuit.clock_period().unwrap(), res.period);
     }
@@ -230,7 +239,9 @@ mod tests {
         let res = flowmap_frt(&c, 2).unwrap();
         assert_eq!(res.period, 1);
         assert!(res.moves.forward_moves > 0);
-        assert!(exhaustive_equiv(&c, &res.circuit, 4).unwrap().is_equivalent());
+        assert!(exhaustive_equiv(&c, &res.circuit, 4)
+            .unwrap()
+            .is_equivalent());
     }
 
     #[test]
@@ -272,7 +283,9 @@ mod tests {
         // 6 inputs fit one 6-LUT.
         assert_eq!(res.luts, 1);
         assert_eq!(res.depth, 1);
-        assert!(exhaustive_equiv(&c, &res.circuit, 1).unwrap().is_equivalent());
+        assert!(exhaustive_equiv(&c, &res.circuit, 1)
+            .unwrap()
+            .is_equivalent());
     }
 
     #[test]
@@ -282,7 +295,9 @@ mod tests {
             let res = flowmap(&c, k).unwrap();
             assert!(res.luts <= c.num_gates(), "k={k}");
             assert!(
-                exhaustive_equiv(&c, &res.circuit, 4).unwrap().is_equivalent(),
+                exhaustive_equiv(&c, &res.circuit, 4)
+                    .unwrap()
+                    .is_equivalent(),
                 "k={k}"
             );
         }

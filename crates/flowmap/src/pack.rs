@@ -325,11 +325,9 @@ mod tests {
         let mapped = crate::flowmap(&prep, 5).unwrap();
         let r = pack_luts(&mapped.circuit, 5).unwrap();
         assert!(r.circuit.num_gates() <= mapped.circuit.num_gates());
-        assert!(
-            netlist::random_equiv(&c, &r.circuit, 512, 3)
-                .unwrap()
-                .is_equivalent()
-        );
+        assert!(netlist::random_equiv(&c, &r.circuit, 512, 3)
+            .unwrap()
+            .is_equivalent());
     }
 
     fn turbomap_prepare_like(c: &Circuit) -> Circuit {

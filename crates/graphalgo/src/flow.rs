@@ -217,6 +217,7 @@ impl NodeCutNetwork {
                 y = self.arcs[ai ^ 1].to as usize;
             }
             flow += 1;
+            engine::telemetry::count(engine::telemetry::Counter::FlowAugmentations, 1);
         }
     }
 

@@ -55,7 +55,7 @@ pub fn dijkstra(adj: &[Vec<(usize, u64)>], sources: &[usize]) -> Vec<Option<u64>
         }
         for &(v, w) in &adj[u] {
             let nd = d + w;
-            if dist[v].map_or(true, |cur| nd < cur) {
+            if dist[v].is_none_or(|cur| nd < cur) {
                 dist[v] = Some(nd);
                 heap.push(Reverse((nd, v)));
             }

@@ -1,29 +1,23 @@
-//! Property tests: the bounded max-flow equals the brute-force minimum
+//! Randomized tests: the bounded max-flow equals the brute-force minimum
 //! node cut on small random DAGs, and both cut extraction sides return
-//! genuine minimum cuts.
+//! genuine minimum cuts. Deterministic (fixed seed via `engine::Rng64`).
 
+use engine::Rng64;
 use graphalgo::NodeCutNetwork;
-use proptest::prelude::*;
 
-/// A random DAG over `n` nodes: edge (i, j) for i < j with density `p`.
-fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (4usize..9).prop_flat_map(|n| {
-        let pairs: Vec<(usize, usize)> = (0..n)
-            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-            .collect();
-        let len = pairs.len();
-        (Just(n), Just(pairs), prop::collection::vec(prop::bool::ANY, len)).prop_map(
-            |(n, pairs, mask)| {
-                let edges = pairs
-                    .into_iter()
-                    .zip(mask)
-                    .filter(|(_, keep)| *keep)
-                    .map(|(e, _)| e)
-                    .collect();
-                (n, edges)
-            },
-        )
-    })
+/// A random DAG over `n` nodes: edge (i, j) for i < j kept with
+/// probability 1/2.
+fn random_dag(rng: &mut Rng64) -> (usize, Vec<(usize, usize)>) {
+    let n = rng.range_usize(4, 9);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.chance(0.5) {
+                edges.push((i, j));
+            }
+        }
+    }
+    (n, edges)
 }
 
 /// Brute force: the smallest set of intermediate nodes whose removal
@@ -68,11 +62,11 @@ fn brute_min_cut(n: usize, edges: &[(usize, usize)]) -> Option<usize> {
     None // direct edge 0 -> n-1
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn max_flow_matches_brute_force((n, edges) in dag_strategy()) {
+#[test]
+fn max_flow_matches_brute_force() {
+    let mut rng = Rng64::new(0xF10A);
+    for case in 0..128 {
+        let (n, edges) = random_dag(&mut rng);
         let expected = brute_min_cut(n, &edges);
         let mut net = NodeCutNetwork::new(n);
         for &(a, b) in &edges {
@@ -82,12 +76,12 @@ proptest! {
         let res = net.max_flow(0, n - 1, limit);
         match expected {
             Some(size) => {
-                prop_assert!(!res.exceeded_limit);
-                prop_assert_eq!(res.flow as usize, size);
+                assert!(!res.exceeded_limit, "case {case}");
+                assert_eq!(res.flow as usize, size, "case {case}");
                 // Both cut extractions return cuts of minimum size whose
                 // removal disconnects.
                 for cut in [net.min_cut(0), net.min_cut_near_sink(0)] {
-                    prop_assert_eq!(cut.cut_nodes.len(), size);
+                    assert_eq!(cut.cut_nodes.len(), size, "case {case}");
                     let removed: Vec<(usize, usize)> = edges
                         .iter()
                         .copied()
@@ -95,12 +89,12 @@ proptest! {
                             !cut.cut_nodes.contains(&a) && !cut.cut_nodes.contains(&b)
                         })
                         .collect();
-                    prop_assert_eq!(brute_min_cut(n, &removed), Some(0));
+                    assert_eq!(brute_min_cut(n, &removed), Some(0), "case {case}");
                 }
             }
             None => {
                 // Direct source→sink edge: no finite node cut.
-                prop_assert!(res.exceeded_limit);
+                assert!(res.exceeded_limit, "case {case}");
             }
         }
     }

@@ -41,6 +41,7 @@ impl Bit {
     }
 
     /// Three-valued NOT.
+    #[allow(clippy::should_implement_trait)] // three-valued, deliberately not `ops::Not`
     pub fn not(self) -> Bit {
         match self {
             Bit::Zero => Bit::One,

@@ -30,6 +30,7 @@ struct LatchDecl {
     input: String,
     output: String,
     init: Bit,
+    line: usize,
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> NetlistError {
@@ -67,7 +68,7 @@ fn parse_err(line: usize, message: impl Into<String>) -> NetlistError {
 pub fn parse_blif(text: &str) -> Result<Circuit, NetlistError> {
     let mut model_name = String::from("unnamed");
     let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
     let mut names_blocks: Vec<NamesBlock> = Vec::new();
     let mut latches: Vec<LatchDecl> = Vec::new();
 
@@ -129,18 +130,25 @@ pub fn parse_blif(text: &str) -> Result<Circuit, NetlistError> {
                     }
                 }
                 ".inputs" => inputs.extend(tokens[1..].iter().map(|s| s.to_string())),
-                ".outputs" => outputs.extend(tokens[1..].iter().map(|s| s.to_string())),
+                ".outputs" => {
+                    outputs.extend(tokens[1..].iter().map(|s| (s.to_string(), line_no)));
+                }
                 ".names" => {
                     if tokens.len() < 2 {
                         return Err(parse_err(line_no, ".names needs an output signal"));
                     }
                     let output = tokens[tokens.len() - 1].to_string();
-                    let ins: Vec<String> =
-                        tokens[1..tokens.len() - 1].iter().map(|s| s.to_string()).collect();
+                    let ins: Vec<String> = tokens[1..tokens.len() - 1]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
                     if ins.len() > MAX_INPUTS {
                         return Err(parse_err(
                             line_no,
-                            format!(".names with {} inputs exceeds limit {MAX_INPUTS}", ins.len()),
+                            format!(
+                                ".names with {} inputs exceeds limit {MAX_INPUTS}",
+                                ins.len()
+                            ),
                         ));
                     }
                     current_names = Some(NamesBlock {
@@ -175,6 +183,7 @@ pub fn parse_blif(text: &str) -> Result<Circuit, NetlistError> {
                         input: args[0].to_string(),
                         output: args[1].to_string(),
                         init,
+                        line: line_no,
                     });
                 }
                 ".end" => ended = true,
@@ -260,13 +269,13 @@ fn cube_tt(block: &NamesBlock) -> Result<TruthTable, NetlistError> {
 fn build_circuit(
     model_name: String,
     inputs: Vec<String>,
-    outputs: Vec<String>,
+    outputs: Vec<(String, usize)>,
     names_blocks: Vec<NamesBlock>,
     latches: Vec<LatchDecl>,
 ) -> Result<Circuit, NetlistError> {
     let mut c = Circuit::new(model_name);
     let output_set: std::collections::HashSet<&str> =
-        outputs.iter().map(String::as_str).collect();
+        outputs.iter().map(|(name, _)| name.as_str()).collect();
 
     // Drivers: signal -> PI node / gate node / latch.
     let mut pi_nodes: HashMap<String, NodeId> = HashMap::new();
@@ -280,6 +289,15 @@ fn build_circuit(
     }
     let mut gate_nodes: HashMap<String, (NodeId, usize)> = HashMap::new();
     for (bi, block) in names_blocks.iter().enumerate() {
+        if pi_nodes.contains_key(&block.output) {
+            return Err(parse_err(
+                block.line,
+                format!(
+                    "signal `{}` driven by both .inputs and .names",
+                    block.output
+                ),
+            ));
+        }
         if gate_nodes.contains_key(&block.output) {
             return Err(parse_err(
                 block.line,
@@ -298,22 +316,38 @@ fn build_circuit(
         let id = c.add_gate(node_name, tt)?;
         gate_nodes.insert(block.output.clone(), (id, bi));
     }
-    let latch_by_output: HashMap<&str, &LatchDecl> =
-        latches.iter().map(|l| (l.output.as_str(), l)).collect();
+    let mut latch_by_output: HashMap<&str, &LatchDecl> = HashMap::new();
+    for latch in &latches {
+        let out = latch.output.as_str();
+        if pi_nodes.contains_key(out) || gate_nodes.contains_key(out) {
+            return Err(parse_err(
+                latch.line,
+                format!("latch output `{out}` shadows an existing driver"),
+            ));
+        }
+        if latch_by_output.insert(out, latch).is_some() {
+            return Err(parse_err(
+                latch.line,
+                format!("latch output `{out}` has multiple drivers"),
+            ));
+        }
+    }
 
-    // Resolve a signal to (driving node, FF chain source→sink).
+    // Resolve a signal to (driving node, FF chain source→sink). `line` is
+    // the use site, reported when the signal has no driver.
     fn resolve(
         signal: &str,
+        line: usize,
         pi_nodes: &HashMap<String, NodeId>,
         gate_nodes: &HashMap<String, (NodeId, usize)>,
         latch_by_output: &HashMap<&str, &LatchDecl>,
         depth: usize,
     ) -> Result<(NodeId, Vec<Bit>), NetlistError> {
         if depth > 100_000 {
-            return Err(NetlistError::Parse {
-                line: 0,
-                message: format!("latch cycle through `{signal}` with no logic"),
-            });
+            return Err(parse_err(
+                line,
+                format!("latch cycle through `{signal}` with no logic"),
+            ));
         }
         if let Some(&id) = pi_nodes.get(signal) {
             return Ok((id, Vec::new()));
@@ -322,26 +356,36 @@ fn build_circuit(
             return Ok((id, Vec::new()));
         }
         if let Some(latch) = latch_by_output.get(signal) {
-            let (id, mut chain) =
-                resolve(&latch.input, pi_nodes, gate_nodes, latch_by_output, depth + 1)?;
+            let (id, mut chain) = resolve(
+                &latch.input,
+                latch.line,
+                pi_nodes,
+                gate_nodes,
+                latch_by_output,
+                depth + 1,
+            )?;
             chain.push(latch.init);
             return Ok((id, chain));
         }
-        Err(NetlistError::UndefinedSignal(signal.to_string()))
+        Err(NetlistError::UndefinedSignal {
+            signal: signal.to_string(),
+            line,
+        })
     }
 
     // Wire gates.
     for block in &names_blocks {
         let (gate_id, _) = gate_nodes[&block.output];
         for sig in &block.inputs {
-            let (src, chain) = resolve(sig, &pi_nodes, &gate_nodes, &latch_by_output, 0)?;
+            let (src, chain) =
+                resolve(sig, block.line, &pi_nodes, &gate_nodes, &latch_by_output, 0)?;
             c.connect(src, gate_id, chain)?;
         }
     }
     // Wire primary outputs.
-    for name in &outputs {
+    for (name, line) in &outputs {
         let po = c.add_output(name.clone())?;
-        let (src, chain) = resolve(name, &pi_nodes, &gate_nodes, &latch_by_output, 0)?;
+        let (src, chain) = resolve(name, *line, &pi_nodes, &gate_nodes, &latch_by_output, 0)?;
         c.connect(src, po, chain)?;
     }
     Ok(c)
@@ -524,7 +568,7 @@ mod tests {
         // XOR counter starting at 0: q toggles every enabled cycle.
         assert_eq!(sim.step(&one), vec![Bit::One]);
         assert_eq!(sim.step(&one), vec![Bit::Zero]);
-        assert_eq!(sim.step(&vec![Bit::Zero]), vec![Bit::Zero]);
+        assert_eq!(sim.step(&[Bit::Zero]), vec![Bit::Zero]);
         assert_eq!(sim.step(&one), vec![Bit::One]);
     }
 
@@ -612,10 +656,99 @@ mod tests {
     #[test]
     fn undefined_signal_error() {
         let src = ".model u\n.inputs a\n.outputs z\n.names ghost z\n1 1\n.end\n";
-        assert!(matches!(
-            parse_blif(src),
-            Err(NetlistError::UndefinedSignal(_))
-        ));
+        match parse_blif(src) {
+            Err(NetlistError::UndefinedSignal { signal, line }) => {
+                assert_eq!(signal, "ghost");
+                assert_eq!(line, 4); // the .names line referencing it
+            }
+            other => panic!("expected UndefinedSignal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_latch_input_names_latch_line() {
+        let src = ".model u\n.inputs a\n.outputs z\n.names q z\n1 1\n.latch ghost q 0\n.end\n";
+        match parse_blif(src) {
+            Err(NetlistError::UndefinedSignal { signal, line }) => {
+                assert_eq!(signal, "ghost");
+                assert_eq!(line, 6); // the .latch line
+            }
+            other => panic!("expected UndefinedSignal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_output_names_outputs_line() {
+        let src = ".model u\n.inputs a\n.outputs z\n.end\n";
+        match parse_blif(src) {
+            Err(NetlistError::UndefinedSignal { signal, line }) => {
+                assert_eq!(signal, "z");
+                assert_eq!(line, 3); // the .outputs line
+            }
+            other => panic!("expected UndefinedSignal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_latch_output_error() {
+        let src = "\
+.model m
+.inputs a b
+.outputs z
+.names q z
+1 1
+.latch a q 0
+.latch b q 1
+.end
+";
+        match parse_blif(src) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 7);
+                assert!(message.contains("multiple drivers"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latch_shadowing_gate_error() {
+        let src = "\
+.model m
+.inputs a
+.outputs z
+.names a z
+1 1
+.latch a z 0
+.end
+";
+        match parse_blif(src) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 6);
+                assert!(message.contains("shadows"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_driving_an_input_error() {
+        let src = "\
+.model m
+.inputs a b
+.outputs z
+.names b a
+1 1
+.names a z
+1 1
+.end
+";
+        match parse_blif(src) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains(".inputs"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
     }
 
     #[test]

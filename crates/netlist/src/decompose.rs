@@ -67,7 +67,8 @@ fn build_expr(tt: &TruthTable, operands: Vec<Expr>, k: usize) -> Expr {
         }
     }
     // Recognise associative patterns (optionally complemented at the root).
-    let patterns: [(fn(usize) -> TruthTable, fn(usize) -> TruthTable, bool); 6] = [
+    type Pattern = (fn(usize) -> TruthTable, fn(usize) -> TruthTable, bool);
+    let patterns: [Pattern; 6] = [
         (TruthTable::and, TruthTable::and, false),
         (TruthTable::or, TruthTable::or, false),
         (TruthTable::xor, TruthTable::xor, false),

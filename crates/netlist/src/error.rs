@@ -50,7 +50,12 @@ pub enum NetlistError {
         message: String,
     },
     /// A referenced signal was never defined.
-    UndefinedSignal(String),
+    UndefinedSignal {
+        /// The signal name.
+        signal: String,
+        /// 1-based line of the reference (0 when unknown).
+        line: usize,
+    },
     /// The two circuits given to an equivalence check have different
     /// interfaces.
     InterfaceMismatch(String),
@@ -82,7 +87,13 @@ impl std::fmt::Display for NetlistError {
             NetlistError::UnconnectedOutput(n) => write!(f, "primary output `{n}` unconnected"),
             NetlistError::UnconnectedGate(n) => write!(f, "gate `{n}` has unconnected fanins"),
             NetlistError::Parse { line, message } => write!(f, "BLIF line {line}: {message}"),
-            NetlistError::UndefinedSignal(n) => write!(f, "undefined signal `{n}`"),
+            NetlistError::UndefinedSignal { signal, line } => {
+                if *line > 0 {
+                    write!(f, "BLIF line {line}: undefined signal `{signal}`")
+                } else {
+                    write!(f, "undefined signal `{signal}`")
+                }
+            }
             NetlistError::InterfaceMismatch(m) => write!(f, "interface mismatch: {m}"),
         }
     }

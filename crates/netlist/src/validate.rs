@@ -29,17 +29,13 @@ pub fn validate(c: &Circuit) -> Result<(), NetlistError> {
     for v in c.node_ids() {
         let node = c.node(v);
         match node.function() {
-            Some(tt) => {
-                if node.fanin().len() != tt.num_inputs() {
-                    return Err(NetlistError::UnconnectedGate(node.name().to_string()));
-                }
+            Some(tt) if node.fanin().len() != tt.num_inputs() => {
+                return Err(NetlistError::UnconnectedGate(node.name().to_string()));
             }
-            None if node.is_output() => {
-                if node.fanin().len() != 1 {
-                    return Err(NetlistError::UnconnectedOutput(node.name().to_string()));
-                }
+            None if node.is_output() && node.fanin().len() != 1 => {
+                return Err(NetlistError::UnconnectedOutput(node.name().to_string()));
             }
-            None => {}
+            _ => {}
         }
     }
     // Combinational cycles.
@@ -73,16 +69,13 @@ pub fn unreachable_from_inputs(c: &Circuit) -> Vec<crate::circuit::NodeId> {
     // Zero-arity gates (constants) are self-justifying sources too.
     for v in c.node_ids() {
         let node = c.node(v);
-        if node.is_gate() && node.fanin().is_empty() && node.function().is_some() {
-            if node
-                .function()
-                .map(|tt| tt.num_inputs() == 0)
-                .unwrap_or(false)
-                && !reach[v.index()]
-            {
-                reach[v.index()] = true;
-                stack.push(v.index());
-            }
+        if node.is_gate()
+            && node.fanin().is_empty()
+            && node.function().is_some_and(|tt| tt.num_inputs() == 0)
+            && !reach[v.index()]
+        {
+            reach[v.index()] = true;
+            stack.push(v.index());
         }
     }
     while let Some(u) = stack.pop() {

@@ -114,7 +114,13 @@ pub fn to_verilog(c: &Circuit) -> String {
                 let edge = c.edge(e);
                 let w = edge.weight();
                 if w > 1 {
-                    writeln!(s, "    {base} <= {{{base}[{}:0], {}}};", w - 2, node_name[edge.from().index()]).ok();
+                    writeln!(
+                        s,
+                        "    {base} <= {{{base}[{}:0], {}}};",
+                        w - 2,
+                        node_name[edge.from().index()]
+                    )
+                    .ok();
                 } else {
                     writeln!(s, "    {base}[0] <= {};", node_name[edge.from().index()]).ok();
                 }
@@ -163,7 +169,13 @@ impl Namer {
     fn fresh(&mut self, raw: &str) -> String {
         let mut base: String = raw
             .chars()
-            .map(|ch| if ch.is_ascii_alphanumeric() || ch == '_' { ch } else { '_' })
+            .map(|ch| {
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    ch
+                } else {
+                    '_'
+                }
+            })
             .collect();
         if base.is_empty() || base.chars().next().is_some_and(|c| c.is_ascii_digit()) {
             base.insert(0, 'n');
@@ -182,8 +194,25 @@ impl Namer {
 }
 
 const KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "wire", "reg", "assign", "always", "initial",
-    "begin", "end", "posedge", "negedge", "if", "else", "case", "endcase", "for", "while",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "initial",
+    "begin",
+    "end",
+    "posedge",
+    "negedge",
+    "if",
+    "else",
+    "case",
+    "endcase",
+    "for",
+    "while",
 ];
 
 #[cfg(test)]
@@ -267,9 +296,12 @@ mod tests {
         // A mapped LUT network with multi-bit chains exports cleanly.
         let mut c = Circuit::new("m");
         let a = c.add_input("a").unwrap();
-        let l1 = c.add_gate("l1", TruthTable::from_fn(2, |r| r != 3)).unwrap();
+        let l1 = c
+            .add_gate("l1", TruthTable::from_fn(2, |r| r != 3))
+            .unwrap();
         let o = c.add_output("o").unwrap();
-        c.connect(a, l1, vec![Bit::Zero, Bit::One, Bit::Zero]).unwrap();
+        c.connect(a, l1, vec![Bit::Zero, Bit::One, Bit::Zero])
+            .unwrap();
         c.connect(l1, l1, vec![Bit::One]).unwrap();
         c.connect(l1, o, vec![]).unwrap();
         let v = to_verilog(&c);

@@ -1,40 +1,33 @@
-//! Property tests for the netlist substrate: truth tables, three-valued
-//! logic consistency, BLIF round-trips and decomposition.
+//! Randomized tests for the netlist substrate: truth tables, three-valued
+//! logic consistency and the bit lattice. Deterministic (fixed seeds via
+//! `engine::Rng64`) so failures reproduce exactly.
 
+use engine::Rng64;
 use netlist::{Bit, TruthTable};
-use proptest::prelude::*;
 
-fn tt_strategy(max_inputs: usize) -> impl Strategy<Value = TruthTable> {
-    (1..=max_inputs).prop_flat_map(|k| {
-        prop::collection::vec(prop::bool::ANY, 1 << k)
-            .prop_map(move |bits| TruthTable::from_fn(k, |r| bits[r]))
-    })
+fn random_tt(rng: &mut Rng64, max_inputs: usize) -> TruthTable {
+    let k = rng.range_usize(1, max_inputs + 1);
+    let bits: Vec<bool> = (0..1usize << k).map(|_| rng.chance(0.5)).collect();
+    TruthTable::from_fn(k, |r| bits[r])
 }
 
-fn bits_strategy(k: usize) -> impl Strategy<Value = Vec<Bit>> {
-    prop::collection::vec(
-        prop_oneof![Just(Bit::Zero), Just(Bit::One), Just(Bit::X)],
-        k..=k,
-    )
+fn random_bit(rng: &mut Rng64) -> Bit {
+    match rng.below(3) {
+        0 => Bit::Zero,
+        1 => Bit::One,
+        _ => Bit::X,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// eval3 returns a defined value exactly when every completion of the
-    /// X inputs agrees — checked against brute-force enumeration.
-    #[test]
-    fn eval3_is_supremum_of_completions(tt in tt_strategy(5), seed in 0u64..1000) {
+/// eval3 returns a defined value exactly when every completion of the
+/// X inputs agrees — checked against brute-force enumeration.
+#[test]
+fn eval3_is_supremum_of_completions() {
+    let mut rng = Rng64::new(0x3E1);
+    for case in 0..256 {
+        let tt = random_tt(&mut rng, 5);
         let k = tt.num_inputs();
-        let mut state = seed.wrapping_mul(0x9E37_79B9).max(1);
-        let mut next = || { state ^= state << 13; state ^= state >> 7; state };
-        let inputs: Vec<Bit> = (0..k)
-            .map(|_| match next() % 3 {
-                0 => Bit::Zero,
-                1 => Bit::One,
-                _ => Bit::X,
-            })
-            .collect();
+        let inputs: Vec<Bit> = (0..k).map(|_| random_bit(&mut rng)).collect();
         let x_pos: Vec<usize> = (0..k).filter(|&i| inputs[i] == Bit::X).collect();
         let mut seen0 = false;
         let mut seen1 = false;
@@ -46,34 +39,46 @@ proptest! {
             for (j, &p) in x_pos.iter().enumerate() {
                 concrete[p] = (c >> j) & 1 == 1;
             }
-            if tt.eval(&concrete) { seen1 = true } else { seen0 = true }
+            if tt.eval(&concrete) {
+                seen1 = true
+            } else {
+                seen0 = true
+            }
         }
         let expected = match (seen0, seen1) {
             (true, false) => Bit::Zero,
             (false, true) => Bit::One,
             _ => Bit::X,
         };
-        prop_assert_eq!(tt.eval3(&inputs), expected);
+        assert_eq!(tt.eval3(&inputs), expected, "case {case}");
     }
+}
 
-    /// justify() always returns an assignment evaluating to the target.
-    #[test]
-    fn justify_sound(tt in tt_strategy(5)) {
+/// justify() always returns an assignment evaluating to the target.
+#[test]
+fn justify_sound() {
+    let mut rng = Rng64::new(0x3E2);
+    for case in 0..256 {
+        let tt = random_tt(&mut rng, 5);
         for target in [Bit::Zero, Bit::One] {
             if let Some(j) = tt.justify(target) {
-                prop_assert_eq!(tt.eval3(&j), target);
+                assert_eq!(tt.eval3(&j), target, "case {case}");
             } else {
                 // Target absent from range: the function is constant.
-                prop_assert_eq!(tt.is_constant(), Some(target == Bit::Zero));
+                assert_eq!(tt.is_constant(), Some(target == Bit::Zero), "case {case}");
             }
         }
     }
+}
 
-    /// Cofactors recombine into the original (Shannon expansion).
-    #[test]
-    fn shannon_expansion(tt in tt_strategy(4), i in 0usize..4) {
+/// Cofactors recombine into the original (Shannon expansion).
+#[test]
+fn shannon_expansion() {
+    let mut rng = Rng64::new(0x3E3);
+    for case in 0..256 {
+        let tt = random_tt(&mut rng, 4);
         let k = tt.num_inputs();
-        let i = i % k;
+        let i = rng.below(k);
         let f0 = tt.cofactor(i, false);
         let f1 = tt.cofactor(i, true);
         for r in 0..(1usize << k) {
@@ -83,28 +88,34 @@ proptest! {
             } else {
                 f0.eval_row(reduced)
             };
-            prop_assert_eq!(tt.eval_row(r), expected);
+            assert_eq!(tt.eval_row(r), expected, "case {case}");
         }
     }
+}
 
-    /// merge is commutative, refines is antisymmetric w.r.t. compatible.
-    #[test]
-    fn bit_lattice_laws(a in bits_strategy(1), b in bits_strategy(1)) {
-        let (a, b) = (a[0], b[0]);
-        prop_assert_eq!(a.merge(b), b.merge(a));
-        prop_assert_eq!(a.compatible(b), a.merge(b).is_some());
+/// merge is commutative, refines is antisymmetric w.r.t. compatible.
+#[test]
+fn bit_lattice_laws() {
+    let mut rng = Rng64::new(0x3E4);
+    for case in 0..256 {
+        let a = random_bit(&mut rng);
+        let b = random_bit(&mut rng);
+        assert_eq!(a.merge(b), b.merge(a), "case {case}");
+        assert_eq!(a.compatible(b), a.merge(b).is_some(), "case {case}");
         if a.refines(b) && b.refines(a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}");
         }
         // X is the top of the refinement order.
-        prop_assert!(a.refines(Bit::X));
+        assert!(a.refines(Bit::X), "case {case}");
     }
+}
 
-    /// NOT(NOT(x)) = x at the truth-table level.
-    #[test]
-    fn tt_display_stable_under_roundtrip(tt in tt_strategy(4)) {
-        // Displaying twice yields the same string (pure function), and
-        // equal tables display equally.
-        prop_assert_eq!(tt.to_string(), tt.clone().to_string());
+/// Displaying twice yields the same string (pure function).
+#[test]
+fn tt_display_stable_under_roundtrip() {
+    let mut rng = Rng64::new(0x3E5);
+    for case in 0..256 {
+        let tt = random_tt(&mut rng, 4);
+        assert_eq!(tt.to_string(), tt.clone().to_string(), "case {case}");
     }
 }

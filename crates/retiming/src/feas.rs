@@ -135,8 +135,7 @@ pub struct GeneralRetimingResult {
 /// Table-1 harness) treat this as the paper's `⋆` outcome.
 pub fn retime_min_period_general(c: &Circuit) -> Result<GeneralRetimingResult, RetimingError> {
     let period = min_period_general(c)?;
-    let retiming =
-        feasible_general(c, period)?.ok_or(RetimingError::Infeasible { period })?;
+    let retiming = feasible_general(c, period)?.ok_or(RetimingError::Infeasible { period })?;
     let (circuit, stats) = apply_retiming(c, &retiming)?;
     debug_assert!(circuit.clock_period()? <= period);
     Ok(GeneralRetimingResult {

@@ -192,11 +192,9 @@ mod tests {
         let preset = workloads_presets_lookup("ex2");
         let r = minimize_registers(&preset, preset.clock_period().unwrap(), 8).unwrap();
         assert!(r.after <= r.before);
-        assert!(
-            netlist::random_equiv(&preset, &r.circuit, 512, 5)
-                .unwrap()
-                .is_equivalent()
-        );
+        assert!(netlist::random_equiv(&preset, &r.circuit, 512, 5)
+            .unwrap()
+            .is_equivalent());
     }
 
     fn workloads_presets_lookup(_name: &str) -> Circuit {

@@ -41,10 +41,7 @@ pub struct MoveStats {
 /// * [`RetimingError::ConflictingFanoutValues`] /
 ///   [`RetimingError::NotJustifiable`] when a backward move cannot compute
 ///   an initial state.
-pub fn apply_retiming(
-    c: &Circuit,
-    r: &Retiming,
-) -> Result<(Circuit, MoveStats), RetimingError> {
+pub fn apply_retiming(c: &Circuit, r: &Retiming) -> Result<(Circuit, MoveStats), RetimingError> {
     r.validate(c)?;
     let mut out = c.clone();
     let mut remaining: Vec<i64> = r.values().to_vec();
@@ -61,6 +58,7 @@ pub fn apply_retiming(
                 move_forward(&mut out, v);
                 remaining[v.index()] += 1;
                 stats.forward_moves += 1;
+                engine::telemetry::count(engine::telemetry::Counter::ForwardMoves, 1);
                 progressed = true;
             }
             while remaining[v.index()] > 0 {
@@ -68,6 +66,7 @@ pub fn apply_retiming(
                     true => {
                         remaining[v.index()] -= 1;
                         stats.backward_moves += 1;
+                        engine::telemetry::count(engine::telemetry::Counter::BackwardMoves, 1);
                         progressed = true;
                     }
                     false => break,
@@ -110,10 +109,7 @@ pub fn apply_forward_retiming(
 }
 
 fn can_move_forward(c: &Circuit, v: NodeId) -> bool {
-    c.node(v)
-        .fanin()
-        .iter()
-        .all(|&e| c.edge(e).weight() >= 1)
+    c.node(v).fanin().iter().all(|&e| c.edge(e).weight() >= 1)
 }
 
 /// One forward unit move: consume the sink-end register of every fanin

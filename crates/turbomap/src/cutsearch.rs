@@ -45,8 +45,7 @@ pub fn find_cut(
     let n = exp.len();
     debug_assert!(!exp.is_leaf[exp.root()]);
     // Effective leaf: a declared leaf, or weight above the current bound.
-    let effective_leaf =
-        |i: usize| exp.is_leaf[i] || exp.nodes[i].weight > weight_bound;
+    let effective_leaf = |i: usize| exp.is_leaf[i] || exp.nodes[i].weight > weight_bound;
     let value = |i: usize| {
         let en = exp.nodes[i];
         ls[en.node.index()] - phi * en.weight as i64 + 1
@@ -74,9 +73,9 @@ pub fn find_cut(
     let cut = net.min_cut_near_sink(source);
     let signals: Vec<ExpNode> = cut.cut_nodes.iter().map(|&i| exp.nodes[i]).collect();
     debug_assert!(signals.len() <= k);
-    debug_assert!(signals.iter().all(|s| {
-        ls[s.node.index()] - phi * s.weight as i64 + 1 <= height_bound
-    }));
+    debug_assert!(signals
+        .iter()
+        .all(|s| { ls[s.node.index()] - phi * (s.weight as i64) < height_bound }));
     // A cut of zero signals means the root was unreachable from every
     // leaf, which cannot happen for PI-reachable circuits.
     if signals.is_empty() {
@@ -193,10 +192,7 @@ mod tests {
         // {i1^1, i1^2} both qualify.
         let cut = find_cut(&exp, &ls, phi, 5, 1, 2).unwrap();
         assert!(cut.signals.iter().all(|s| s.node != c.find("a").unwrap()));
-        assert!(cut
-            .signals
-            .iter()
-            .any(|s| s.node == c.find("i1").unwrap()));
+        assert!(cut.signals.iter().any(|s| s.node == c.find("i1").unwrap()));
     }
 
     #[test]
@@ -255,8 +251,7 @@ mod tests {
 mod validity_tests {
     use super::*;
     use crate::expand::ExpandedCircuit;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use engine::Rng64;
 
     /// Checks that `cut` is a valid cut of `exp` under `weight_bound`:
     /// every path from an effective leaf to the root crosses a cut node,
@@ -270,8 +265,7 @@ mod validity_tests {
         height_bound: i64,
         weight_bound: u64,
     ) {
-        let cut_set: std::collections::HashSet<ExpNode> =
-            cut.signals.iter().copied().collect();
+        let cut_set: std::collections::HashSet<ExpNode> = cut.signals.iter().copied().collect();
         for s in &cut.signals {
             let h = ls[s.node.index()] - phi * s.weight as i64 + 1;
             assert!(h <= height_bound, "cut node violates height");
@@ -309,29 +303,27 @@ mod validity_tests {
 
     #[test]
     fn random_circuits_random_labels_cuts_valid() {
-        let mut rng = StdRng::seed_from_u64(0xC07);
+        let mut rng = Rng64::new(0xC07);
         for trial in 0..40 {
             let c = workloads::generate_fsm(&workloads::FsmSpec {
                 name: format!("cv{trial}"),
-                states: rng.gen_range(2..7),
-                inputs: rng.gen_range(1..4),
+                states: rng.range_usize(2, 7),
+                inputs: rng.range_usize(1, 4),
                 decoded: 2,
                 outputs: 1,
-                encoding: if rng.gen_bool(0.5) {
+                encoding: if rng.chance(0.5) {
                     workloads::Encoding::OneHot
                 } else {
                     workloads::Encoding::Binary
                 },
-                registered_inputs: rng.gen_bool(0.5),
+                registered_inputs: rng.chance(0.5),
                 seed: trial,
             });
-            let ls: Vec<i64> = (0..c.num_nodes())
-                .map(|_| rng.gen_range(-4i64..4))
-                .collect();
-            let phi = rng.gen_range(1i64..4);
-            let k = rng.gen_range(2usize..6);
-            let hb = rng.gen_range(-2i64..6);
-            let wb = rng.gen_range(0u64..3);
+            let ls: Vec<i64> = (0..c.num_nodes()).map(|_| rng.range_i64(-4, 4)).collect();
+            let phi = rng.range_i64(1, 4);
+            let k = rng.range_usize(2, 6);
+            let hb = rng.range_i64(-2, 6);
+            let wb = rng.range_i64(0, 3) as u64;
             for v in c.gate_ids().take(8) {
                 let exp = match ExpandedCircuit::build(&c, v, wb, 50_000) {
                     Some(e) => e,

@@ -9,6 +9,7 @@
 use crate::frtcheck::FrtContext;
 use crate::gencheck::GeneralContext;
 use crate::generate::{generate_mapping, GenerateError};
+use engine::telemetry::{time_phase, Phase};
 use netlist::Circuit;
 use retiming::MoveStats;
 
@@ -92,6 +93,9 @@ pub enum TurboMapError {
     Generate(GenerateError),
     /// Baseline FlowMap-frt run failed.
     Baseline(flowmap::FlowMapError),
+    /// The run was cancelled through the thread's installed
+    /// [`engine::cancel`] token (batch deadline or external cancel).
+    Cancelled,
 }
 
 impl std::fmt::Display for TurboMapError {
@@ -101,6 +105,7 @@ impl std::fmt::Display for TurboMapError {
             TurboMapError::NoFeasiblePeriod => write!(f, "no feasible clock period found"),
             TurboMapError::Generate(e) => write!(f, "generation: {e}"),
             TurboMapError::Baseline(e) => write!(f, "baseline: {e}"),
+            TurboMapError::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -115,6 +120,17 @@ impl From<GenerateError> for TurboMapError {
 
 fn ceil_div(a: i64, b: i64) -> i64 {
     a.div_euclid(b) + if a.rem_euclid(b) != 0 { 1 } else { 0 }
+}
+
+/// Errors out when the thread's installed cancellation token tripped
+/// (the oracles bail out early in that state, so their answers must be
+/// discarded rather than interpreted as infeasibility).
+fn check_cancelled() -> Result<(), TurboMapError> {
+    if engine::cancel::cancelled() {
+        Err(TurboMapError::Cancelled)
+    } else {
+        Ok(())
+    }
 }
 
 /// Prepares a circuit for mapping: validate and K-bound it.
@@ -144,13 +160,20 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
     // Upper bound: FlowMap-frt (cheap, feasible by construction).
     let baseline = flowmap::flowmap_frt(&bounded, opts.k).map_err(TurboMapError::Baseline)?;
     let upper = baseline.period.max(1);
-    let ctx = FrtContext::new(&bounded, opts.k, opts.weight_horizon);
+    let ctx = {
+        let _t = time_phase(Phase::Search);
+        FrtContext::new(&bounded, opts.k, opts.weight_horizon)
+    };
     let mut iterations = Vec::new();
     let mut lo = 1u64;
     let mut hi = upper;
     // Confirm the upper bound under FRTcheck itself (it must be feasible;
     // keep its labels as fallback).
-    let top = ctx.check(upper);
+    let top = {
+        let _t = time_phase(Phase::Label);
+        ctx.check(upper)
+    };
+    check_cancelled()?;
     iterations.push((upper, top.iterations));
     if !top.feasible {
         return Err(TurboMapError::NoFeasiblePeriod);
@@ -158,7 +181,11 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
     let mut best = Some((upper, top.labels));
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        let res = ctx.check(mid);
+        let res = {
+            let _t = time_phase(Phase::Label);
+            ctx.check(mid)
+        };
+        check_cancelled()?;
         iterations.push((mid, res.iterations));
         if res.feasible {
             best = Some((mid, res.labels));
@@ -188,24 +215,19 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
             circuit,
         });
     }
-    let cuts = ctx.final_cuts(&labels, phi);
+    let cuts = {
+        let _t = time_phase(Phase::Search);
+        ctx.final_cuts(&labels, phi)
+    };
+    let _t_gen = time_phase(Phase::Generate);
     let roots = crate::generate::collect_roots(&bounded, &cuts)?;
     let rr: std::collections::HashMap<netlist::NodeId, i64> = roots
         .keys()
         .map(|&v| (v, ceil_div(labels.ls[v.index()], phi as i64) - 1))
         .collect();
-    let gen = generate_mapping(
-        &bounded,
-        &roots,
-        &rr,
-        &format!("{}_tmfrt", c.name()),
-        false,
-    )?;
+    let gen = generate_mapping(&bounded, &roots, &rr, &format!("{}_tmfrt", c.name()), false)?;
     debug_assert!(!gen.initial_state_lost);
-    let achieved = gen
-        .circuit
-        .clock_period()
-        .map_err(TurboMapError::Invalid)?;
+    let achieved = gen.circuit.clock_period().map_err(TurboMapError::Invalid)?;
     debug_assert!(achieved <= phi, "generated period {achieved} > Φ {phi}");
     let sharing_conflict = !gen.circuit.sharing_consistent();
     Ok(TurboMapResult {
@@ -231,11 +253,18 @@ pub fn turbomap_general(c: &Circuit, opts: Options) -> Result<TurboMapResult, Tu
     let bounded = prepare(c, opts.k)?;
     let baseline = flowmap::flowmap_frt(&bounded, opts.k).map_err(TurboMapError::Baseline)?;
     let upper = baseline.period.max(1);
-    let ctx = GeneralContext::new(&bounded, opts.k, opts.general_horizon);
+    let ctx = {
+        let _t = time_phase(Phase::Search);
+        GeneralContext::new(&bounded, opts.k, opts.general_horizon)
+    };
     let mut iterations = Vec::new();
     let mut lo = 1u64;
     let mut hi = upper;
-    let top = ctx.check(upper);
+    let top = {
+        let _t = time_phase(Phase::Label);
+        ctx.check(upper)
+    };
+    check_cancelled()?;
     iterations.push((upper, top.iterations));
     if !top.feasible {
         return Err(TurboMapError::NoFeasiblePeriod);
@@ -243,7 +272,11 @@ pub fn turbomap_general(c: &Circuit, opts: Options) -> Result<TurboMapResult, Tu
     let mut best = Some((upper, top.labels));
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        let res = ctx.check(mid);
+        let res = {
+            let _t = time_phase(Phase::Label);
+            ctx.check(mid)
+        };
+        check_cancelled()?;
         iterations.push((mid, res.iterations));
         if res.feasible {
             best = Some((mid, res.labels));
@@ -269,23 +302,18 @@ pub fn turbomap_general(c: &Circuit, opts: Options) -> Result<TurboMapResult, Tu
             circuit,
         });
     }
-    let cuts = ctx.final_cuts(&labels, phi);
+    let cuts = {
+        let _t = time_phase(Phase::Search);
+        ctx.final_cuts(&labels, phi)
+    };
+    let _t_gen = time_phase(Phase::Generate);
     let roots = crate::generate::collect_roots(&bounded, &cuts)?;
     let rr: std::collections::HashMap<netlist::NodeId, i64> = roots
         .keys()
         .map(|&v| (v, ceil_div(labels[v.index()], phi as i64) - 1))
         .collect();
-    let gen = generate_mapping(
-        &bounded,
-        &roots,
-        &rr,
-        &format!("{}_tm", c.name()),
-        true,
-    )?;
-    let achieved = gen
-        .circuit
-        .clock_period()
-        .map_err(TurboMapError::Invalid)?;
+    let gen = generate_mapping(&bounded, &roots, &rr, &format!("{}_tm", c.name()), true)?;
+    let achieved = gen.circuit.clock_period().map_err(TurboMapError::Invalid)?;
     debug_assert!(achieved <= phi, "generated period {achieved} > Φ {phi}");
     let sharing_conflict = !gen.circuit.sharing_consistent();
     Ok(TurboMapResult {

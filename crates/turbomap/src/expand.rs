@@ -95,9 +95,11 @@ impl ExpandedCircuit {
                     Some(&ci) => {
                         // An existing node's leaf-ness never changes: it
                         // was classified by (node, weight) alone.
+                        engine::telemetry::count(engine::telemetry::Counter::ExpandCacheHits, 1);
                         ci
                     }
                     None => {
+                        engine::telemetry::count(engine::telemetry::Counter::ExpandCacheMisses, 1);
                         if nodes.len() >= max_nodes {
                             return None;
                         }
@@ -184,10 +186,7 @@ mod tests {
         assert!(exp.is_leaf[bi]);
         assert!(exp.fanins[bi].is_empty());
         let a = c.find("a").unwrap();
-        assert!(!exp
-            .nodes
-            .iter()
-            .any(|&en| en.node == a && en.weight == 1));
+        assert!(!exp.nodes.iter().any(|&en| en.node == a && en.weight == 1));
     }
 
     #[test]

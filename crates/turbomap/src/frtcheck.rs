@@ -145,7 +145,20 @@ impl<'a> FrtContext<'a> {
         // speed-up behind the paper's "5–15 iterations per Φ").
         let mut dirty = vec![true; n];
         loop {
+            // Sweep-granular cancellation: when the batch runner's deadline
+            // (or an external cancel) trips the installed token, bail out
+            // as "infeasible" — the driver re-checks the token and maps
+            // the early exit to `TurboMapError::Cancelled`, never using
+            // the partial labels.
+            if engine::cancel::cancelled() {
+                return FrtCheck {
+                    feasible: false,
+                    labels,
+                    iterations,
+                };
+            }
             iterations += 1;
+            engine::telemetry::count(engine::telemetry::Counter::FrtSweeps, 1);
             let mut changed = false;
             for &v in &self.order {
                 let node = c.node(v);
@@ -170,10 +183,23 @@ impl<'a> FrtContext<'a> {
                     // whose expanded circuits contain `v` see it through
                     // their cut heights.
                     for &e in node.fanout() {
-                        dirty[c.edge(e).to().index()] = true;
+                        let t = c.edge(e).to().index();
+                        if !dirty[t] {
+                            dirty[t] = true;
+                            engine::telemetry::count(
+                                engine::telemetry::Counter::FrtRequeuedGates,
+                                1,
+                            );
+                        }
                     }
                     for &g in &self.influenced[i] {
-                        dirty[g as usize] = true;
+                        if !dirty[g as usize] {
+                            dirty[g as usize] = true;
+                            engine::telemetry::count(
+                                engine::telemetry::Counter::FrtRequeuedGates,
+                                1,
+                            );
+                        }
                     }
                     if new_ls > phi_i {
                         // Lower bound already violates Corollary 1 for
@@ -200,8 +226,7 @@ impl<'a> FrtContext<'a> {
         // Converged: Corollary 1 must hold at every node.
         let feasible = c.node_ids().all(|v| {
             let i = v.index();
-            labels.ls[i] <= LS_NEG_INF
-                || labels.ls[i] + phi_i * labels.r[i] as i64 <= phi_i
+            labels.ls[i] <= LS_NEG_INF || labels.ls[i] + phi_i * labels.r[i] as i64 <= phi_i
         });
         FrtCheck {
             feasible,

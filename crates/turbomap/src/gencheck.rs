@@ -109,7 +109,17 @@ impl<'a> GeneralContext<'a> {
         let mut iterations = 0usize;
         let mut dirty = vec![true; n];
         loop {
+            // Same cancellation contract as `FrtContext::check`: bail out
+            // as "infeasible"; the driver re-checks the token.
+            if engine::cancel::cancelled() {
+                return GeneralCheck {
+                    feasible: false,
+                    labels,
+                    iterations,
+                };
+            }
             iterations += 1;
+            engine::telemetry::count(engine::telemetry::Counter::FrtSweeps, 1);
             let mut changed = false;
             for &v in &self.order {
                 let node = c.node(v);
@@ -125,7 +135,8 @@ impl<'a> GeneralContext<'a> {
                     script
                 } else {
                     let exp = self.expanded[v.index()].as_ref();
-                    match exp.and_then(|e| find_cut(e, &labels, phi_i, script, self.horizon, self.k))
+                    match exp
+                        .and_then(|e| find_cut(e, &labels, phi_i, script, self.horizon, self.k))
                     {
                         Some(_) => script,
                         None => script + 1,
@@ -161,10 +172,7 @@ impl<'a> GeneralContext<'a> {
                 };
             }
         }
-        let feasible = c
-            .outputs()
-            .iter()
-            .all(|&po| labels[po.index()] <= phi_i);
+        let feasible = c.outputs().iter().all(|&po| labels[po.index()] <= phi_i);
         GeneralCheck {
             feasible,
             labels,

@@ -224,7 +224,12 @@ pub fn generate_mapping(
             let node_name = if pos == 0 {
                 c.node(v).name().to_string()
             } else {
-                format!("{}~x{}w{}", c.node(v).name(), c.node(en.node).name(), en.weight)
+                format!(
+                    "{}~x{}w{}",
+                    c.node(v).name(),
+                    c.node(en.node).name(),
+                    en.weight
+                )
             };
             let tt = c.node(en.node).function().expect("cone gates").clone();
             let id = h.add_gate(node_name, tt)?;
@@ -294,8 +299,7 @@ pub fn generate_mapping(
                     *b = netlist::Bit::X;
                 }
             }
-            let (hr, mv) =
-                apply_retiming(&hx, &retiming).map_err(GenerateError::Retiming)?;
+            let (hr, mv) = apply_retiming(&hx, &retiming).map_err(GenerateError::Retiming)?;
             (hr, mv, true)
         }
         Err(e) => return Err(GenerateError::Retiming(e)),

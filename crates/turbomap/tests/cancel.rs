@@ -1,0 +1,84 @@
+//! Cooperative cancellation: a tripped `engine::cancel` token must be
+//! observed inside the FRTcheck sweep loop and surface as
+//! `TurboMapError::Cancelled`, never as a bogus mapping result.
+
+use engine::cancel::{self, CancelToken};
+use turbomap::{turbomap_frt, turbomap_general, Options, TurboMapError};
+use workloads::{generate_fsm, Encoding, FsmSpec};
+
+fn sample() -> netlist::Circuit {
+    generate_fsm(&FsmSpec {
+        name: "cancelme".into(),
+        states: 8,
+        inputs: 3,
+        decoded: 2,
+        outputs: 2,
+        encoding: Encoding::Binary,
+        registered_inputs: true,
+        seed: 11,
+    })
+}
+
+#[test]
+fn pre_cancelled_token_aborts_frt_mapping() {
+    let c = sample();
+    let token = CancelToken::new();
+    token.cancel();
+    let _guard = cancel::install(token);
+    match turbomap_frt(&c, Options::with_k(4)) {
+        Err(TurboMapError::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn pre_cancelled_token_aborts_general_mapping() {
+    let c = sample();
+    let token = CancelToken::new();
+    token.cancel();
+    let _guard = cancel::install(token);
+    match turbomap_general(&c, Options::with_k(4)) {
+        Err(TurboMapError::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn frtcheck_observes_cancellation_mid_run() {
+    // Trip the token from a watcher thread while FRTcheck sweeps: the
+    // driver must abort with Cancelled instead of running to completion.
+    // (Deterministic fallback: if the run finishes before the trip lands,
+    // re-run with the token pre-tripped, which must cancel.)
+    let c = sample();
+    let token = CancelToken::new();
+    let trip = token.clone();
+    let watcher = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        trip.cancel();
+    });
+    let res = {
+        let _guard = cancel::install(token.clone());
+        turbomap_frt(&c, Options::with_k(4))
+    };
+    watcher.join().unwrap();
+    match res {
+        Err(TurboMapError::Cancelled) => {}
+        Ok(_) => {
+            // Outran the watcher — verify the cancelled path directly.
+            let _guard = cancel::install(token);
+            match turbomap_frt(&c, Options::with_k(4)) {
+                Err(TurboMapError::Cancelled) => {}
+                other => panic!("expected Cancelled after trip, got {other:?}"),
+            }
+        }
+        Err(other) => panic!("unexpected error: {other:?}"),
+    }
+}
+
+#[test]
+fn uninstalled_token_does_not_affect_runs() {
+    // No token installed: mapping runs to completion normally.
+    let c = sample();
+    let res = turbomap_frt(&c, Options::with_k(4)).unwrap();
+    assert!(res.period >= 1);
+}

@@ -69,10 +69,7 @@ fn frt_labels_weaken_with_phi() {
             let (_, a) = &w[0];
             let (_, b) = &w[1];
             for i in 0..a.ls.len() {
-                assert!(
-                    b.ls[i] <= a.ls[i],
-                    "label grew when Φ increased (node {i})"
-                );
+                assert!(b.ls[i] <= a.ls[i], "label grew when Φ increased (node {i})");
             }
         }
     }

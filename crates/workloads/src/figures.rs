@@ -152,7 +152,7 @@ mod tests {
     fn fig2_structure() {
         let c = fig2_circuit();
         netlist::validate(&c).unwrap();
-        assert_eq!(c.num_gates(), 33);
+        assert_eq!(c.num_gates(), 39);
         // Some register is pullable somewhere (the non-simple ingredient).
         let frt = max_forward_retiming_values(&c);
         assert!(c.gate_ids().any(|v| frt[v.index()] >= 1));

@@ -10,9 +10,8 @@
 //! 0, giving every register a defined initial value (the paper's setting:
 //! "sequential circuits with given initial states").
 
+use engine::Rng64;
 use netlist::{Bit, Circuit, NodeId, TruthTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// State register encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +55,12 @@ impl FsmSpec {
             Encoding::Binary => bits_for(self.states),
             Encoding::OneHot => self.states,
         };
-        state_regs + if self.registered_inputs { self.inputs.max(1) } else { 0 }
+        state_regs
+            + if self.registered_inputs {
+                self.inputs.max(1)
+            } else {
+                0
+            }
     }
 }
 
@@ -80,7 +84,12 @@ impl Synth {
 
     /// Balanced tree of 2-input `tt`-gates over the operand nodes.
     /// Single operands pass through unchanged.
-    fn tree(&mut self, op: fn(usize) -> TruthTable, mut operands: Vec<NodeId>, prefix: &str) -> NodeId {
+    fn tree(
+        &mut self,
+        op: fn(usize) -> TruthTable,
+        mut operands: Vec<NodeId>,
+        prefix: &str,
+    ) -> NodeId {
         assert!(!operands.is_empty());
         while operands.len() > 1 {
             let mut next = Vec::with_capacity(operands.len().div_ceil(2));
@@ -119,7 +128,7 @@ impl Synth {
 pub fn generate_fsm(spec: &FsmSpec) -> Circuit {
     assert!(spec.states >= 1, "FSM needs at least one state");
     assert!(spec.outputs >= 1, "FSM needs at least one output");
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xF5A5_1234_ABCD_0001);
+    let mut rng = Rng64::new(spec.seed ^ 0xF5A5_1234_ABCD_0001);
     // At least one decoded input keeps the state loop PI-reachable (the
     // papers' model requires it); at most 3 keeps the decoder tractable.
     let decoded_inputs = spec.decoded.clamp(1, 3).min(spec.inputs.max(1));
@@ -132,17 +141,17 @@ pub fn generate_fsm(spec: &FsmSpec) -> Circuit {
         .map(|_| {
             (0..combos)
                 .map(|_| {
-                    if rng.gen_bool(0.4) {
+                    if rng.chance(0.4) {
                         0
                     } else {
-                        rng.gen_range(0..spec.states)
+                        rng.below(spec.states)
                     }
                 })
                 .collect()
         })
         .collect();
     let out_on: Vec<Vec<bool>> = (0..spec.outputs)
-        .map(|_| (0..spec.states).map(|_| rng.gen_bool(0.4)).collect())
+        .map(|_| (0..spec.states).map(|_| rng.chance(0.4)).collect())
         .collect();
 
     let mut s = Synth {
@@ -157,10 +166,9 @@ pub fn generate_fsm(spec: &FsmSpec) -> Circuit {
             .iter()
             .enumerate()
             .map(|(i, &p)| {
-                let b = s
-                    .c
-                    .add_gate(format!("inreg{i}"), TruthTable::buf())
-                    .expect("unique");
+                let b =
+                    s.c.add_gate(format!("inreg{i}"), TruthTable::buf())
+                        .expect("unique");
                 s.c.connect(p, b, vec![Bit::from_bool(i % 2 == 1)])
                     .expect("arity");
                 b
@@ -185,10 +193,7 @@ pub fn generate_fsm(spec: &FsmSpec) -> Circuit {
     let state_src: Vec<NodeId> = (0..regs)
         .map(|b| s.fresh_gate(TruthTable::buf(), &format!("st{b}")))
         .collect();
-    let state_inv: Vec<NodeId> = state_src
-        .iter()
-        .map(|&b| s.invert(b, "nst"))
-        .collect();
+    let state_inv: Vec<NodeId> = state_src.iter().map(|&b| s.invert(b, "nst")).collect();
 
     // Decoder terms: state == k (AND over encoded bits or the one-hot bit).
     let state_term = |s: &mut Synth, k: usize| -> NodeId {

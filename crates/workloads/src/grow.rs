@@ -16,9 +16,8 @@
 //! for synthetic benchmarks — equivalence is only ever checked between a
 //! circuit and its own mapping.
 
+use engine::Rng64;
 use netlist::{Circuit, EdgeId, TruthTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Grows `c` to exactly `target_gates` gates (if it is not already
 /// larger), first deepening it to `target_depth`.
@@ -31,7 +30,7 @@ use rand::{Rng, SeedableRng};
 /// Panics if `c` has no edges or no PIs.
 pub fn grow(c: &Circuit, target_gates: usize, target_depth: u64, seed: u64) -> Circuit {
     assert!(c.num_edges() > 0 && !c.inputs().is_empty());
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x6407_17A6_0000_0003);
+    let mut rng = Rng64::new(seed ^ 0x6407_17A6_0000_0003);
     let mut out = c.clone();
     let ops: [fn(usize) -> TruthTable; 3] = [TruthTable::and, TruthTable::or, TruthTable::xor];
     let mut counter = 0usize;
@@ -50,13 +49,10 @@ pub fn grow(c: &Circuit, target_gates: usize, target_depth: u64, seed: u64) -> C
             depth = out.clock_period().expect("acyclic");
         }
         // Chains into PO tails for any remaining depth (rare).
-        while out.num_gates() < target_gates
-            && depth < target_depth
-            && !out.outputs().is_empty()
-        {
-            let po = out.outputs()[rng.gen_range(0..out.outputs().len())];
+        while out.num_gates() < target_gates && depth < target_depth && !out.outputs().is_empty() {
+            let po = out.outputs()[rng.below(out.outputs().len())];
             let e = out.node(po).fanin()[0];
-            splice(&mut out, e, ops[rng.gen_range(0..3)](2), &mut counter, &mut rng);
+            splice(&mut out, e, ops[rng.below(3)](2), &mut counter, &mut rng);
             depth = out.clock_period().expect("acyclic");
         }
     }
@@ -78,7 +74,10 @@ pub fn grow(c: &Circuit, target_gates: usize, target_depth: u64, seed: u64) -> C
         // nodes count as deep) to keep the period near the target.
         let cost = |out: &Circuit, arr: &[u64], req: &[u64], e: EdgeId| -> u64 {
             let edge = out.edge(e);
-            let a = arr.get(edge.from().index()).copied().unwrap_or(u64::MAX / 4);
+            let a = arr
+                .get(edge.from().index())
+                .copied()
+                .unwrap_or(u64::MAX / 4);
             let (dv, r) = if edge.weight() == 0 {
                 (
                     out.node(edge.to()).delay(),
@@ -89,13 +88,13 @@ pub fn grow(c: &Circuit, target_gates: usize, target_depth: u64, seed: u64) -> C
             };
             a.saturating_add(1).saturating_add(dv).saturating_add(r)
         };
-        let mut best_e = EdgeId(rng.gen_range(0..out.num_edges() as u32));
+        let mut best_e = EdgeId(rng.below(out.num_edges()) as u32);
         let mut best_c = cost(&out, &arrivals, &required, best_e);
         for _ in 0..8 {
             if best_c <= depth_cap {
                 break;
             }
-            let e = EdgeId(rng.gen_range(0..out.num_edges() as u32));
+            let e = EdgeId(rng.below(out.num_edges()) as u32);
             let c2 = cost(&out, &arrivals, &required, e);
             if c2 < best_c {
                 best_e = e;
@@ -106,7 +105,13 @@ pub fn grow(c: &Circuit, target_gates: usize, target_depth: u64, seed: u64) -> C
             .get(out.edge(best_e).from().index())
             .copied()
             .unwrap_or(u64::MAX / 4);
-        let g = splice(&mut out, best_e, ops[rng.gen_range(0..3)](2), &mut counter, &mut rng);
+        let g = splice(
+            &mut out,
+            best_e,
+            ops[rng.below(3)](2),
+            &mut counter,
+            &mut rng,
+        );
         // Track the new gate's approximate timing so chains do not build
         // on "unknown" nodes between refreshes.
         while arrivals.len() < g.index() {
@@ -130,7 +135,7 @@ fn braid(
     levels: usize,
     budget: usize,
     counter: &mut usize,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
 ) {
     // Width before length: ≥ K+2 strands over distinct signal origins
     // resist K=5 covering (and its time-unrolled variants); a narrower
@@ -163,10 +168,7 @@ fn braid(
         c.node(x).is_input()
             || (c.node(x).is_gate()
                 && !c.node(x).fanin().is_empty()
-                && c.node(x)
-                    .fanin()
-                    .iter()
-                    .all(|&fe| c.edge(fe).weight() >= 1))
+                && c.node(x).fanin().iter().all(|&fe| c.edge(fe).weight() >= 1))
     };
     let safe = |x: netlist::NodeId| !comb_desc[x.index()] && !c.node(x).is_output() && x != u;
     // PIs go in first: a braid whose support is register-dominated can be
@@ -195,7 +197,7 @@ fn braid(
             strands.push(u);
             continue;
         };
-        let i = rng.gen_range(0..pool.len());
+        let i = rng.below(pool.len());
         strands.push(pool.swap_remove(i));
     }
     let ops: [fn(usize) -> TruthTable; 3] = [TruthTable::and, TruthTable::or, TruthTable::xor];
@@ -208,9 +210,7 @@ fn braid(
                 *counter += 1;
                 name = format!("braid{counter}");
             }
-            let g = c
-                .add_gate(name, ops[rng.gen_range(0..3)](2))
-                .expect("unique");
+            let g = c.add_gate(name, ops[rng.below(3)](2)).expect("unique");
             let a = strands[i];
             let b = strands[(i + 1 + level % (width - 1)) % width];
             c.connect(a, g, vec![]).expect("arity");
@@ -233,9 +233,7 @@ fn braid(
                         *counter += 1;
                         name = format!("braid{counter}");
                     }
-                    let g = c
-                        .add_gate(name, TruthTable::xor(2))
-                        .expect("unique");
+                    let g = c.add_gate(name, TruthTable::xor(2)).expect("unique");
                     c.connect(a, g, vec![]).expect("arity");
                     c.connect(b, g, vec![]).expect("arity");
                     next.push(g);
@@ -306,10 +304,10 @@ fn splice(
     e: EdgeId,
     tt: TruthTable,
     counter: &mut usize,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
 ) -> netlist::NodeId {
     let u = c.edge(e).from();
-    let pi = c.inputs()[rng.gen_range(0..c.inputs().len())];
+    let pi = c.inputs()[rng.below(c.inputs().len())];
     *counter += 1;
     let mut name = format!("grown{counter}");
     while c.find(&name).is_some() {

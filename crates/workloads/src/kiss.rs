@@ -84,7 +84,9 @@ pub fn parse_kiss2(text: &str) -> Result<Stg, KissError> {
     let mut inputs = None;
     let mut outputs = None;
     let mut reset: Option<String> = None;
-    let mut raw: Vec<(usize, Vec<Bit>, String, String, Vec<Bit>)> = Vec::new();
+    // (line number, input cube, from-state, to-state, output cube)
+    type RawTransition = (usize, Vec<Bit>, String, String, Vec<Bit>);
+    let mut raw: Vec<RawTransition> = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         let line_no = idx + 1;
         let content = match line.find('#') {
@@ -175,10 +177,11 @@ pub fn synthesize_stg(stg: &Stg, encoding: Encoding, name: &str) -> Result<Circu
         .map(|i| c.add_input(format!("in{i}")))
         .collect::<Result<_, _>>()?;
     let mut counter = 0usize;
-    let mut fresh = |c: &mut Circuit, tt: TruthTable, prefix: &str| -> Result<NodeId, NetlistError> {
-        counter += 1;
-        c.add_gate(format!("{prefix}_{counter}"), tt)
-    };
+    let mut fresh =
+        |c: &mut Circuit, tt: TruthTable, prefix: &str| -> Result<NodeId, NetlistError> {
+            counter += 1;
+            c.add_gate(format!("{prefix}_{counter}"), tt)
+        };
     // Balanced 2-input trees.
     fn tree(
         c: &mut Circuit,
@@ -218,9 +221,7 @@ pub fn synthesize_stg(stg: &Stg, encoding: Encoding, name: &str) -> Result<Circu
 
     let regs = match encoding {
         Encoding::OneHot => stg.states.len(),
-        Encoding::Binary => {
-            (usize::BITS - (stg.states.len().max(2) - 1).leading_zeros()) as usize
-        }
+        Encoding::Binary => (usize::BITS - (stg.states.len().max(2) - 1).leading_zeros()) as usize,
     };
     let state_src: Vec<NodeId> = (0..regs)
         .map(|b| fresh(&mut c, TruthTable::buf(), &format!("st{b}")))
@@ -244,7 +245,13 @@ pub fn synthesize_stg(stg: &Stg, encoding: Encoding, name: &str) -> Result<Circu
             Encoding::OneHot => state_src[k],
             Encoding::Binary => {
                 let lits: Vec<NodeId> = (0..regs)
-                    .map(|b| if bit_set(k, b) { state_src[b] } else { state_inv[b] })
+                    .map(|b| {
+                        if bit_set(k, b) {
+                            state_src[b]
+                        } else {
+                            state_inv[b]
+                        }
+                    })
                     .collect();
                 tree(&mut c, TruthTable::and, lits, &mut fresh, "dec")?
             }
@@ -265,7 +272,7 @@ pub fn synthesize_stg(stg: &Stg, encoding: Encoding, name: &str) -> Result<Circu
         minterms.push(tree(&mut c, TruthTable::and, lits, &mut fresh, "mt")?);
     }
     // Next-state bits.
-    for b in 0..regs {
+    for (b, &src) in state_src.iter().enumerate() {
         let terms: Vec<NodeId> = stg
             .transitions
             .iter()
@@ -283,7 +290,7 @@ pub fn synthesize_stg(stg: &Stg, encoding: Encoding, name: &str) -> Result<Circu
         } else {
             tree(&mut c, TruthTable::or, terms, &mut fresh, &format!("nx{b}"))?
         };
-        c.connect(driver, state_src[b], vec![init])?;
+        c.connect(driver, src, vec![init])?;
     }
     // Mealy outputs: OR of minterms whose output cube sets the bit.
     for o in 0..stg.outputs.max(1) {
@@ -292,9 +299,7 @@ pub fn synthesize_stg(stg: &Stg, encoding: Encoding, name: &str) -> Result<Circu
             .transitions
             .iter()
             .enumerate()
-            .filter(|(_, (_, _, _, out))| {
-                o < out.len() && out[o] == Bit::One
-            })
+            .filter(|(_, (_, _, _, out))| o < out.len() && out[o] == Bit::One)
             .map(|(i, _)| minterms[i])
             .collect();
         let driver = if terms.is_empty() {
@@ -358,7 +363,9 @@ mod tests {
         let stg = parse_kiss2(TOGGLE).unwrap();
         let a = synthesize_stg(&stg, Encoding::OneHot, "t1").unwrap();
         let b = synthesize_stg(&stg, Encoding::Binary, "t2").unwrap();
-        assert!(netlist::exhaustive_equiv(&a, &b, 6).unwrap().is_equivalent());
+        assert!(netlist::exhaustive_equiv(&a, &b, 6)
+            .unwrap()
+            .is_equivalent());
     }
 
     #[test]

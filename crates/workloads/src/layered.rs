@@ -10,9 +10,8 @@
 //! back (always through registers, so no combinational cycles); every
 //! gate's inputs trace back to PIs.
 
+use engine::Rng64;
 use netlist::{Bit, Circuit, NodeId, TruthTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of a layered sequential circuit.
 #[derive(Debug, Clone)]
@@ -47,7 +46,7 @@ pub fn generate_layered(spec: &LayeredSpec) -> Circuit {
     assert!(spec.inputs > 0 && spec.outputs > 0);
     let depth = spec.depth.max(1);
     assert!(spec.gates >= depth, "need at least one gate per layer");
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x15CA_5890_0000_0001);
+    let mut rng = Rng64::new(spec.seed ^ 0x15CA_5890_0000_0001);
     let mut c = Circuit::new(spec.name.clone());
     let raw_pis: Vec<NodeId> = (0..spec.inputs)
         .map(|i| c.add_input(format!("in{i}")).expect("unique"))
@@ -73,7 +72,10 @@ pub fn generate_layered(spec: &LayeredSpec) -> Circuit {
 
     // Register file bits are buffer gates fed later through one FF each.
     let regs: Vec<NodeId> = (0..spec.ffs)
-        .map(|i| c.add_gate(format!("r{i}"), TruthTable::buf()).expect("unique"))
+        .map(|i| {
+            c.add_gate(format!("r{i}"), TruthTable::buf())
+                .expect("unique")
+        })
         .collect();
 
     let ops: [fn(usize) -> TruthTable; 4] = [
@@ -99,16 +101,14 @@ pub fn generate_layered(spec: &LayeredSpec) -> Circuit {
         };
         let mut this_layer = Vec::with_capacity(count);
         for i in 0..count {
-            let tt = ops[rng.gen_range(0..ops.len())](2);
-            let g = c
-                .add_gate(format!("g{layer}_{i}"), tt)
-                .expect("unique");
+            let tt = ops[rng.below(ops.len())](2);
+            let g = c.add_gate(format!("g{layer}_{i}"), tt).expect("unique");
             // Input 0: biased toward the immediately previous layer to
             // build depth (layer 0 reads PIs so every node stays
             // PI-reachable — register bits alone would form autonomous
             // loops); input 1: anywhere earlier for reconvergence.
             let a = if layer == 0 {
-                pis[rng.gen_range(0..pis.len())]
+                pis[rng.below(pis.len())]
             } else {
                 pick(&mut rng, &prev_layers, true)
             };
@@ -131,15 +131,19 @@ pub fn generate_layered(spec: &LayeredSpec) -> Circuit {
     // Shuffle the deep half to decorrelate consecutive registers.
     let window = (pool.len() / 2).max(1).min(pool.len());
     for i in 0..window.saturating_sub(1) {
-        let j = rng.gen_range(i..window);
+        let j = rng.range_usize(i, window);
         pool.swap(i, j);
     }
     if gates.is_empty() {
         pool = pis.clone();
     }
     for (i, &r) in regs.iter().enumerate() {
-        let src = if i < pool.len() { pool[i] } else { regs[i - pool.len()] };
-        let init = Bit::from_bool(rng.gen_bool(0.5));
+        let src = if i < pool.len() {
+            pool[i]
+        } else {
+            regs[i - pool.len()]
+        };
+        let init = Bit::from_bool(rng.chance(0.5));
         c.connect(src, r, vec![init]).expect("register loop");
     }
 
@@ -153,14 +157,14 @@ pub fn generate_layered(spec: &LayeredSpec) -> Circuit {
     c
 }
 
-fn pick(rng: &mut StdRng, layers: &[Vec<NodeId>], prefer_last: bool) -> NodeId {
+fn pick(rng: &mut Rng64, layers: &[Vec<NodeId>], prefer_last: bool) -> NodeId {
     let li = if prefer_last || layers.len() == 1 {
         layers.len() - 1
     } else {
-        rng.gen_range(0..layers.len())
+        rng.below(layers.len())
     };
     let layer = &layers[li];
-    layer[rng.gen_range(0..layer.len())]
+    layer[rng.below(layer.len())]
 }
 
 #[cfg(test)]

@@ -155,7 +155,9 @@ pub fn build_preset(p: &Preset) -> Circuit {
             Encoding::Binary => {
                 // Keep bits_for(states) = F - inputs.
                 let bits = (p.paper.f - inputs).max(1);
-                ((3usize << bits) / 4).max((1 << (bits - 1)) + 1).min(1 << bits)
+                ((3usize << bits) / 4)
+                    .max((1 << (bits - 1)) + 1)
+                    .min(1 << bits)
             }
         };
         let base = generate_fsm(&FsmSpec {

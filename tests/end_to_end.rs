@@ -27,15 +27,21 @@ fn flows_are_equivalent_and_ordered() {
 
         // Equivalence: FM and TMF always; TM unless starred.
         assert!(
-            random_equiv(&c, &fm.circuit, 512, 1).unwrap().is_equivalent(),
+            random_equiv(&c, &fm.circuit, 512, 1)
+                .unwrap()
+                .is_equivalent(),
             "{name}: FlowMap-frt not equivalent"
         );
         assert!(!tf.star(), "{name}: TurboMap-frt must never lose state");
         assert!(
-            random_equiv(&c, &tf.circuit, 512, 2).unwrap().is_equivalent(),
+            random_equiv(&c, &tf.circuit, 512, 2)
+                .unwrap()
+                .is_equivalent(),
             "{name}: TurboMap-frt not equivalent"
         );
-        let tm_eq = random_equiv(&c, &tm.circuit, 512, 3).unwrap().is_equivalent();
+        let tm_eq = random_equiv(&c, &tm.circuit, 512, 3)
+            .unwrap()
+            .is_equivalent();
         assert!(
             tm_eq || tm.star(),
             "{name}: TurboMap neither equivalent nor starred"
@@ -89,7 +95,9 @@ fn fig2_requires_nonsimple() {
         full.period,
         simple.period
     );
-    assert!(random_equiv(&c, &full.circuit, 512, 4).unwrap().is_equivalent());
+    assert!(random_equiv(&c, &full.circuit, 512, 4)
+        .unwrap()
+        .is_equivalent());
 }
 
 #[test]
@@ -166,7 +174,9 @@ fn partial_initial_states_supported() {
     c.connect(g1, g2, vec![]).unwrap();
     c.connect(g1, o, vec![]).unwrap();
     let tf = turbomap_frt(&c, Options::with_k(4)).expect("maps");
-    assert!(random_equiv(&c, &tf.circuit, 512, 8).unwrap().is_equivalent());
+    assert!(random_equiv(&c, &tf.circuit, 512, 8)
+        .unwrap()
+        .is_equivalent());
 }
 
 #[test]
@@ -225,7 +235,9 @@ fn register_minimisation_after_mapping() {
     assert!(r.after <= r.before);
     assert!(r.circuit.clock_period().unwrap() <= budget);
     assert!(
-        random_equiv(&c, &r.circuit, 512, 13).unwrap().is_equivalent(),
+        random_equiv(&c, &r.circuit, 512, 13)
+            .unwrap()
+            .is_equivalent(),
         "register minimisation broke equivalence"
     );
 }
@@ -253,7 +265,9 @@ fn kiss2_through_full_flow() {
         netlist::validate(&c).expect("valid");
         let tf = turbomap_frt(&c, Options::with_k(4)).expect("maps");
         assert!(
-            random_equiv(&c, &tf.circuit, 512, 17).unwrap().is_equivalent(),
+            random_equiv(&c, &tf.circuit, 512, 17)
+                .unwrap()
+                .is_equivalent(),
             "{enc:?}"
         );
     }

@@ -1,125 +1,164 @@
-//! Property-based integration tests: random circuits through the whole
+//! Randomized integration tests: seeded random circuits through the whole
 //! stack, with sequential equivalence and the paper's invariants as the
-//! properties.
+//! properties. Deterministic (fixed seeds via `engine::Rng64`) so failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
+use engine::Rng64;
 use workloads::{generate_fsm, generate_layered, Encoding, FsmSpec, LayeredSpec};
 
-fn fsm_strategy() -> impl Strategy<Value = netlist::Circuit> {
-    (
-        2usize..8,
-        1usize..4,
-        1usize..3,
-        0u64..1000,
-        prop::bool::ANY,
-        prop::bool::ANY,
-    )
-        .prop_map(|(states, inputs, outputs, seed, onehot, reg_in)| {
-            generate_fsm(&FsmSpec {
-                name: format!("pfsm{seed}"),
-                states,
-                inputs,
-                decoded: 2,
-                outputs,
-                encoding: if onehot {
-                    Encoding::OneHot
-                } else {
-                    Encoding::Binary
-                },
-                registered_inputs: reg_in,
-                seed,
-            })
-        })
-}
+const CASES: u64 = 24;
 
-fn layered_strategy() -> impl Strategy<Value = netlist::Circuit> {
-    (10usize..60, 0usize..8, 2usize..6, 0u64..1000, prop::bool::ANY).prop_map(
-        |(gates, ffs, depth, seed, reg_in)| {
-            generate_layered(&LayeredSpec {
-                name: format!("play{seed}"),
-                gates: gates.max(depth),
-                ffs,
-                inputs: 4,
-                outputs: 3,
-                depth,
-                registered_inputs: reg_in,
-                seed,
-            })
+fn random_fsm(rng: &mut Rng64, tag: &str, case: u64) -> netlist::Circuit {
+    generate_fsm(&FsmSpec {
+        name: format!("p{tag}{case}"),
+        states: rng.range_usize(2, 8),
+        inputs: rng.range_usize(1, 4),
+        decoded: 2,
+        outputs: rng.range_usize(1, 3),
+        encoding: if rng.chance(0.5) {
+            Encoding::OneHot
+        } else {
+            Encoding::Binary
         },
-    )
+        registered_inputs: rng.chance(0.5),
+        seed: rng.next_u64() % 1000,
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_layered(rng: &mut Rng64, tag: &str, case: u64) -> netlist::Circuit {
+    let depth = rng.range_usize(2, 6);
+    generate_layered(&LayeredSpec {
+        name: format!("p{tag}{case}"),
+        gates: rng.range_usize(10, 60).max(depth),
+        ffs: rng.below(8),
+        inputs: 4,
+        outputs: 3,
+        depth,
+        registered_inputs: rng.chance(0.5),
+        seed: rng.next_u64() % 1000,
+    })
+}
 
-    #[test]
-    fn turbomap_frt_equivalent_on_random_fsms(c in fsm_strategy()) {
+#[test]
+fn turbomap_frt_equivalent_on_random_fsms() {
+    let mut rng = Rng64::new(0x7A11);
+    for case in 0..CASES {
+        let c = random_fsm(&mut rng, "fsm", case);
         let res = turbomap::turbomap_frt(&c, turbomap::Options::with_k(4)).unwrap();
-        prop_assert!(!res.star());
-        prop_assert!(res.circuit.max_fanin() <= 4);
-        prop_assert!(
-            netlist::random_equiv(&c, &res.circuit, 256, 17).unwrap().is_equivalent()
+        assert!(!res.star(), "case {case}");
+        assert!(res.circuit.max_fanin() <= 4, "case {case}");
+        assert!(
+            netlist::random_equiv(&c, &res.circuit, 256, 17)
+                .unwrap()
+                .is_equivalent(),
+            "case {case}: not equivalent"
         );
         // Optimality vs the baseline.
         let prep = turbomap::prepare(&c, 4).unwrap();
         let fm = flowmap::flowmap_frt(&prep, 4).unwrap();
-        prop_assert!(res.period <= fm.period);
-    }
-
-    #[test]
-    fn turbomap_frt_equivalent_on_random_layered(c in layered_strategy()) {
-        let res = turbomap::turbomap_frt(&c, turbomap::Options::with_k(5)).unwrap();
-        prop_assert!(!res.star());
-        prop_assert!(
-            netlist::random_equiv(&c, &res.circuit, 256, 23).unwrap().is_equivalent()
+        assert!(
+            res.period <= fm.period,
+            "case {case}: worse than FlowMap-frt"
         );
     }
+}
 
-    #[test]
-    fn general_retiming_starred_or_equivalent(c in fsm_strategy()) {
-        let res = turbomap::turbomap_general(&c, turbomap::Options::with_k(4)).unwrap();
-        let eq = netlist::random_equiv(&c, &res.circuit, 256, 29).unwrap().is_equivalent();
-        prop_assert!(eq || res.star());
+#[test]
+fn turbomap_frt_equivalent_on_random_layered() {
+    let mut rng = Rng64::new(0x7A12);
+    for case in 0..CASES {
+        let c = random_layered(&mut rng, "lay", case);
+        let res = turbomap::turbomap_frt(&c, turbomap::Options::with_k(5)).unwrap();
+        assert!(!res.star(), "case {case}");
+        assert!(
+            netlist::random_equiv(&c, &res.circuit, 256, 23)
+                .unwrap()
+                .is_equivalent(),
+            "case {case}: not equivalent"
+        );
     }
+}
 
-    #[test]
-    fn blif_round_trip_random(c in fsm_strategy()) {
+#[test]
+fn general_retiming_starred_or_equivalent() {
+    let mut rng = Rng64::new(0x7A13);
+    for case in 0..CASES {
+        let c = random_fsm(&mut rng, "gen", case);
+        let res = turbomap::turbomap_general(&c, turbomap::Options::with_k(4)).unwrap();
+        let eq = netlist::random_equiv(&c, &res.circuit, 256, 29)
+            .unwrap()
+            .is_equivalent();
+        assert!(eq || res.star(), "case {case}: inequivalent without a star");
+    }
+}
+
+#[test]
+fn blif_round_trip_random() {
+    let mut rng = Rng64::new(0x7A14);
+    for case in 0..CASES {
+        let c = random_fsm(&mut rng, "blif", case);
         let text = netlist::write_blif(&c);
         let back = netlist::parse_blif(&text).unwrap();
-        prop_assert!(
-            netlist::random_equiv(&c, &back, 256, 31).unwrap().is_equivalent()
+        assert!(
+            netlist::random_equiv(&c, &back, 256, 31)
+                .unwrap()
+                .is_equivalent(),
+            "case {case}"
         );
-        prop_assert!(
-            netlist::random_equiv(&back, &c, 256, 37).unwrap().is_equivalent()
+        assert!(
+            netlist::random_equiv(&back, &c, 256, 37)
+                .unwrap()
+                .is_equivalent(),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn forward_retiming_preserves_behaviour(c in layered_strategy()) {
+#[test]
+fn forward_retiming_preserves_behaviour() {
+    let mut rng = Rng64::new(0x7A15);
+    for case in 0..CASES {
+        let c = random_layered(&mut rng, "fwd", case);
         let res = retiming::retime_min_period_forward(&c).unwrap();
-        prop_assert!(res.period <= c.clock_period().unwrap());
-        prop_assert!(
-            netlist::random_equiv(&c, &res.circuit, 256, 41).unwrap().is_equivalent()
+        assert!(res.period <= c.clock_period().unwrap(), "case {case}");
+        assert!(
+            netlist::random_equiv(&c, &res.circuit, 256, 41)
+                .unwrap()
+                .is_equivalent(),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn pushback_preserves_behaviour(c in fsm_strategy()) {
+#[test]
+fn pushback_preserves_behaviour() {
+    let mut rng = Rng64::new(0x7A16);
+    for case in 0..CASES {
+        let c = random_fsm(&mut rng, "push", case);
         let (pushed, r, _) = retiming::push_registers_backward(&c, 8);
-        prop_assert!(r.values().iter().all(|&x| x >= 0));
-        prop_assert!(
-            netlist::random_equiv(&c, &pushed, 256, 43).unwrap().is_equivalent()
+        assert!(r.values().iter().all(|&x| x >= 0), "case {case}");
+        assert!(
+            netlist::random_equiv(&c, &pushed, 256, 43)
+                .unwrap()
+                .is_equivalent(),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn decompose_preserves_behaviour(c in fsm_strategy()) {
+#[test]
+fn decompose_preserves_behaviour() {
+    let mut rng = Rng64::new(0x7A17);
+    for case in 0..CASES {
+        let c = random_fsm(&mut rng, "dec", case);
         // Re-bound to 2 (generators already emit ≤2, so splice in a wide
         // gate first to exercise decomposition).
         let mut wide = c.clone();
         let pis: Vec<_> = wide.inputs().to_vec();
         if pis.len() >= 2 {
-            let g = wide.add_gate("wide_g", netlist::TruthTable::xor(pis.len().min(6))).unwrap();
+            let g = wide
+                .add_gate("wide_g", netlist::TruthTable::xor(pis.len().min(6)))
+                .unwrap();
             for &p in pis.iter().take(6) {
                 wide.connect(p, g, vec![]).unwrap();
             }
@@ -127,20 +166,27 @@ proptest! {
             wide.connect(g, o, vec![]).unwrap();
         }
         let d = netlist::decompose_to_k(&wide, 2).unwrap();
-        prop_assert!(d.max_fanin() <= 2);
-        prop_assert!(
-            netlist::random_equiv(&wide, &d, 256, 47).unwrap().is_equivalent()
+        assert!(d.max_fanin() <= 2, "case {case}");
+        assert!(
+            netlist::random_equiv(&wide, &d, 256, 47)
+                .unwrap()
+                .is_equivalent(),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn feasibility_monotone_in_phi(c in fsm_strategy()) {
+#[test]
+fn feasibility_monotone_in_phi() {
+    let mut rng = Rng64::new(0x7A18);
+    for case in 0..CASES {
+        let c = random_fsm(&mut rng, "mono", case);
         let prep = turbomap::prepare(&c, 3).unwrap();
         let ctx = turbomap::FrtContext::new(&prep, 3, 16);
         let mut prev = false;
         for phi in 1..=10u64 {
             let f = ctx.check(phi).feasible;
-            prop_assert!(!prev || f, "feasibility must be monotone in Φ");
+            assert!(!prev || f, "case {case}: feasibility must be monotone in Φ");
             prev = prev || f;
         }
     }
