@@ -1,20 +1,28 @@
 //! The versioned `BENCH_table1.json` artifact.
 //!
-//! Schema `turbomap-bench/table1/v1` — see DESIGN.md for the
+//! Schema `turbomap-bench/table1/v2` — see DESIGN.md for the
 //! field-by-field description. Objects render with insertion-ordered
 //! keys via [`engine::JsonValue`], so the artifact is byte-deterministic
 //! for a given suite result. The `canonical` flag zeroes every timing
-//! field (wall seconds, cpu seconds, phase timers) while keeping the
-//! deterministic algorithmic counters; two runs that differ only in
-//! scheduling (`--jobs 1` vs `--jobs 8`) produce **byte-identical**
-//! canonical artifacts.
+//! field (wall seconds, cpu seconds, phase timers, span-duration
+//! histograms) while keeping the deterministic algorithmic counters and
+//! value histograms; two runs that differ only in scheduling (`--jobs 1`
+//! vs `--jobs 8`) — or in whether tracing was enabled — produce
+//! **byte-identical** canonical artifacts.
+//!
+//! `v1` compatibility: `v2` only *adds* the optional `histograms` /
+//! `job_histograms` objects (omitted when empty) next to the existing
+//! `counters` / `job_counters`; every `v1` field keeps its name, type
+//! and position, so `v1` consumers can read `v2` artifacts by ignoring
+//! the new keys and checking the schema prefix `turbomap-bench/table1/`.
 
 use crate::{geomean, Measured, Row};
+use engine::hist::{Histogram, Metric, HIST_NAMES, NUM_HISTS};
 use engine::telemetry::{Telemetry, COUNTER_NAMES, NUM_COUNTERS, PHASE_NAMES};
 use engine::{JobOutcome, JobReport, JsonValue};
 
 /// Artifact schema identifier (bump on breaking changes).
-pub const SCHEMA: &str = "turbomap-bench/table1/v1";
+pub const SCHEMA: &str = "turbomap-bench/table1/v2";
 
 fn secs(value: f64, canonical: bool) -> JsonValue {
     JsonValue::Float(if canonical { 0.0 } else { value })
@@ -43,8 +51,47 @@ fn phases_json(t: &Telemetry, canonical: bool) -> JsonValue {
     )
 }
 
-fn measured_json(m: &Measured, canonical: bool) -> JsonValue {
+fn hist_json(h: &Histogram) -> JsonValue {
     JsonValue::object(vec![
+        ("count", JsonValue::UInt(h.count)),
+        ("sum", JsonValue::UInt(h.sum)),
+        ("p50", JsonValue::UInt(h.quantile(0.5).unwrap_or(0))),
+        ("p90", JsonValue::UInt(h.quantile(0.9).unwrap_or(0))),
+        ("p99", JsonValue::UInt(h.quantile(0.99).unwrap_or(0))),
+        (
+            "buckets",
+            JsonValue::Array(
+                h.nonzero_buckets()
+                    .into_iter()
+                    .map(|(i, c)| {
+                        JsonValue::Array(vec![JsonValue::UInt(i as u64), JsonValue::UInt(c)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The telemetry's non-empty histograms, or `None` when all are empty
+/// (the `histograms` field is optional in the `v2` schema). Canonical
+/// artifacts drop `span_nanos` — it is a timing distribution, recorded
+/// only when tracing is on, and including it would break the
+/// tracing-on/off byte-identity guarantee.
+fn hists_json(t: &Telemetry, canonical: bool) -> Option<JsonValue> {
+    let pairs: Vec<(String, JsonValue)> = (0..NUM_HISTS)
+        .filter(|&i| !(canonical && i == Metric::SpanNanos as usize))
+        .filter(|&i| !t.hists[i].is_empty())
+        .map(|i| (HIST_NAMES[i].to_string(), hist_json(&t.hists[i])))
+        .collect();
+    if pairs.is_empty() {
+        None
+    } else {
+        Some(JsonValue::Object(pairs))
+    }
+}
+
+fn measured_json(m: &Measured, canonical: bool) -> JsonValue {
+    let mut pairs = vec![
         ("phi", JsonValue::UInt(m.phi)),
         ("luts", JsonValue::UInt(m.luts as u64)),
         ("ffs", JsonValue::UInt(m.ffs as u64)),
@@ -53,7 +100,11 @@ fn measured_json(m: &Measured, canonical: bool) -> JsonValue {
         ("cpu_secs", secs(m.cpu, canonical)),
         ("phases", phases_json(&m.telemetry, canonical)),
         ("counters", counters_json(&m.telemetry)),
-    ])
+    ];
+    if let Some(h) = hists_json(&m.telemetry, canonical) {
+        pairs.push(("histograms", h));
+    }
+    JsonValue::object(pairs)
 }
 
 fn row_json(row: &Row, canonical: bool) -> Vec<(&'static str, JsonValue)> {
@@ -97,6 +148,9 @@ fn circuit_json(report: &JobReport<Row>, canonical: bool) -> JsonValue {
     pairs.push(("wall_secs", secs(report.wall.as_secs_f64(), canonical)));
     pairs.push(("job_phases", phases_json(&report.telemetry, canonical)));
     pairs.push(("job_counters", counters_json(&report.telemetry)));
+    if let Some(h) = hists_json(&report.telemetry, canonical) {
+        pairs.push(("job_histograms", h));
+    }
     JsonValue::object(pairs)
 }
 
@@ -182,6 +236,11 @@ mod tests {
         let mut t = Telemetry::default();
         t.counters[0] = 42;
         t.phase_nanos[0] = 1_500_000_000;
+        for v in [2u64, 3, 3, 5] {
+            t.hists[Metric::CutSize as usize].record(v);
+        }
+        // A timing histogram that canonical artifacts must drop.
+        t.hists[Metric::SpanNanos as usize].record(1_500);
         Measured {
             phi,
             luts: 10,
@@ -208,6 +267,7 @@ mod tests {
             outcome: JobOutcome::Completed(row),
             wall: Duration::from_millis(1234),
             telemetry: Telemetry::default(),
+            trace: None,
         }
     }
 
@@ -215,11 +275,30 @@ mod tests {
     fn canonical_artifact_has_no_timing() {
         let reports = vec![fake_report("a")];
         let text = table1_json(&reports, 5, 3008, true).render_pretty();
-        assert!(text.contains("\"schema\": \"turbomap-bench/table1/v1\""));
+        assert!(text.contains("\"schema\": \"turbomap-bench/table1/v2\""));
         assert!(text.contains("\"cpu_secs\": 0.0"));
         assert!(!text.contains("1.5"), "timing leaked: {text}");
         // Counters survive canonicalisation.
         assert!(text.contains("\"flow_augmentations\": 42"));
+        // Value histograms survive; the span-duration histogram does not.
+        assert!(text.contains("\"cut_size\""));
+        assert!(!text.contains("\"span_nanos\""), "timing hist leaked");
+    }
+
+    #[test]
+    fn histograms_render_quantiles_and_buckets() {
+        let reports = vec![fake_report("a")];
+        let text = table1_json(&reports, 5, 3008, false).render();
+        // Samples 2,3,3,5 → count 4, sum 13; p50 in bucket [2,3], p99 in
+        // bucket [4,7]; buckets: index 2 ×3, index 3 ×1.
+        assert!(text.contains(
+            "\"cut_size\":{\"count\":4,\"sum\":13,\"p50\":3,\"p90\":7,\"p99\":7,\
+             \"buckets\":[[2,3],[3,1]]}"
+        ));
+        // Non-canonical artifacts keep the span-duration histogram.
+        assert!(text.contains("\"span_nanos\""));
+        // Job-level telemetry is all-empty → optional field omitted.
+        assert!(!text.contains("job_histograms"));
     }
 
     #[test]

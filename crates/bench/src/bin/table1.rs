@@ -4,12 +4,16 @@
 //! Usage:
 //!   table1 [--max-gates N] [--k K] [--no-verify] [--stats]
 //!          [--jobs N] [--timeout-secs S] [--json PATH] [--canonical]
+//!          [--trace-dir DIR]
 //!
 //! Circuits run as isolated jobs on the `engine` batch runner: `--jobs`
 //! picks the worker count (results are identical and identically ordered
 //! for any value), `--timeout-secs` arms a per-circuit soft deadline, and
-//! `--json` writes the versioned `turbomap-bench/table1/v1` artifact
-//! (`--canonical` zeroes its timing fields so reruns are byte-identical).
+//! `--json` writes the versioned `turbomap-bench/table1/v2` artifact
+//! (`--canonical` zeroes its timing fields so reruns are byte-identical,
+//! even with tracing toggled). `--trace-dir` enables span tracing and
+//! writes one Chrome-trace JSON per circuit (`DIR/<name>.trace.json`,
+//! loadable in Perfetto / `chrome://tracing`).
 //! A panicking or deadline-exceeded circuit is reported and skipped; the
 //! remaining rows still print and the process exits nonzero naming it.
 //!
@@ -25,6 +29,7 @@ fn main() {
     let mut stats = false;
     let mut json_path: Option<String> = None;
     let mut canonical = false;
+    let mut trace_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -54,6 +59,9 @@ fn main() {
                 json_path = Some(args.next().expect("--json PATH"));
             }
             "--canonical" => canonical = true,
+            "--trace-dir" => {
+                trace_dir = Some(args.next().expect("--trace-dir DIR"));
+            }
             other => {
                 eprintln!("unknown flag `{other}`");
                 std::process::exit(2);
@@ -77,7 +85,31 @@ fn main() {
         "circuit", "N", "F", "Φ", "LUT", "FF", "CPU", "Φ", "LUT", "FF", "CPU", "", "Φ", "LUT", "FF", "CPU"
     );
 
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            std::process::exit(1);
+        }
+        engine::trace::set_enabled(true);
+    }
+
     let reports = run_table1_suite(&cfg);
+
+    if let Some(dir) = &trace_dir {
+        for report in &reports {
+            let Some(buffer) = &report.trace else {
+                continue;
+            };
+            let path = format!("{dir}/{}.trace.json", report.name);
+            let doc = engine::trace::chrome_trace(buffer, &report.name);
+            if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        eprintln!("wrote {} traces to {dir}", reports.len());
+    }
+
     let mut rows: Vec<&Row> = Vec::new();
     for report in &reports {
         let Some(row) = report.outcome.completed() else {

@@ -88,6 +88,7 @@ pub fn try_run_row(name: &str, c: &Circuit, k: usize, verify: bool) -> Result<Ro
     let opts = turbomap::Options::with_k(k);
     let check = |mapped: &Circuit, seed: u64| -> bool {
         let _t = telemetry::time_phase(Phase::Verify);
+        let _s = engine::trace::span1("verify", "vectors", VERIFY_VECTORS as u64);
         verify
             && netlist::random_equiv(c, mapped, VERIFY_VECTORS, seed)
                 .map(|r| r.is_equivalent())

@@ -1,7 +1,9 @@
-//! `--jobs`-independence: a suite run's results (Φ / LUT / FF per
-//! circuit, ordering, counters) must not depend on the worker count.
-//! The canonical artifact — timing fields zeroed — must therefore be
-//! **byte-identical** between a 1-worker and an 8-worker run.
+//! `--jobs`-independence and tracing-independence: a suite run's
+//! results (Φ / LUT / FF per circuit, ordering, counters, value
+//! histograms) must not depend on the worker count or on whether span
+//! tracing was enabled. The canonical artifact — timing fields zeroed —
+//! must therefore be **byte-identical** between a 1-worker and an
+//! 8-worker run, and between a traced and an untraced run.
 
 use bench::artifact::table1_json;
 use bench::batch::{run_table1_suite, SuiteConfig};
@@ -24,7 +26,7 @@ fn canonical_artifact_identical_for_jobs_1_and_8() {
     assert_eq!(a, b, "--jobs 1 and --jobs 8 artifacts differ");
 
     // The artifact carries real algorithmic work, not just zeros.
-    assert!(a.contains("\"schema\": \"turbomap-bench/table1/v1\""));
+    assert!(a.contains("\"schema\": \"turbomap-bench/table1/v2\""));
     let sweeps_nonzero = one.iter().any(|r| {
         r.outcome
             .completed()
@@ -37,4 +39,39 @@ fn canonical_artifact_identical_for_jobs_1_and_8() {
             .unwrap_or(false)
     });
     assert!(sweeps_nonzero, "no FRTcheck sweeps recorded");
+}
+
+#[test]
+fn canonical_artifact_identical_with_tracing_on_and_off() {
+    // Tracing must be observation-only: spans cost a little time (which
+    // canonical artifacts zero anyway) but must never change an
+    // algorithmic result, a counter, or a value histogram. The only
+    // tracing-dependent histogram (`span_nanos`) is dropped from
+    // canonical artifacts for exactly this reason.
+    let cfg = SuiteConfig {
+        verify: false,
+        jobs: 2,
+        max_gates: Some(40),
+        ..SuiteConfig::default()
+    };
+
+    engine::trace::set_enabled(false);
+    let off = run_table1_suite(&cfg);
+    let off_text = table1_json(&off, cfg.k, VERIFY_VECTORS, true).render_pretty();
+
+    engine::trace::set_enabled(true);
+    let on = run_table1_suite(&cfg);
+    engine::trace::set_enabled(false);
+    let on_text = table1_json(&on, cfg.k, VERIFY_VECTORS, true).render_pretty();
+
+    // The traced run actually captured spans, so the comparison is real.
+    assert!(
+        on.iter()
+            .any(|r| r.trace.as_ref().is_some_and(|t| !t.events.is_empty())),
+        "tracing was enabled but no events were captured"
+    );
+    assert_eq!(
+        off_text, on_text,
+        "canonical artifact differs with tracing enabled"
+    );
 }

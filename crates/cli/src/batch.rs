@@ -18,7 +18,7 @@ tmfrt batch — map every .blif/.kiss2 circuit in a directory in parallel
 
 USAGE: tmfrt batch <dir> [--jobs N] [--timeout-secs S] [-o OUTDIR]
                    [-a ALGO] [-k K] [--pushback] [--verify N] [--onehot]
-                   [--pack] [--strash]
+                   [--pack] [--strash] [--metrics-out FILE] [-q]
 
   <dir>             directory scanned (non-recursively) for .blif, .kiss
                     and .kiss2 files, processed in sorted name order
@@ -27,7 +27,13 @@ USAGE: tmfrt batch <dir> [--jobs N] [--timeout-secs S] [-o OUTDIR]
   --timeout-secs S  per-circuit soft deadline; an over-deadline circuit
                     is reported and skipped, the rest still complete
   -o OUTDIR         write each mapped circuit to OUTDIR/<stem>.blif
-  remaining flags   as in single-circuit mode (see `tmfrt --help`)";
+  --metrics-out F   write Prometheus text exposition (job outcomes, phase
+                    timers, counters, histogram quantiles) to F
+  -q, --quiet       suppress per-circuit reports on stderr (failures and
+                    errors still print)
+  remaining flags   as in single-circuit mode (see `tmfrt --help`)
+
+Per-circuit reports and progress go to stderr; stdout stays empty.";
 
 /// Parsed `batch` subcommand arguments.
 #[derive(Debug, Clone)]
@@ -40,6 +46,10 @@ pub struct BatchArgs {
     pub timeout: Option<Duration>,
     /// Directory for mapped BLIF outputs.
     pub out_dir: Option<String>,
+    /// Path for the Prometheus text-exposition metrics file.
+    pub metrics_out: Option<String>,
+    /// Suppress per-circuit reports on stderr.
+    pub quiet: bool,
     /// Template for per-file runs (`input` filled in per job).
     pub run: Args,
 }
@@ -56,6 +66,8 @@ impl BatchArgs {
             jobs: 1,
             timeout: None,
             out_dir: None,
+            metrics_out: None,
+            quiet: false,
             run: Args {
                 input: String::new(),
                 output: None,
@@ -66,6 +78,8 @@ impl BatchArgs {
                 onehot: false,
                 pack: false,
                 strash: false,
+                trace_out: None,
+                quiet: false,
             },
         };
         let mut it = raw.iter();
@@ -117,6 +131,14 @@ impl BatchArgs {
                 "--onehot" => out.run.onehot = true,
                 "--pack" => out.run.pack = true,
                 "--strash" => out.run.strash = true,
+                "--metrics-out" => {
+                    out.metrics_out = Some(
+                        it.next()
+                            .ok_or_else(|| "--metrics-out needs a path".to_string())?
+                            .clone(),
+                    );
+                }
+                "-q" | "--quiet" => out.quiet = true,
                 "-h" | "--help" => return Err(BATCH_USAGE.to_string()),
                 other if out.dir.is_empty() && !other.starts_with('-') => {
                     out.dir = other.to_string();
@@ -230,6 +252,11 @@ pub fn run_batch_dir(args: &BatchArgs) -> Result<BatchSummary, String> {
         }
     }
 
+    if let Some(path) = &args.metrics_out {
+        let text = crate::metrics::render_metrics(&reports);
+        std::fs::write(path, text).map_err(|e| format!("writing `{path}`: {e}"))?;
+    }
+
     let failures = reports
         .iter()
         .filter(|r| !r.outcome.is_completed())
@@ -270,7 +297,8 @@ mod tests {
     #[test]
     fn parses_batch_flags() {
         let a = BatchArgs::parse(&argv(
-            "circuits --jobs 4 --timeout-secs 30 -o out -a turbomap -k 4 --verify 64",
+            "circuits --jobs 4 --timeout-secs 30 -o out -a turbomap -k 4 --verify 64 \
+             --metrics-out m.prom -q",
         ))
         .unwrap();
         assert_eq!(a.dir, "circuits");
@@ -280,6 +308,8 @@ mod tests {
         assert_eq!(a.run.algorithm, Algorithm::TurboMap);
         assert_eq!(a.run.k, 4);
         assert_eq!(a.run.verify, Some(64));
+        assert_eq!(a.metrics_out.as_deref(), Some("m.prom"));
+        assert!(a.quiet);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod metrics;
 
 use netlist::Circuit;
 use std::fmt::Write as _;
@@ -63,6 +64,11 @@ pub struct Args {
     pub pack: bool,
     /// Run structural hashing on the mapped result.
     pub strash: bool,
+    /// Write a Chrome-trace JSON of the run's spans to this path.
+    pub trace_out: Option<String>,
+    /// Suppress the progress report on stderr (results and errors still
+    /// print: circuit on stdout, errors on stderr).
+    pub quiet: bool,
 }
 
 impl Args {
@@ -82,6 +88,14 @@ impl Args {
             onehot: false,
             pack: false,
             strash: false,
+            trace_out: None,
+            quiet: false,
+        };
+        // `tmfrt map <input> …` is an explicit alias for the default
+        // single-circuit mode (symmetric with `tmfrt batch …`).
+        let raw = match raw.first().map(String::as_str) {
+            Some("map") => &raw[1..],
+            _ => raw,
         };
         let mut it = raw.iter();
         while let Some(a) = it.next() {
@@ -119,6 +133,14 @@ impl Args {
                 "--onehot" => args.onehot = true,
                 "--pack" => args.pack = true,
                 "--strash" => args.strash = true,
+                "--trace-out" => {
+                    args.trace_out = Some(
+                        it.next()
+                            .ok_or_else(|| "--trace-out needs a path".to_string())?
+                            .clone(),
+                    );
+                }
+                "-q" | "--quiet" => args.quiet = true,
                 "-h" | "--help" => return Err(USAGE.to_string()),
                 other if args.input.is_empty() && !other.starts_with('-') => {
                     args.input = other.to_string();
@@ -137,7 +159,8 @@ impl Args {
 pub const USAGE: &str = "\
 tmfrt — FPGA mapping with forward retiming (Cong & Wu, DAC'98 reproduction)
 
-USAGE: tmfrt <input> [-o out.blif] [-a ALGO] [-k K] [--pushback] [--verify N] [--onehot]
+USAGE: tmfrt [map] <input> [-o out.blif] [-a ALGO] [-k K] [--pushback] [--verify N]
+             [--onehot] [--trace-out t.json] [-q]
        tmfrt batch <dir> [--jobs N] [--timeout-secs S] [-o OUTDIR] …  (see `tmfrt batch --help`)
 
   <input>      circuit: a .blif file, a .kiss2 file, `-` (BLIF on stdin),
@@ -149,7 +172,12 @@ USAGE: tmfrt <input> [-o out.blif] [-a ALGO] [-k K] [--pushback] [--verify N] [-
   --verify N   check sequential equivalence with N random vectors
   --onehot     one-hot state encoding for KISS2 inputs (default binary)
   --pack       LUT packing area post-pass on the result
-  --strash     structural hashing (duplicate-logic sweep) on the result";
+  --strash     structural hashing (duplicate-logic sweep) on the result
+  --trace-out  write a Chrome-trace JSON of the run's spans (open in
+               Perfetto or chrome://tracing)
+  -q, --quiet  suppress the progress report on stderr
+
+Results go to stdout (or -o); progress and errors go to stderr.";
 
 /// Loads a circuit from the CLI input specification.
 ///
@@ -364,6 +392,17 @@ mod tests {
         assert_eq!(a.verify, Some(100));
         assert!(a.onehot);
         assert_eq!(a.output.as_deref(), Some("out.blif"));
+    }
+
+    #[test]
+    fn map_alias_and_observability_flags() {
+        let a = Args::parse(&argv("map in.blif --trace-out t.json -q")).unwrap();
+        assert_eq!(a.input, "in.blif");
+        assert_eq!(a.trace_out.as_deref(), Some("t.json"));
+        assert!(a.quiet);
+        // `map` is only consumed in the leading position.
+        let b = Args::parse(&argv("map --quiet")).unwrap_err();
+        assert!(b.contains("USAGE"));
     }
 
     #[test]

@@ -23,9 +23,30 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if args.trace_out.is_some() {
+        engine::trace::set_enabled(true);
+        engine::trace::job_start();
+    }
     match run(&args, &circuit) {
         Ok(outcome) => {
-            eprint!("{}", outcome.report);
+            if let Some(path) = &args.trace_out {
+                let buffer = engine::trace::take_thread();
+                let doc = engine::trace::chrome_trace(&buffer, &args.input);
+                if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+                    eprintln!("error writing `{path}`: {e}");
+                    std::process::exit(1);
+                }
+                if !args.quiet {
+                    eprintln!(
+                        "wrote {path} ({} events, {} dropped)",
+                        buffer.events.len(),
+                        buffer.dropped
+                    );
+                }
+            }
+            if !args.quiet {
+                eprint!("{}", outcome.report);
+            }
             // Output format by extension: .v → Verilog, .dot → Graphviz,
             // anything else (and stdout) → BLIF.
             let render = |path: Option<&str>| match path {
@@ -39,7 +60,9 @@ fn main() {
                         eprintln!("error writing `{path}`: {e}");
                         std::process::exit(1);
                     }
-                    eprintln!("wrote {path}");
+                    if !args.quiet {
+                        eprintln!("wrote {path}");
+                    }
                 }
                 None => print!("{}", render(None)),
             }
@@ -68,6 +91,9 @@ fn run_batch_main(raw: &[String]) {
     match run_batch_dir(&args) {
         Ok(summary) => {
             for report in &summary.reports {
+                if args.quiet && report.outcome.is_completed() {
+                    continue;
+                }
                 match &report.outcome {
                     engine::JobOutcome::Completed(res) => {
                         eprintln!(
@@ -93,8 +119,15 @@ fn run_batch_main(raw: &[String]) {
                     }
                 }
             }
+            if let Some(path) = &args.metrics_out {
+                if !args.quiet {
+                    eprintln!("wrote {path}");
+                }
+            }
             let done = summary.reports.len() - summary.failures.len();
-            eprintln!("batch: {done}/{} circuits completed", summary.reports.len());
+            if !args.quiet {
+                eprintln!("batch: {done}/{} circuits completed", summary.reports.len());
+            }
             if !summary.failures.is_empty() {
                 let names: Vec<String> = summary
                     .failures

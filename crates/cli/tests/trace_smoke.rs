@@ -1,0 +1,103 @@
+//! End-to-end observability smoke tests driving the real binaries (the
+//! same flow as the CI `trace-smoke` job): `tmfrt map --trace-out` must
+//! emit a Chrome trace that `tracecheck` accepts, and
+//! `tmfrt batch --metrics-out` must emit valid Prometheus exposition.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn data_blif() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+        .join("small.blif")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tmfrt_smoke_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn map_trace_out_passes_tracecheck() {
+    let dir = scratch("trace");
+    let trace = dir.join("t.trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_tmfrt"))
+        .arg("map")
+        .arg(data_blif())
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("-q")
+        .output()
+        .expect("tmfrt runs");
+    assert!(
+        out.status.success(),
+        "tmfrt failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // --quiet: nothing on stderr, the mapped BLIF on stdout.
+    assert!(
+        out.stderr.is_empty(),
+        "quiet run wrote to stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains(".model"));
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.contains("\"traceEvents\""));
+    assert!(text.contains("\"phi_search\""), "no phi_search span");
+
+    let check = Command::new(env!("CARGO_BIN_EXE_tracecheck"))
+        .arg(&trace)
+        .output()
+        .expect("tracecheck runs");
+    assert!(
+        check.status.success(),
+        "tracecheck rejected the trace: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+}
+
+#[test]
+fn tracecheck_rejects_garbage() {
+    let dir = scratch("garbage");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"traceEvents\": [{\"ph\": \"B\"}]}").unwrap();
+    let check = Command::new(env!("CARGO_BIN_EXE_tracecheck"))
+        .arg(&bad)
+        .output()
+        .expect("tracecheck runs");
+    assert!(!check.status.success());
+}
+
+#[test]
+fn batch_metrics_out_is_valid_exposition() {
+    let dir = scratch("metrics");
+    std::fs::copy(data_blif(), dir.join("small.blif")).unwrap();
+    let metrics = dir.join("metrics.prom");
+    let out = Command::new(env!("CARGO_BIN_EXE_tmfrt"))
+        .arg("batch")
+        .arg(&dir)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .arg("--verify")
+        .arg("64")
+        .arg("-q")
+        .output()
+        .expect("tmfrt batch runs");
+    assert!(
+        out.status.success(),
+        "batch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stderr.is_empty(), "quiet batch wrote to stderr");
+
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    engine::prom::validate_exposition(&text).expect("metrics must validate");
+    assert!(text.contains("tmfrt_jobs{status=\"ok\"} 1\n"), "{text}");
+    assert!(text.contains("tmfrt_events{counter=\"flow_augmentations\"}"));
+    // Value histograms flow through the job telemetry into the metrics.
+    assert!(text.contains("tmfrt_cut_size{quantile=\"0.5\"}"), "{text}");
+}

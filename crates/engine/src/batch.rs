@@ -19,6 +19,7 @@
 use crate::cancel::{self, CancelReason, CancelToken};
 use crate::pool::Pool;
 use crate::telemetry::{self, Telemetry};
+use crate::trace::{self, TraceBuffer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -105,6 +106,9 @@ pub struct JobReport<T> {
     pub wall: Duration,
     /// Telemetry harvested from the job's worker thread.
     pub telemetry: Telemetry,
+    /// Trace events harvested from the job's worker thread, when
+    /// tracing was enabled ([`trace::set_enabled`]); `None` otherwise.
+    pub trace: Option<TraceBuffer>,
 }
 
 /// Batch execution options.
@@ -250,10 +254,12 @@ pub fn run_batch<T: Send + 'static>(
                 }
                 let guard = cancel::install(token.clone());
                 telemetry::reset();
+                trace::job_start();
                 let start = Instant::now();
                 let caught = catch_unwind(AssertUnwindSafe(work));
                 let wall = start.elapsed();
                 let telemetry = telemetry::take();
+                let trace = trace::take_if_enabled();
                 drop(guard);
                 let deadline_hit = token.reason() == Some(CancelReason::Deadline);
                 // A tripped deadline that the job outran is still a
@@ -276,6 +282,7 @@ pub fn run_batch<T: Send + 'static>(
                     outcome,
                     wall,
                     telemetry,
+                    trace,
                 });
             });
         }

@@ -15,8 +15,14 @@
 //! * [`cancel`] — cancellation tokens installed thread-locally so deep
 //!   algorithm loops (the Φ binary search, the FRTcheck sweeps) can poll
 //!   [`cancel::cancelled`] without threading a token through every call,
-//! * [`telemetry`] — lock-free per-job counters and monotonic phase
-//!   timers accumulated in thread-locals and merged at job end,
+//! * [`telemetry`] — lock-free per-job counters, monotonic phase
+//!   timers and streaming [`hist`] histograms accumulated in
+//!   thread-locals and merged at job end,
+//! * [`trace`] — span/event tracing into bounded per-thread ring
+//!   buffers with Chrome-trace/Perfetto JSON export; zero-cost when
+//!   disabled (one atomic branch per record site),
+//! * [`prom`] — a Prometheus text-exposition writer and validator for
+//!   batch-level metrics summaries,
 //! * [`json`] — a small deterministic JSON writer for versioned result
 //!   artifacts (`BENCH_table1.json`),
 //! * [`rng`] — a seeded splitmix64 generator backing the workload
@@ -44,14 +50,20 @@
 
 pub mod batch;
 pub mod cancel;
+pub mod hist;
 pub mod json;
 pub mod pool;
+pub mod prom;
 pub mod rng;
 pub mod telemetry;
+pub mod trace;
 
 pub use batch::{run_batch, BatchOptions, JobOutcome, JobReport, JobSpec};
 pub use cancel::CancelToken;
+pub use hist::{Histogram, Metric};
 pub use json::JsonValue;
 pub use pool::Pool;
+pub use prom::PromWriter;
 pub use rng::Rng64;
 pub use telemetry::{Counter, Phase, Telemetry};
+pub use trace::{SpanGuard, TraceBuffer};

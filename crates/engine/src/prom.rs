@@ -1,0 +1,279 @@
+//! Prometheus text-exposition writer and line-format validator
+//! (std-only).
+//!
+//! `tmfrt batch --metrics-out metrics.prom` summarises a whole batch —
+//! job outcomes, phase timers, counters and histogram quantiles — in the
+//! Prometheus text exposition format (version 0.0.4): `# HELP` / `# TYPE`
+//! comment lines followed by `name{label="value"} number` samples. The
+//! writer keeps families in emission order (deterministic output, same
+//! discipline as [`crate::json`]); [`validate_exposition`] is a strict
+//! character-level line check used by the tests and the CI smoke job.
+
+use std::fmt::Write as _;
+
+/// Metric family kinds the writer supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// An in-order Prometheus text-exposition builder.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty exposition.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    /// Starts a metric family: emits the `# HELP` and `# TYPE` lines.
+    /// `name` must be a valid metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub fn family(&mut self, name: &str, kind: MetricKind, help: &str) {
+        debug_assert!(is_metric_name(name), "bad metric name: {name}");
+        let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {}", kind.as_str());
+    }
+
+    /// Emits one sample line. `labels` are `(key, value)` pairs; values
+    /// are escaped per the exposition format.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        debug_assert!(is_metric_name(name), "bad metric name: {name}");
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                debug_assert!(is_label_name(k), "bad label name: {k}");
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let v = v
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n");
+                let _ = write!(self.out, "{k}=\"{v}\"");
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", render_value(value));
+    }
+
+    /// Emits an integer sample (rendered without a decimal point).
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample(name, labels, value as f64);
+    }
+
+    /// The finished exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn render_value(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value.is_infinite() {
+        if value > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+fn is_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Validates Prometheus text-exposition content line by line: every line
+/// must be empty, a well-formed `# HELP`/`# TYPE` comment, or a sample
+/// matching `name[{k="v",...}] value`. Returns the first offending line
+/// (1-based) with a reason.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !is_metric_name(name) {
+                        return Err(format!("line {lineno}: HELP names bad metric '{name}'"));
+                    }
+                }
+                "TYPE" => {
+                    let kind = parts.next().unwrap_or("");
+                    if !is_metric_name(name) {
+                        return Err(format!("line {lineno}: TYPE names bad metric '{name}'"));
+                    }
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("line {lineno}: unknown TYPE '{kind}'"));
+                    }
+                }
+                _ => return Err(format!("line {lineno}: unknown comment '{keyword}'")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {lineno}: comment must start with '# '"));
+        }
+        validate_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn validate_sample(line: &str) -> Result<(), String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    while pos < bytes.len()
+        && (bytes[pos].is_ascii_alphanumeric() || matches!(bytes[pos], b'_' | b':'))
+    {
+        pos += 1;
+    }
+    let name = &line[..pos];
+    if !is_metric_name(name) {
+        return Err(format!("bad metric name '{name}'"));
+    }
+    if bytes.get(pos) == Some(&b'{') {
+        pos += 1;
+        loop {
+            let label_start = pos;
+            while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
+                pos += 1;
+            }
+            if !is_label_name(&line[label_start..pos]) {
+                return Err("bad label name".to_string());
+            }
+            if bytes.get(pos) != Some(&b'=') || bytes.get(pos + 1) != Some(&b'"') {
+                return Err("label missing ='\"'".to_string());
+            }
+            pos += 2;
+            while pos < bytes.len() && bytes[pos] != b'"' {
+                if bytes[pos] == b'\\' {
+                    pos += 1;
+                }
+                pos += 1;
+            }
+            if bytes.get(pos) != Some(&b'"') {
+                return Err("unterminated label value".to_string());
+            }
+            pos += 1;
+            match bytes.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err("expected ',' or '}' after label".to_string()),
+            }
+        }
+    }
+    if bytes.get(pos) != Some(&b' ') {
+        return Err("expected space before value".to_string());
+    }
+    let value = &line[pos + 1..];
+    if value.is_empty() {
+        return Err("missing value".to_string());
+    }
+    if matches!(value, "NaN" | "+Inf" | "-Inf") {
+        return Ok(());
+    }
+    value
+        .parse::<f64>()
+        .map(|_| ())
+        .map_err(|_| format!("bad value '{value}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_emits_valid_exposition() {
+        let mut w = PromWriter::new();
+        w.family("tmfrt_jobs_total", MetricKind::Counter, "Jobs by outcome.");
+        w.sample_u64("tmfrt_jobs_total", &[("status", "completed")], 17);
+        w.sample_u64("tmfrt_jobs_total", &[("status", "failed")], 0);
+        w.family("tmfrt_phase_seconds", MetricKind::Gauge, "Phase wall time.");
+        w.sample("tmfrt_phase_seconds", &[("phase", "label")], 1.25);
+        w.family(
+            "tmfrt_cut_size",
+            MetricKind::Gauge,
+            "Cut-size distribution.",
+        );
+        w.sample_u64("tmfrt_cut_size", &[("quantile", "0.5")], 4);
+        let text = w.finish();
+        validate_exposition(&text).expect("writer output must validate");
+        assert!(text.contains("# TYPE tmfrt_jobs_total counter\n"));
+        assert!(text.contains("tmfrt_jobs_total{status=\"completed\"} 17\n"));
+        assert!(text.contains("tmfrt_phase_seconds{phase=\"label\"} 1.25\n"));
+        assert!(text.contains("tmfrt_cut_size{quantile=\"0.5\"} 4\n"));
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let mut w = PromWriter::new();
+        w.family("x_total", MetricKind::Counter, "multi\nline \\help");
+        w.sample_u64("x_total", &[("file", "a\"b\\c\nd")], 1);
+        let text = w.finish();
+        validate_exposition(&text).expect("escaped output must validate");
+        assert!(text.contains(r#"file="a\"b\\c\nd""#));
+        assert!(text.contains("# HELP x_total multi\\nline \\\\help\n"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("1bad_name 3").is_err());
+        assert!(validate_exposition("ok{unclosed=\"x\" 3").is_err());
+        assert!(validate_exposition("ok 3 extra").is_err());
+        assert!(validate_exposition("ok not_a_number").is_err());
+        assert!(validate_exposition("# BOGUS x y").is_err());
+        assert!(validate_exposition("# TYPE x widget").is_err());
+        assert!(validate_exposition("#bad comment").is_err());
+        assert!(validate_exposition("ok 3\nok{a=\"b\"} +Inf\n").is_ok());
+    }
+
+    #[test]
+    fn value_rendering() {
+        assert_eq!(render_value(17.0), "17");
+        assert_eq!(render_value(1.25), "1.25");
+        assert_eq!(render_value(f64::INFINITY), "+Inf");
+        assert_eq!(render_value(f64::NAN), "NaN");
+    }
+}

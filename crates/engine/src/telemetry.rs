@@ -12,7 +12,8 @@
 //! (`retiming::moves`). Phase timers split wall time into the pipeline's
 //! four stages: label / search / generate / verify.
 
-use std::cell::Cell;
+use crate::hist::{Histogram, Metric, NUM_HISTS};
+use std::cell::{Cell, RefCell};
 use std::time::Instant;
 
 /// Algorithmic event counters.
@@ -78,6 +79,9 @@ pub struct Telemetry {
     /// Accumulated phase durations in nanoseconds, indexed by
     /// `Phase as usize`.
     pub phase_nanos: [u64; NUM_PHASES],
+    /// Streaming distribution histograms, indexed by
+    /// `hist::Metric as usize`.
+    pub hists: [Histogram; NUM_HISTS],
 }
 
 impl Telemetry {
@@ -96,6 +100,11 @@ impl Telemetry {
         self.phase_nanos.iter().sum::<u64>() as f64 / 1e9
     }
 
+    /// One distribution histogram.
+    pub fn hist(&self, m: Metric) -> &Histogram {
+        &self.hists[m as usize]
+    }
+
     /// Adds another snapshot into this one.
     pub fn merge(&mut self, other: &Telemetry) {
         for i in 0..NUM_COUNTERS {
@@ -103,6 +112,9 @@ impl Telemetry {
         }
         for i in 0..NUM_PHASES {
             self.phase_nanos[i] += other.phase_nanos[i];
+        }
+        for i in 0..NUM_HISTS {
+            self.hists[i].merge(&other.hists[i]);
         }
     }
 
@@ -115,6 +127,9 @@ impl Telemetry {
         for i in 0..NUM_PHASES {
             out.phase_nanos[i] = self.phase_nanos[i].saturating_sub(earlier.phase_nanos[i]);
         }
+        for i in 0..NUM_HISTS {
+            out.hists[i] = self.hists[i].since(&earlier.hists[i]);
+        }
         out
     }
 }
@@ -126,6 +141,8 @@ thread_local! {
     static PHASES: [Cell<u64>; NUM_PHASES] = const {
         [const { Cell::new(0) }; NUM_PHASES]
     };
+    static HISTS: RefCell<[Histogram; NUM_HISTS]> =
+        const { RefCell::new([Histogram::zeroed(); NUM_HISTS]) };
 }
 
 /// Adds `n` to a counter on the current thread. Lock-free: one
@@ -136,6 +153,13 @@ pub fn count(c: Counter, n: u64) {
         let cell = &cs[c as usize];
         cell.set(cell.get().wrapping_add(n));
     });
+}
+
+/// Records one sample into a distribution histogram on the current
+/// thread. Lock-free: one thread-local access, no allocation.
+#[inline]
+pub fn record(m: Metric, value: u64) {
+    HISTS.with(|hs| hs.borrow_mut()[m as usize].record(value));
 }
 
 /// Snapshots the current thread's telemetry without resetting it.
@@ -151,6 +175,7 @@ pub fn snapshot() -> Telemetry {
             t.phase_nanos[i] = cell.get();
         }
     });
+    HISTS.with(|hs| t.hists = *hs.borrow());
     t
 }
 
@@ -159,6 +184,7 @@ pub fn take() -> Telemetry {
     let t = snapshot();
     COUNTERS.with(|cs| cs.iter().for_each(|c| c.set(0)));
     PHASES.with(|ps| ps.iter().for_each(|p| p.set(0)));
+    HISTS.with(|hs| *hs.borrow_mut() = [Histogram::zeroed(); NUM_HISTS]);
     t
 }
 
@@ -249,6 +275,27 @@ mod tests {
             "backward_moves"
         );
         assert_eq!(PHASE_NAMES[Phase::Verify as usize], "verify");
+        // Every counter (0..=6 = FlowAugmentations..BackwardMoves) has a
+        // distinct JSON key — a duplicate would silently shadow a column
+        // in the artifact.
+        let unique: std::collections::HashSet<&str> = COUNTER_NAMES.iter().copied().collect();
+        assert_eq!(unique.len(), NUM_COUNTERS);
+        assert_eq!(Counter::FlowAugmentations as usize, 0);
+        assert_eq!(Counter::BackwardMoves as usize, NUM_COUNTERS - 1);
+    }
+
+    #[test]
+    fn histograms_ride_the_job_boundary() {
+        reset();
+        record(Metric::CutSize, 3);
+        record(Metric::CutSize, 9);
+        record(Metric::SweepsPerPhi, 7);
+        let t = take();
+        assert_eq!(t.hist(Metric::CutSize).count, 2);
+        assert_eq!(t.hist(Metric::CutSize).sum, 12);
+        assert_eq!(t.hist(Metric::SweepsPerPhi).count, 1);
+        // take() reset the histograms too.
+        assert!(take().hist(Metric::CutSize).is_empty());
     }
 
     #[test]

@@ -118,9 +118,11 @@ pub(crate) fn collect_roots(c: &Circuit, labeling: &Labeling) -> HashMap<NodeId,
 pub fn flowmap(c: &Circuit, k: usize) -> Result<FlowMapResult, FlowMapError> {
     let labeling = {
         let _t = engine::telemetry::time_phase(engine::telemetry::Phase::Label);
+        let _s = engine::trace::span1("flowmap_label", "k", k as u64);
         flowmap_labels(c, k)
     };
     let _t = engine::telemetry::time_phase(engine::telemetry::Phase::Generate);
+    let _s = engine::trace::span("flowmap_generate");
     let roots = collect_roots(c, &labeling);
     let mapped = build_lut_network(c, &roots, &format!("{}_flowmap", c.name()))?;
     let depth = mapped.clock_period()?;

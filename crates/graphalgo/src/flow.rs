@@ -199,6 +199,9 @@ impl NodeCutNetwork {
                 }
             }
             if !reached {
+                // Flow is exact (not truncated by `limit`): this run's
+                // augmentation count is a real per-cut sample.
+                engine::telemetry::record(engine::hist::Metric::AugmentationsPerCut, flow as u64);
                 return MaxFlowResult {
                     flow,
                     exceeded_limit: false,
@@ -218,6 +221,7 @@ impl NodeCutNetwork {
             }
             flow += 1;
             engine::telemetry::count(engine::telemetry::Counter::FlowAugmentations, 1);
+            engine::trace::event1("augment", "flow", flow as u64);
         }
     }
 

@@ -61,6 +61,7 @@ impl<'a> Simulator<'a> {
     pub fn step(&mut self, inputs: &[Bit]) -> Vec<Bit> {
         let c = self.circuit;
         assert_eq!(inputs.len(), c.inputs().len(), "PI vector length mismatch");
+        let _span = engine::trace::span1("sim_step", "nodes", self.order.len() as u64);
         for (&pi, &v) in c.inputs().iter().zip(inputs) {
             self.values[pi.index()] = v;
         }

@@ -44,6 +44,13 @@ pub fn find_cut(
 ) -> Option<ExpCut> {
     let n = exp.len();
     debug_assert!(!exp.is_leaf[exp.root()]);
+    let _span = engine::trace::span_with(
+        "min_cut",
+        [
+            Some(("node", exp.nodes[exp.root()].node.index() as u64)),
+            Some(("weight_bound", weight_bound)),
+        ],
+    );
     // Effective leaf: a declared leaf, or weight above the current bound.
     let effective_leaf = |i: usize| exp.is_leaf[i] || exp.nodes[i].weight > weight_bound;
     let value = |i: usize| {
@@ -81,6 +88,8 @@ pub fn find_cut(
     if signals.is_empty() {
         return None;
     }
+    engine::telemetry::record(engine::hist::Metric::CutSize, signals.len() as u64);
+    engine::trace::event1("cut_found", "size", signals.len() as u64);
     Some(ExpCut { signals })
 }
 

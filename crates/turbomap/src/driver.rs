@@ -122,6 +122,23 @@ fn ceil_div(a: i64, b: i64) -> i64 {
     a.div_euclid(b) + if a.rem_euclid(b) != 0 { 1 } else { 0 }
 }
 
+/// TurboMap-frt's core guarantee is that it only ever moves registers
+/// **forward** (that is what makes initial states computable in linear
+/// time); pin that invariant on both the move stats and the thread's
+/// telemetry counter in debug builds.
+#[cfg(debug_assertions)]
+fn debug_assert_no_backward_moves(counter_before: u64, moves: &MoveStats) {
+    assert_eq!(
+        moves.backward_moves, 0,
+        "turbomap_frt applied backward register moves"
+    );
+    let now = engine::telemetry::snapshot().counter(engine::telemetry::Counter::BackwardMoves);
+    assert_eq!(
+        now, counter_before,
+        "turbomap_frt incremented the backward_moves counter"
+    );
+}
+
 /// Errors out when the thread's installed cancellation token tripped
 /// (the oracles bail out early in that state, so their answers must be
 /// discarded rather than interpreted as infeasibility).
@@ -156,6 +173,9 @@ pub fn prepare(c: &Circuit, k: usize) -> Result<Circuit, TurboMapError> {
 ///
 /// See [`TurboMapError`]; initial state computation cannot fail here.
 pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboMapError> {
+    #[cfg(debug_assertions)]
+    let backward_before =
+        engine::telemetry::snapshot().counter(engine::telemetry::Counter::BackwardMoves);
     let bounded = prepare(c, opts.k)?;
     // Upper bound: FlowMap-frt (cheap, feasible by construction).
     let baseline = flowmap::flowmap_frt(&bounded, opts.k).map_err(TurboMapError::Baseline)?;
@@ -167,10 +187,12 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
     let mut iterations = Vec::new();
     let mut lo = 1u64;
     let mut hi = upper;
+    let phi_span = engine::trace::span1("phi_search", "upper", upper);
     // Confirm the upper bound under FRTcheck itself (it must be feasible;
     // keep its labels as fallback).
     let top = {
         let _t = time_phase(Phase::Label);
+        let _p = engine::trace::span1("phi_probe", "phi", upper);
         ctx.check(upper)
     };
     check_cancelled()?;
@@ -183,6 +205,7 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
         let mid = lo + (hi - lo) / 2;
         let res = {
             let _t = time_phase(Phase::Label);
+            let _p = engine::trace::span1("phi_probe", "phi", mid);
             ctx.check(mid)
         };
         check_cancelled()?;
@@ -194,6 +217,7 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
             lo = mid + 1;
         }
     }
+    drop(phi_span);
     let (phi, labels) = best.ok_or(TurboMapError::NoFeasiblePeriod)?;
     debug_assert_eq!(phi, lo.min(upper));
 
@@ -204,6 +228,8 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
     if phi == baseline.period {
         let mut circuit = baseline.circuit;
         circuit.set_name(format!("{}_tmfrt", c.name()));
+        #[cfg(debug_assertions)]
+        debug_assert_no_backward_moves(backward_before, &baseline.moves);
         return Ok(TurboMapResult {
             period: phi,
             luts: circuit.num_gates(),
@@ -227,6 +253,8 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
         .collect();
     let gen = generate_mapping(&bounded, &roots, &rr, &format!("{}_tmfrt", c.name()), false)?;
     debug_assert!(!gen.initial_state_lost);
+    #[cfg(debug_assertions)]
+    debug_assert_no_backward_moves(backward_before, &gen.moves);
     let achieved = gen.circuit.clock_period().map_err(TurboMapError::Invalid)?;
     debug_assert!(achieved <= phi, "generated period {achieved} > Φ {phi}");
     let sharing_conflict = !gen.circuit.sharing_consistent();
@@ -260,8 +288,10 @@ pub fn turbomap_general(c: &Circuit, opts: Options) -> Result<TurboMapResult, Tu
     let mut iterations = Vec::new();
     let mut lo = 1u64;
     let mut hi = upper;
+    let phi_span = engine::trace::span1("phi_search", "upper", upper);
     let top = {
         let _t = time_phase(Phase::Label);
+        let _p = engine::trace::span1("phi_probe", "phi", upper);
         ctx.check(upper)
     };
     check_cancelled()?;
@@ -274,6 +304,7 @@ pub fn turbomap_general(c: &Circuit, opts: Options) -> Result<TurboMapResult, Tu
         let mid = lo + (hi - lo) / 2;
         let res = {
             let _t = time_phase(Phase::Label);
+            let _p = engine::trace::span1("phi_probe", "phi", mid);
             ctx.check(mid)
         };
         check_cancelled()?;
@@ -285,6 +316,7 @@ pub fn turbomap_general(c: &Circuit, opts: Options) -> Result<TurboMapResult, Tu
             lo = mid + 1;
         }
     }
+    drop(phi_span);
     let (phi, labels) = best.ok_or(TurboMapError::NoFeasiblePeriod)?;
     if phi == baseline.period {
         // The baseline network achieves the same period with guaranteed

@@ -67,6 +67,10 @@ impl ExpandedCircuit {
     /// Panics if `v` is not a gate.
     pub fn build(c: &Circuit, v: NodeId, bound: u64, max_nodes: usize) -> Option<ExpandedCircuit> {
         assert!(c.node(v).is_gate(), "expanded circuits root at gates");
+        let _span = engine::trace::span_with(
+            "expand",
+            [Some(("node", v.index() as u64)), Some(("bound", bound))],
+        );
         let mut index: HashMap<ExpNode, u32> = HashMap::new();
         let mut nodes: Vec<ExpNode> = Vec::new();
         let mut fanins: Vec<Vec<u32>> = Vec::new();

@@ -159,6 +159,7 @@ impl<'a> FrtContext<'a> {
             }
             iterations += 1;
             engine::telemetry::count(engine::telemetry::Counter::FrtSweeps, 1);
+            let _sweep = engine::trace::span1("frtcheck_sweep", "n", iterations as u64);
             let mut changed = false;
             for &v in &self.order {
                 let node = c.node(v);
@@ -204,6 +205,10 @@ impl<'a> FrtContext<'a> {
                     if new_ls > phi_i {
                         // Lower bound already violates Corollary 1 for
                         // every r ≥ 0: infeasible.
+                        engine::telemetry::record(
+                            engine::hist::Metric::SweepsPerPhi,
+                            iterations as u64,
+                        );
                         return FrtCheck {
                             feasible: false,
                             labels,
@@ -216,6 +221,7 @@ impl<'a> FrtContext<'a> {
                 break;
             }
             if iterations >= cap {
+                engine::telemetry::record(engine::hist::Metric::SweepsPerPhi, iterations as u64);
                 return FrtCheck {
                     feasible: false,
                     labels,
@@ -223,6 +229,7 @@ impl<'a> FrtContext<'a> {
                 };
             }
         }
+        engine::telemetry::record(engine::hist::Metric::SweepsPerPhi, iterations as u64);
         // Converged: Corollary 1 must hold at every node.
         let feasible = c.node_ids().all(|v| {
             let i = v.index();

@@ -120,6 +120,7 @@ impl<'a> GeneralContext<'a> {
             }
             iterations += 1;
             engine::telemetry::count(engine::telemetry::Counter::FrtSweeps, 1);
+            let _sweep = engine::trace::span1("frtcheck_sweep", "n", iterations as u64);
             let mut changed = false;
             for &v in &self.order {
                 let node = c.node(v);
@@ -153,6 +154,10 @@ impl<'a> GeneralContext<'a> {
                     }
                     if node.is_output() && new_l > phi_i {
                         // PO lower bound already exceeds Φ: infeasible.
+                        engine::telemetry::record(
+                            engine::hist::Metric::SweepsPerPhi,
+                            iterations as u64,
+                        );
                         return GeneralCheck {
                             feasible: false,
                             labels,
@@ -165,6 +170,7 @@ impl<'a> GeneralContext<'a> {
                 break;
             }
             if iterations >= cap {
+                engine::telemetry::record(engine::hist::Metric::SweepsPerPhi, iterations as u64);
                 return GeneralCheck {
                     feasible: false,
                     labels,
@@ -172,6 +178,7 @@ impl<'a> GeneralContext<'a> {
                 };
             }
         }
+        engine::telemetry::record(engine::hist::Metric::SweepsPerPhi, iterations as u64);
         let feasible = c.outputs().iter().all(|&po| labels[po.index()] <= phi_i);
         GeneralCheck {
             feasible,
