@@ -22,9 +22,11 @@
 
 use bench::batch::{failures, run_table1_suite, SuiteConfig};
 use bench::{artifact, geomean, Row};
+use engine::{log, JsonValue};
 use std::time::Duration;
 
 fn main() {
+    log::init(false);
     let mut cfg = SuiteConfig::default();
     let mut stats = false;
     let mut json_path: Option<String> = None;
@@ -63,7 +65,11 @@ fn main() {
                 trace_dir = Some(args.next().expect("--trace-dir DIR"));
             }
             other => {
-                eprintln!("unknown flag `{other}`");
+                log::error(
+                    "table1",
+                    "unknown flag",
+                    &[("flag", JsonValue::str(other.to_string()))],
+                );
                 std::process::exit(2);
             }
         }
@@ -87,7 +93,14 @@ fn main() {
 
     if let Some(dir) = &trace_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {dir}: {e}");
+            log::error(
+                "table1",
+                "cannot create trace dir",
+                &[
+                    ("path", JsonValue::str(dir.clone())),
+                    ("error", JsonValue::str(e.to_string())),
+                ],
+            );
             std::process::exit(1);
         }
         engine::trace::set_enabled(true);
@@ -103,11 +116,25 @@ fn main() {
             let path = format!("{dir}/{}.trace.json", report.name);
             let doc = engine::trace::chrome_trace(buffer, &report.name);
             if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
-                eprintln!("cannot write {path}: {e}");
+                log::error(
+                    "table1",
+                    "cannot write trace",
+                    &[
+                        ("path", JsonValue::str(path.clone())),
+                        ("error", JsonValue::str(e.to_string())),
+                    ],
+                );
                 std::process::exit(1);
             }
         }
-        eprintln!("wrote {} traces to {dir}", reports.len());
+        log::info(
+            "table1",
+            "wrote traces",
+            &[
+                ("dir", JsonValue::str(dir.clone())),
+                ("count", JsonValue::UInt(reports.len() as u64)),
+            ],
+        );
     }
 
     let mut rows: Vec<&Row> = Vec::new();
@@ -176,7 +203,14 @@ fn main() {
     if let Some(path) = &json_path {
         let doc = artifact::table1_json(&reports, cfg.k, bench::VERIFY_VECTORS, canonical);
         if let Err(e) = std::fs::write(path, doc.render_pretty()) {
-            eprintln!("cannot write {path}: {e}");
+            log::error(
+                "table1",
+                "cannot write artifact",
+                &[
+                    ("path", JsonValue::str(path.clone())),
+                    ("error", JsonValue::str(e.to_string())),
+                ],
+            );
             std::process::exit(1);
         }
         println!("wrote {path} ({})", artifact::SCHEMA);
@@ -232,11 +266,14 @@ fn main() {
             .iter()
             .map(|(name, status)| format!("{name} ({status})"))
             .collect();
-        eprintln!(
-            "{} of {} circuits did not complete: {}",
-            failed.len(),
-            reports.len(),
-            names.join(", ")
+        log::error(
+            "table1",
+            "circuits did not complete",
+            &[
+                ("failed", JsonValue::UInt(failed.len() as u64)),
+                ("total", JsonValue::UInt(reports.len() as u64)),
+                ("names", JsonValue::str(names.join(", "))),
+            ],
         );
         std::process::exit(1);
     }

@@ -1,0 +1,443 @@
+//! Bench-regression analysis: compare two `turbomap-bench/table1/v*`
+//! artifacts.
+//!
+//! The `benchdiff` binary reads a **baseline** artifact (typically the
+//! committed `BENCH_table1.json`) and a **candidate** artifact (a fresh
+//! run) and reports per-circuit deltas on the quality metrics (Φ, LUT
+//! count — deterministic, so any change is signal), wall time, and
+//! histogram quantiles (p50/p90/p99 of each recorded distribution).
+//!
+//! Regression policy:
+//!
+//! * any **quality** change (Φ or LUTs up for any algorithm, a circuit
+//!   disappearing, a status downgrade) is a regression — these are
+//!   deterministic and must be byte-stable run-to-run;
+//! * a **wall-time** increase beyond the configurable fractional
+//!   threshold is a regression, *unless* either artifact is canonical
+//!   (canonical artifacts zero all timing, so wall deltas are
+//!   meaningless there);
+//! * histogram quantile shifts are reported but never gate — they are
+//!   scheduling-sensitive distributions, not acceptance criteria.
+//!
+//! The rendered report is byte-deterministic for a given pair of
+//! artifacts: circuits sort by name, floats render through the same
+//! fixed-precision formatter everywhere.
+
+use engine::JsonValue;
+
+/// Diff tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Allowed fractional wall-time increase per circuit before the
+    /// diff counts a regression (0.25 = +25%).
+    pub wall_threshold: f64,
+    /// Gate on quality (Φ/LUTs/status) changes. On by default; turning
+    /// it off limits gating to wall time.
+    pub quality_gate: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            wall_threshold: 0.25,
+            quality_gate: true,
+        }
+    }
+}
+
+/// One circuit's comparison.
+#[derive(Debug)]
+pub struct CircuitDiff {
+    /// Circuit name.
+    pub name: String,
+    /// Informational delta lines (empty when nothing changed).
+    pub notes: Vec<String>,
+    /// Regression lines (a subset of the signal in `notes`).
+    pub regressions: Vec<String>,
+}
+
+/// The full diff.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// Per-circuit comparisons, sorted by name.
+    pub circuits: Vec<CircuitDiff>,
+    /// All regression lines, prefixed with their circuit name.
+    pub regressions: Vec<String>,
+    /// True when wall-time gating was skipped (canonical artifact).
+    pub wall_skipped: bool,
+}
+
+impl DiffReport {
+    /// True when the candidate passes the gate.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn as_f64(v: &JsonValue) -> Option<f64> {
+    match v {
+        JsonValue::Float(f) => Some(*f),
+        JsonValue::UInt(u) => Some(*u as f64),
+        JsonValue::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    format!("{s:.4}s")
+}
+
+/// The three per-algorithm result objects of a circuit row.
+const ALGORITHMS: [&str; 3] = ["flowmap_frt", "turbomap", "turbomap_frt"];
+
+/// Quality fields compared per algorithm (deterministic; up = worse).
+const QUALITY_FIELDS: [&str; 2] = ["phi", "luts"];
+
+fn circuit_map(doc: &JsonValue) -> Result<Vec<(String, &JsonValue)>, String> {
+    let arr = doc
+        .get("circuits")
+        .and_then(|c| c.as_array())
+        .ok_or("artifact has no `circuits` array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for c in arr {
+        let name = c
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or("circuit entry without `name`")?;
+        out.push((name.to_string(), c));
+    }
+    Ok(out)
+}
+
+fn check_schema(doc: &JsonValue, which: &str) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or_else(|| format!("{which}: missing `schema` field"))?;
+    if !schema.starts_with("turbomap-bench/table1/") {
+        return Err(format!("{which}: unsupported schema `{schema}`"));
+    }
+    Ok(())
+}
+
+fn is_canonical(doc: &JsonValue) -> bool {
+    matches!(doc.get("canonical"), Some(JsonValue::Bool(true)))
+}
+
+/// Compares every histogram under `key` (e.g. `histograms`) of two
+/// algorithm or circuit objects; emits note lines for quantile shifts.
+fn diff_hists(base: &JsonValue, cand: &JsonValue, key: &str, scope: &str, notes: &mut Vec<String>) {
+    let (Some(JsonValue::Object(b)), Some(JsonValue::Object(c))) = (base.get(key), cand.get(key))
+    else {
+        return;
+    };
+    for (hist_name, bh) in b {
+        let Some(ch) = c.iter().find(|(k, _)| k == hist_name).map(|(_, v)| v) else {
+            continue;
+        };
+        for q in ["p50", "p90", "p99"] {
+            let bv = bh.get(q).and_then(|v| v.as_u64());
+            let cv = ch.get(q).and_then(|v| v.as_u64());
+            if let (Some(bv), Some(cv)) = (bv, cv) {
+                if bv != cv {
+                    notes.push(format!("{scope}.{hist_name}.{q}: {bv} -> {cv}"));
+                }
+            }
+        }
+    }
+}
+
+fn diff_circuit(
+    name: &str,
+    base: &JsonValue,
+    cand: &JsonValue,
+    opts: &DiffOptions,
+    wall_comparable: bool,
+) -> CircuitDiff {
+    let mut notes = Vec::new();
+    let mut regressions = Vec::new();
+
+    let bstatus = base.get("status").and_then(|s| s.as_str()).unwrap_or("?");
+    let cstatus = cand.get("status").and_then(|s| s.as_str()).unwrap_or("?");
+    if bstatus != cstatus {
+        let line = format!("status: {bstatus} -> {cstatus}");
+        if cstatus != "ok" && opts.quality_gate {
+            regressions.push(line.clone());
+        }
+        notes.push(line);
+        // Different status shapes carry different fields; stop here.
+        return CircuitDiff {
+            name: name.to_string(),
+            notes,
+            regressions,
+        };
+    }
+
+    for alg in ALGORITHMS {
+        let (Some(b), Some(c)) = (base.get(alg), cand.get(alg)) else {
+            continue;
+        };
+        for field in QUALITY_FIELDS {
+            let bv = b.get(field).and_then(|v| v.as_u64());
+            let cv = c.get(field).and_then(|v| v.as_u64());
+            if let (Some(bv), Some(cv)) = (bv, cv) {
+                if bv != cv {
+                    let line = format!("{alg}.{field}: {bv} -> {cv}");
+                    if cv > bv && opts.quality_gate {
+                        regressions.push(line.clone());
+                    }
+                    notes.push(line);
+                }
+            }
+        }
+        diff_hists(b, c, "histograms", alg, &mut notes);
+    }
+    diff_hists(base, cand, "job_histograms", "job", &mut notes);
+
+    let bwall = base.get("wall_secs").and_then(as_f64);
+    let cwall = cand.get("wall_secs").and_then(as_f64);
+    if let (Some(bw), Some(cw)) = (bwall, cwall) {
+        if wall_comparable && bw > 0.0 {
+            let ratio = cw / bw;
+            if (ratio - 1.0).abs() > 1e-9 {
+                let line = format!(
+                    "wall: {} -> {} ({:+.1}%)",
+                    fmt_secs(bw),
+                    fmt_secs(cw),
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio > 1.0 + opts.wall_threshold {
+                    regressions.push(line.clone());
+                }
+                notes.push(line);
+            }
+        }
+    }
+
+    CircuitDiff {
+        name: name.to_string(),
+        notes,
+        regressions,
+    }
+}
+
+/// Diffs two parsed artifacts.
+///
+/// # Errors
+///
+/// Returns a message when either document is not a table1 artifact.
+pub fn diff_artifacts(
+    base: &JsonValue,
+    cand: &JsonValue,
+    opts: &DiffOptions,
+) -> Result<DiffReport, String> {
+    check_schema(base, "baseline")?;
+    check_schema(cand, "candidate")?;
+    let wall_comparable = !is_canonical(base) && !is_canonical(cand);
+    let base_map = circuit_map(base)?;
+    let cand_map = circuit_map(cand)?;
+
+    let mut names: Vec<String> = base_map.iter().map(|(n, _)| n.clone()).collect();
+    for (n, _) in &cand_map {
+        if !names.contains(n) {
+            names.push(n.clone());
+        }
+    }
+    names.sort();
+
+    let mut circuits = Vec::new();
+    let mut regressions = Vec::new();
+    for name in &names {
+        let b = base_map.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        let c = cand_map.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        let diff = match (b, c) {
+            (Some(b), Some(c)) => diff_circuit(name, b, c, opts, wall_comparable),
+            (Some(_), None) => CircuitDiff {
+                name: name.clone(),
+                notes: vec!["missing from candidate".into()],
+                regressions: if opts.quality_gate {
+                    vec!["missing from candidate".into()]
+                } else {
+                    Vec::new()
+                },
+            },
+            (None, Some(_)) => CircuitDiff {
+                name: name.clone(),
+                notes: vec!["new in candidate".into()],
+                regressions: Vec::new(),
+            },
+            (None, None) => unreachable!("name came from one of the maps"),
+        };
+        for r in &diff.regressions {
+            regressions.push(format!("{name}: {r}"));
+        }
+        circuits.push(diff);
+    }
+    Ok(DiffReport {
+        circuits,
+        regressions,
+        wall_skipped: !wall_comparable,
+    })
+}
+
+/// Renders the report (byte-deterministic for a given artifact pair).
+pub fn render_report(report: &DiffReport) -> String {
+    let mut out = String::new();
+    let changed: Vec<&CircuitDiff> = report
+        .circuits
+        .iter()
+        .filter(|c| !c.notes.is_empty())
+        .collect();
+    out.push_str(&format!(
+        "benchdiff: {} circuits compared, {} changed, {} regression(s)\n",
+        report.circuits.len(),
+        changed.len(),
+        report.regressions.len()
+    ));
+    if report.wall_skipped {
+        out.push_str("wall-time gate skipped: canonical artifact (timing zeroed)\n");
+    }
+    for c in &changed {
+        out.push_str(&format!("--- {}\n", c.name));
+        for note in &c.notes {
+            let marker = if c.regressions.contains(note) {
+                "!"
+            } else {
+                " "
+            };
+            out.push_str(&format!("  {marker} {note}\n"));
+        }
+    }
+    if report.regressions.is_empty() {
+        out.push_str("PASS\n");
+    } else {
+        out.push_str("FAIL\n");
+        for r in &report.regressions {
+            out.push_str(&format!("  regression: {r}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(phi: u64, luts: u64, wall: f64, canonical: bool) -> JsonValue {
+        let alg = |phi: u64, luts: u64| {
+            JsonValue::object(vec![
+                ("phi", JsonValue::UInt(phi)),
+                ("luts", JsonValue::UInt(luts)),
+                (
+                    "histograms",
+                    JsonValue::object(vec![(
+                        "cut_size",
+                        JsonValue::object(vec![
+                            ("p50", JsonValue::UInt(3)),
+                            ("p90", JsonValue::UInt(phi.max(3))),
+                            ("p99", JsonValue::UInt(7)),
+                        ]),
+                    )]),
+                ),
+            ])
+        };
+        JsonValue::object(vec![
+            ("schema", JsonValue::str("turbomap-bench/table1/v2")),
+            ("canonical", JsonValue::Bool(canonical)),
+            (
+                "circuits",
+                JsonValue::Array(vec![JsonValue::object(vec![
+                    ("name", JsonValue::str("s27")),
+                    ("status", JsonValue::str("ok")),
+                    ("flowmap_frt", alg(phi + 1, luts + 2)),
+                    ("turbomap", alg(phi, luts)),
+                    ("turbomap_frt", alg(phi, luts)),
+                    ("wall_secs", JsonValue::Float(wall)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = artifact(3, 10, 1.0, false);
+        let report = diff_artifacts(&a, &a, &DiffOptions::default()).unwrap();
+        assert!(report.is_clean());
+        let text = render_report(&report);
+        assert!(text.contains("0 regression(s)"));
+        assert!(text.ends_with("PASS\n"));
+        // Byte-deterministic.
+        assert_eq!(text, render_report(&report));
+    }
+
+    #[test]
+    fn quality_regression_gates() {
+        let base = artifact(3, 10, 1.0, false);
+        let cand = artifact(4, 10, 1.0, false); // Φ worse everywhere
+        let report = diff_artifacts(&base, &cand, &DiffOptions::default()).unwrap();
+        assert!(!report.is_clean());
+        let text = render_report(&report);
+        assert!(text.contains("turbomap_frt.phi: 3 -> 4"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+        // Quality improvements do not gate.
+        let report = diff_artifacts(&cand, &base, &DiffOptions::default()).unwrap();
+        assert!(report.is_clean());
+        // Quality gate can be disabled.
+        let opts = DiffOptions {
+            quality_gate: false,
+            ..DiffOptions::default()
+        };
+        let report = diff_artifacts(&base, &cand, &opts).unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn wall_regression_gates_past_threshold() {
+        let base = artifact(3, 10, 1.0, false);
+        let slow = artifact(3, 10, 1.5, false); // +50% > default 25%
+        let report = diff_artifacts(&base, &slow, &DiffOptions::default()).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].contains("wall"), "{report:?}");
+        // Within threshold: reported but not gated.
+        let ok = artifact(3, 10, 1.1, false);
+        let report = diff_artifacts(&base, &ok, &DiffOptions::default()).unwrap();
+        assert!(report.is_clean());
+        assert!(!report.circuits[0].notes.is_empty());
+        // Custom threshold.
+        let opts = DiffOptions {
+            wall_threshold: 0.05,
+            ..DiffOptions::default()
+        };
+        let report = diff_artifacts(&base, &ok, &opts).unwrap();
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn canonical_artifacts_skip_wall_gate() {
+        let base = artifact(3, 10, 0.0, true);
+        let cand = artifact(3, 10, 0.0, true);
+        let report = diff_artifacts(&base, &cand, &DiffOptions::default()).unwrap();
+        assert!(report.is_clean());
+        assert!(report.wall_skipped);
+        assert!(render_report(&report).contains("wall-time gate skipped"));
+    }
+
+    #[test]
+    fn missing_circuit_is_a_regression_and_schema_checked() {
+        let base = artifact(3, 10, 1.0, false);
+        let mut cand = artifact(3, 10, 1.0, false);
+        if let JsonValue::Object(pairs) = &mut cand {
+            for (k, v) in pairs.iter_mut() {
+                if k == "circuits" {
+                    *v = JsonValue::Array(Vec::new());
+                }
+            }
+        }
+        let report = diff_artifacts(&base, &cand, &DiffOptions::default()).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].contains("missing from candidate"));
+
+        let bogus = JsonValue::object(vec![("schema", JsonValue::str("other/v9"))]);
+        assert!(diff_artifacts(&bogus, &base, &DiffOptions::default()).is_err());
+    }
+}

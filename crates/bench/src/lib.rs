@@ -8,6 +8,7 @@
 
 pub mod artifact;
 pub mod batch;
+pub mod diff;
 
 use engine::telemetry::{self, Phase, Telemetry};
 use netlist::Circuit;

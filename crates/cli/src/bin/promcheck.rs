@@ -1,0 +1,52 @@
+//! `promcheck` — validates a Prometheus text-exposition file.
+//!
+//! The strict [`engine::prom::validate_exposition`] checker behind a
+//! CLI, so the CI serve-smoke job (and anyone debugging a scrape) can
+//! validate `/metrics` output instead of grepping it: every sample line
+//! must belong to a declared `# TYPE` family, label syntax must be
+//! well-formed, and values must parse.
+//!
+//! Exits 0 with a one-line summary on success, 1 with the first
+//! violation otherwise, 2 on usage errors.
+
+use engine::{log, JsonValue};
+
+fn main() {
+    log::init(false);
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: promcheck <metrics.prom>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            log::error(
+                "promcheck",
+                "cannot read exposition",
+                &[
+                    ("path", JsonValue::str(path)),
+                    ("error", JsonValue::str(e.to_string())),
+                ],
+            );
+            std::process::exit(1);
+        }
+    };
+    match engine::prom::validate_exposition(&text) {
+        Ok(()) => {
+            let samples = text
+                .lines()
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .count();
+            println!("{path}: OK ({samples} samples)");
+        }
+        Err(e) => {
+            log::error(
+                "promcheck",
+                "exposition is invalid",
+                &[("path", JsonValue::str(path)), ("error", JsonValue::str(e))],
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,9 +15,10 @@
 //! Exits 0 with a one-line summary on success, 1 with the first
 //! violation otherwise, 2 on usage errors.
 
-use engine::JsonValue;
+use engine::{log, JsonValue};
 
 fn main() {
+    log::init(false);
     let mut args = std::env::args().skip(1);
     let (Some(path), None) = (args.next(), args.next()) else {
         eprintln!("usage: tracecheck <trace.json>");
@@ -26,14 +27,25 @@ fn main() {
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("tracecheck: reading `{path}`: {e}");
+            log::error(
+                "tracecheck",
+                "cannot read trace",
+                &[
+                    ("path", JsonValue::str(path)),
+                    ("error", JsonValue::str(e.to_string())),
+                ],
+            );
             std::process::exit(1);
         }
     };
     match check(&text) {
         Ok(summary) => println!("{path}: OK ({summary})"),
         Err(e) => {
-            eprintln!("tracecheck: {path}: {e}");
+            log::error(
+                "tracecheck",
+                "trace is invalid",
+                &[("path", JsonValue::str(path)), ("error", JsonValue::str(e))],
+            );
             std::process::exit(1);
         }
     }

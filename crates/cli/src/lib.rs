@@ -6,6 +6,7 @@
 
 pub mod batch;
 pub mod metrics;
+pub mod serve;
 
 use netlist::Circuit;
 use std::fmt::Write as _;

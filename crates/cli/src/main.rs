@@ -1,27 +1,48 @@
 //! `tmfrt` — map BLIF/KISS2 circuits with the DAC'98 TurboMap-frt flows.
+//!
+//! Stream discipline: results (circuits) go to stdout, everything else —
+//! progress reports, structured logs, errors — goes to stderr. Log lines
+//! are JSON (see `engine::log`), filtered by `TMFRT_LOG` and `-q`.
 
+use engine::log;
+use engine::JsonValue;
 use tmfrt_cli::batch::{run_batch_dir, BatchArgs};
+use tmfrt_cli::serve::{run_serve, ServeArgs};
 use tmfrt_cli::{load_circuit, run, Args};
+
+/// Usage errors go to stderr as plain text (they are the interactive
+/// surface of the tool, not events), then exit 2.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn fatal(context: &str, msg: &str) -> ! {
+    log::error("tmfrt", context, &[("error", JsonValue::str(msg))]);
+    std::process::exit(1);
+}
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    if raw.first().map(String::as_str) == Some("batch") {
-        run_batch_main(&raw[1..]);
-        return;
+    match raw.first().map(String::as_str) {
+        Some("batch") => {
+            run_batch_main(&raw[1..]);
+            return;
+        }
+        Some("serve") => {
+            run_serve_main(&raw[1..]);
+            return;
+        }
+        _ => {}
     }
     let args = match Args::parse(&raw) {
         Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
+        Err(msg) => usage_error(&msg),
     };
+    log::init(args.quiet);
     let circuit = match load_circuit(&args) {
         Ok(c) => c,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(1);
-        }
+        Err(msg) => fatal("loading circuit", &msg),
     };
     if args.trace_out.is_some() {
         engine::trace::set_enabled(true);
@@ -33,16 +54,17 @@ fn main() {
                 let buffer = engine::trace::take_thread();
                 let doc = engine::trace::chrome_trace(&buffer, &args.input);
                 if let Err(e) = std::fs::write(path, doc.render_pretty()) {
-                    eprintln!("error writing `{path}`: {e}");
-                    std::process::exit(1);
+                    fatal("writing trace", &format!("`{path}`: {e}"));
                 }
-                if !args.quiet {
-                    eprintln!(
-                        "wrote {path} ({} events, {} dropped)",
-                        buffer.events.len(),
-                        buffer.dropped
-                    );
-                }
+                log::info(
+                    "tmfrt",
+                    "wrote trace",
+                    &[
+                        ("path", JsonValue::str(path.clone())),
+                        ("events", JsonValue::UInt(buffer.events.len() as u64)),
+                        ("dropped", JsonValue::UInt(buffer.dropped as u64)),
+                    ],
+                );
             }
             if !args.quiet {
                 eprint!("{}", outcome.report);
@@ -57,12 +79,13 @@ fn main() {
             match &args.output {
                 Some(path) => {
                     if let Err(e) = std::fs::write(path, render(Some(path))) {
-                        eprintln!("error writing `{path}`: {e}");
-                        std::process::exit(1);
+                        fatal("writing output", &format!("`{path}`: {e}"));
                     }
-                    if !args.quiet {
-                        eprintln!("wrote {path}");
-                    }
+                    log::info(
+                        "tmfrt",
+                        "wrote output",
+                        &[("path", JsonValue::str(path.clone()))],
+                    );
                 }
                 None => print!("{}", render(None)),
             }
@@ -70,10 +93,7 @@ fn main() {
                 std::process::exit(3); // distinct status for ⋆ results
             }
         }
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(1);
-        }
+        Err(msg) => fatal("run failed", &msg),
     }
 }
 
@@ -83,11 +103,9 @@ fn main() {
 fn run_batch_main(raw: &[String]) {
     let args = match BatchArgs::parse(raw) {
         Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
+        Err(msg) => usage_error(&msg),
     };
+    log::init(args.quiet);
     match run_batch_dir(&args) {
         Ok(summary) => {
             for report in &summary.reports {
@@ -105,24 +123,43 @@ fn run_batch_main(raw: &[String]) {
                         eprint!("{}", res.report);
                     }
                     engine::JobOutcome::Failed(e) => {
-                        eprintln!("=== {} [failed] {e}", report.name);
+                        log::error(
+                            "tmfrt::batch",
+                            "job failed",
+                            &[
+                                ("job", JsonValue::str(report.name.clone())),
+                                ("error", JsonValue::str(e.clone())),
+                            ],
+                        );
                     }
                     engine::JobOutcome::Panicked(msg) => {
-                        eprintln!("=== {} [panicked] {msg}", report.name);
+                        log::error(
+                            "tmfrt::batch",
+                            "job panicked",
+                            &[
+                                ("job", JsonValue::str(report.name.clone())),
+                                ("error", JsonValue::str(msg.clone())),
+                            ],
+                        );
                     }
                     engine::JobOutcome::DeadlineExceeded { limit } => {
-                        eprintln!(
-                            "=== {} [deadline] exceeded {:.0}s",
-                            report.name,
-                            limit.as_secs_f64()
+                        log::error(
+                            "tmfrt::batch",
+                            "job deadline exceeded",
+                            &[
+                                ("job", JsonValue::str(report.name.clone())),
+                                ("limit_secs", JsonValue::UInt(limit.as_secs())),
+                            ],
                         );
                     }
                 }
             }
             if let Some(path) = &args.metrics_out {
-                if !args.quiet {
-                    eprintln!("wrote {path}");
-                }
+                log::info(
+                    "tmfrt::batch",
+                    "wrote metrics",
+                    &[("path", JsonValue::str(path.clone()))],
+                );
             }
             let done = summary.reports.len() - summary.failures.len();
             if !args.quiet {
@@ -138,9 +175,18 @@ fn run_batch_main(raw: &[String]) {
                 std::process::exit(1);
             }
         }
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(1);
-        }
+        Err(msg) => fatal("batch failed", &msg),
+    }
+}
+
+/// The `tmfrt serve` subcommand: runs until `POST /shutdown`.
+fn run_serve_main(raw: &[String]) {
+    let args = match ServeArgs::parse(raw) {
+        Ok(a) => a,
+        Err(msg) => usage_error(&msg),
+    };
+    log::init(args.quiet);
+    if let Err(msg) = run_serve(&args) {
+        fatal("serve failed", &msg);
     }
 }

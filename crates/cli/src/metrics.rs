@@ -1,152 +1,37 @@
 //! Prometheus text exposition for batch runs (`--metrics-out`).
 //!
-//! One scrape-ready snapshot per batch: job outcomes, total wall time,
-//! per-phase CPU seconds, the algorithmic counters, and quantiles of the
-//! streaming histograms — everything aggregated across the batch's
-//! per-job telemetry deltas. The output is deterministic for a given set
-//! of reports (families and samples in fixed order) and always passes
-//! [`engine::prom::validate_exposition`].
+//! Thin re-export: the renderer lives in [`engine::prom`] (shared with
+//! `tmfrt serve`'s `/metrics` endpoint), so the CLI no longer carries
+//! its own copy of the exposition writer.
 
-use engine::hist::HIST_NAMES;
-use engine::prom::MetricKind;
-use engine::telemetry::{Telemetry, COUNTER_NAMES, PHASE_NAMES};
-use engine::{JobReport, PromWriter};
+use engine::JobReport;
 
 /// Renders the batch reports as Prometheus text exposition (0.0.4).
+/// Delegates to [`engine::prom::render_job_metrics`].
 pub fn render_metrics<T>(reports: &[JobReport<T>]) -> String {
-    let mut agg = Telemetry::default();
-    for r in reports {
-        agg.merge(&r.telemetry);
-    }
-
-    let mut w = PromWriter::new();
-
-    w.family(
-        "tmfrt_jobs",
-        MetricKind::Counter,
-        "Batch jobs by final status.",
-    );
-    for status in ["ok", "failed", "panicked", "deadline"] {
-        let n = reports
-            .iter()
-            .filter(|r| r.outcome.status() == status)
-            .count();
-        w.sample_u64("tmfrt_jobs", &[("status", status)], n as u64);
-    }
-
-    w.family(
-        "tmfrt_job_wall_seconds",
-        MetricKind::Counter,
-        "Wall-clock seconds summed over all jobs.",
-    );
-    w.sample(
-        "tmfrt_job_wall_seconds",
-        &[],
-        reports.iter().map(|r| r.wall.as_secs_f64()).sum(),
-    );
-
-    w.family(
-        "tmfrt_phase_seconds",
-        MetricKind::Counter,
-        "CPU seconds per pipeline phase, summed over all jobs.",
-    );
-    for (i, phase) in PHASE_NAMES.iter().enumerate() {
-        w.sample(
-            "tmfrt_phase_seconds",
-            &[("phase", phase)],
-            agg.phase_nanos[i] as f64 / 1e9,
-        );
-    }
-
-    w.family(
-        "tmfrt_events",
-        MetricKind::Counter,
-        "Algorithmic counters summed over all jobs.",
-    );
-    for (i, counter) in COUNTER_NAMES.iter().enumerate() {
-        w.sample_u64("tmfrt_events", &[("counter", counter)], agg.counters[i]);
-    }
-
-    // One gauge family per non-empty histogram: quantile samples plus
-    // explicit _count/_sum counters (summary-style naming without
-    // claiming the summary type, which the writer does not model).
-    for (i, hist_name) in HIST_NAMES.iter().enumerate() {
-        let h = &agg.hists[i];
-        if h.is_empty() {
-            continue;
-        }
-        let name = format!("tmfrt_{hist_name}");
-        w.family(
-            &name,
-            MetricKind::Gauge,
-            "Upper bound of the log2 bucket holding the quantile.",
-        );
-        for q in ["0.5", "0.9", "0.99"] {
-            let v = h.quantile(q.parse().unwrap()).unwrap_or(0);
-            w.sample_u64(&name, &[("quantile", q)], v);
-        }
-        let count = format!("{name}_count");
-        w.family(&count, MetricKind::Counter, "Samples recorded.");
-        w.sample_u64(&count, &[], h.count);
-        let sum = format!("{name}_sum");
-        w.family(&sum, MetricKind::Counter, "Sum of recorded values.");
-        w.sample_u64(&sum, &[], h.sum);
-    }
-
-    w.finish()
+    engine::prom::render_job_metrics(reports)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use engine::hist::Metric;
     use engine::prom::validate_exposition;
+    use engine::telemetry::Telemetry;
     use engine::JobOutcome;
     use std::time::Duration;
 
-    fn report(name: &str, outcome: JobOutcome<()>) -> JobReport<()> {
-        let mut t = Telemetry::default();
-        t.counters[0] = 10;
-        t.phase_nanos[0] = 250_000_000;
-        for v in [2u64, 3, 5, 9] {
-            t.hists[Metric::CutSize as usize].record(v);
-        }
-        JobReport {
-            name: name.into(),
-            outcome,
-            wall: Duration::from_millis(500),
-            telemetry: t,
+    #[test]
+    fn wrapper_matches_engine_renderer() {
+        let reports = vec![JobReport {
+            name: "a".into(),
+            outcome: JobOutcome::Completed(()),
+            wall: Duration::from_millis(250),
+            telemetry: Telemetry::default(),
             trace: None,
-        }
-    }
-
-    #[test]
-    fn exposition_validates_and_aggregates() {
-        let reports = vec![
-            report("a", JobOutcome::Completed(())),
-            report("b", JobOutcome::Completed(())),
-            report("c", JobOutcome::Panicked("boom".into())),
-        ];
+        }];
         let text = render_metrics(&reports);
-        validate_exposition(&text).expect("metrics must be valid exposition");
-        assert!(text.contains("tmfrt_jobs{status=\"ok\"} 2\n"));
-        assert!(text.contains("tmfrt_jobs{status=\"panicked\"} 1\n"));
-        assert!(text.contains("tmfrt_jobs{status=\"deadline\"} 0\n"));
-        assert!(text.contains("tmfrt_job_wall_seconds 1.5\n"));
-        assert!(text.contains("tmfrt_events{counter=\"flow_augmentations\"} 30\n"));
-        assert!(text.contains("tmfrt_phase_seconds{phase=\"label\"} 0.75\n"));
-        // 12 merged samples of 2,3,5,9: p50 lands in bucket [2,3].
-        assert!(text.contains("tmfrt_cut_size{quantile=\"0.5\"} 3\n"));
-        assert!(text.contains("tmfrt_cut_size_count 12\n"));
-        assert!(text.contains("tmfrt_cut_size_sum 57\n"));
-        // Histograms never recorded stay out of the exposition.
-        assert!(!text.contains("tmfrt_span_nanos"));
-    }
-
-    #[test]
-    fn empty_batch_still_validates() {
-        let text = render_metrics::<()>(&[]);
-        validate_exposition(&text).expect("empty exposition must validate");
-        assert!(text.contains("tmfrt_jobs{status=\"ok\"} 0\n"));
+        assert_eq!(text, engine::prom::render_job_metrics(&reports));
+        validate_exposition(&text).expect("wrapper output must validate");
+        assert!(text.contains("tmfrt_jobs{status=\"ok\"} 1\n"));
     }
 }

@@ -1,0 +1,94 @@
+//! Graceful-shutdown integration test: `POST /shutdown` must cancel
+//! queued and in-flight jobs through their existing [`engine`] cancel
+//! tokens and drain the worker pool promptly.
+//!
+//! This lives in its own test binary (hence its own process) because it
+//! installs a global [`engine::log`] memory sink to observe the job
+//! lifecycle; sharing a process with other serve tests would interleave
+//! their log lines.
+
+use engine::log::{self, MemorySink};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+use tmfrt_cli::serve::{start, ServeArgs};
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .expect("send request");
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("read response");
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let status = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {text}"));
+    (status, text)
+}
+
+#[test]
+fn shutdown_cancels_inflight_and_queued_jobs() {
+    let mem = MemorySink::new();
+    log::set_sink(Box::new(mem.clone()));
+    log::set_level(Some(log::Level::Info));
+
+    // One worker, three substantial jobs: the first occupies the worker
+    // while the other two sit in the queue.
+    let args = ServeArgs::parse(&[
+        "--addr".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--jobs".to_string(),
+        "1".to_string(),
+    ])
+    .unwrap();
+    let handle = start(&args).expect("serve starts");
+    let addr = handle.addr;
+    let manifest = r#"{"jobs":[
+        {"name":"busy0","source":"gen:s5378"},
+        {"name":"busy1","source":"gen:s5378"},
+        {"name":"busy2","source":"gen:s5378"}]}"#;
+    let (status, body) = post(addr, "/jobs", manifest);
+    assert_eq!(status, 202, "{body}");
+
+    // Let the worker pick up the first job, then pull the plug.
+    std::thread::sleep(Duration::from_millis(50));
+    let started = Instant::now();
+    let (status, _) = post(addr, "/shutdown", "");
+    assert_eq!(status, 200);
+
+    // The handle must drain and join without waiting for three full
+    // mapping runs — cancelled jobs bail at their next token poll.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        handle.shutdown();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(60))
+        .expect("server drained and joined after /shutdown");
+    let drained_in = started.elapsed();
+
+    let logs = mem.contents();
+    let count = |pat: &str| logs.lines().filter(|l| l.contains(pat)).count();
+    assert_eq!(count("\"msg\":\"job queued\""), 3, "{logs}");
+    // Cancellation must prevent the queued jobs from running to a clean
+    // finish; at most the in-flight one could have squeaked through.
+    let finished_ok = logs
+        .lines()
+        .filter(|l| l.contains("\"msg\":\"job finished\"") && l.contains("\"status\":\"ok\""))
+        .count();
+    assert!(
+        finished_ok <= 1,
+        "queued jobs ran to completion despite shutdown (drained in {drained_in:?}): {logs}"
+    );
+    assert!(logs.contains("\"msg\":\"shutdown requested\""), "{logs}");
+    assert!(logs.contains("\"msg\":\"stopped\""), "{logs}");
+}

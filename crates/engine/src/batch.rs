@@ -255,9 +255,12 @@ pub fn run_batch<T: Send + 'static>(
                 let guard = cancel::install(token.clone());
                 telemetry::reset();
                 trace::job_start();
+                // Log lines emitted inside the job body carry its name.
+                let log_guard = crate::log::with_job(name.clone());
                 let start = Instant::now();
                 let caught = catch_unwind(AssertUnwindSafe(work));
                 let wall = start.elapsed();
+                drop(log_guard);
                 let telemetry = telemetry::take();
                 let trace = trace::take_if_enabled();
                 drop(guard);

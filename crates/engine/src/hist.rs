@@ -87,6 +87,24 @@ pub fn bucket_upper_bound(index: usize) -> u64 {
     }
 }
 
+/// Inclusive lower bound of a bucket: 0, then `2^(i-1)`.
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+/// Midpoint of a bucket's value range (the deterministic single-bucket
+/// estimate used by [`Histogram::percentile`]).
+pub fn bucket_midpoint(index: usize) -> u64 {
+    let lo = bucket_lower_bound(index);
+    let hi = bucket_upper_bound(index);
+    // Average without overflow (lo ≤ hi always).
+    lo + (hi - lo) / 2
+}
+
 impl Histogram {
     /// An empty histogram (`const`, so it can seed thread-local state).
     pub const fn zeroed() -> Histogram {
@@ -155,6 +173,31 @@ impl Histogram {
         }
         // Unreachable when count equals the bucket total, but stay safe.
         Some(bucket_upper_bound(NUM_BUCKETS - 1))
+    }
+
+    /// Deterministic percentile for reports and dashboards, defined on
+    /// **every** histogram:
+    ///
+    /// * empty → `0` (not an error, not a stale bound),
+    /// * all samples in one bucket → that bucket's midpoint (the bucket
+    ///   is the entire information the histogram has; the midpoint is
+    ///   the minimum-worst-case point estimate, and it is the same for
+    ///   p50, p90 and p99, as it must be when n=1),
+    /// * otherwise → the upper bound of the bucket holding the
+    ///   `⌈q·count⌉`-th sample, exactly like [`Histogram::quantile`].
+    ///
+    /// [`Histogram::quantile`] keeps its `Option` shape for callers that
+    /// must distinguish "no data"; this is the total function the serve
+    /// metrics and `benchdiff` build on.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let nonzero = self.nonzero_buckets();
+        if let [(only, _)] = nonzero.as_slice() {
+            return bucket_midpoint(*only);
+        }
+        self.quantile(q).unwrap_or(0)
     }
 
     /// Mean of the recorded samples (0.0 when empty).
@@ -230,6 +273,51 @@ mod tests {
         assert_eq!(merged.count, 15);
         assert_eq!(merged.since(&a), b);
         assert_eq!(merged.since(&b), a);
+    }
+
+    #[test]
+    fn percentile_is_total_and_deterministic() {
+        // Empty: every percentile is exactly 0, twice in a row.
+        let empty = Histogram::new();
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(empty.percentile(q), 0);
+            assert_eq!(empty.percentile(q), 0);
+        }
+        // Single-bucket: the bucket midpoint, for every percentile.
+        // Samples 4..=7 land in bucket 3 → midpoint of [4,7] is 5.
+        let mut single = Histogram::new();
+        for v in [4u64, 5, 6, 7, 4] {
+            single.record(v);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(single.percentile(q), 5, "q={q}");
+        }
+        // Single-bucket at zero: midpoint of [0,0] is 0.
+        let mut zeros = Histogram::new();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.percentile(0.99), 0);
+        // Multi-bucket: agrees with `quantile`'s upper-bound estimate.
+        let mut multi = Histogram::new();
+        for v in [1u64, 1, 2, 3, 5, 8, 13, 100] {
+            multi.record(v);
+        }
+        assert_eq!(multi.percentile(0.5), multi.quantile(0.5).unwrap());
+        assert_eq!(multi.percentile(0.5), 3);
+        assert_eq!(multi.percentile(1.0), 127);
+    }
+
+    #[test]
+    fn bucket_bounds_and_midpoints() {
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_lower_bound(1), 1);
+        assert_eq!(bucket_lower_bound(3), 4);
+        assert_eq!(bucket_midpoint(0), 0);
+        assert_eq!(bucket_midpoint(1), 1);
+        assert_eq!(bucket_midpoint(3), 5); // [4,7] → 5
+        assert_eq!(bucket_midpoint(4), 11); // [8,15] → 11
+                                            // The top bucket's midpoint stays finite and in range.
+        assert!(bucket_midpoint(NUM_BUCKETS - 1) >= bucket_lower_bound(NUM_BUCKETS - 1));
     }
 
     #[test]

@@ -1,0 +1,610 @@
+//! A dependency-free HTTP/1.1 server (std-only) for `tmfrt serve`.
+//!
+//! Deliberately small: thread-per-connection on a [`std::net::TcpListener`],
+//! one request per connection (`Connection: close`), a **bounded handler
+//! pool** (connections beyond [`ServerConfig::max_concurrent`] are
+//! answered `503` immediately instead of queueing without bound), and
+//! graceful shutdown through the crate's own [`CancelToken`]: trip the
+//! token returned by [`Server::shutdown_token`], the accept loop stops,
+//! and [`Server::serve`] returns once in-flight handlers drain (long
+//! handlers such as SSE streams are expected to poll the same token).
+//!
+//! Responses either carry a byte body (with `Content-Length`) or a
+//! **streaming** body ([`Body::Stream`]): the server writes the header
+//! and then hands the raw connection to the stream closure — the shape
+//! Server-Sent Events need. Every handled request emits one structured
+//! access-log event through [`crate::log`] (stderr, never stdout).
+//!
+//! This is a service surface for trusted networks (localhost, a lab
+//! subnet): no TLS, no keep-alive, no chunked request bodies.
+
+use crate::cancel::CancelToken;
+use crate::json::JsonValue;
+use crate::log;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (`/jobs/3`).
+    pub path: String,
+    /// Raw query string after `?` (may be empty). Not percent-decoded —
+    /// the serve API uses plain token values.
+    pub query: String,
+    /// Header `(name, value)` pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length`-delimited).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of a `key=value` query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// The boxed closure driving a [`Body::Stream`] response.
+pub type StreamFn = Box<dyn FnOnce(&mut dyn Write) + Send>;
+
+/// A response body: bytes (framed with `Content-Length`) or a streaming
+/// writer (close-delimited; used for SSE).
+pub enum Body {
+    /// A complete in-memory body.
+    Bytes(Vec<u8>),
+    /// A closure that drives the open connection until it returns; the
+    /// connection closes afterwards. The closure must poll the server's
+    /// shutdown token to terminate promptly on drain.
+    Stream(StreamFn),
+}
+
+impl std::fmt::Debug for Body {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Body::Bytes(b) => write!(f, "Body::Bytes({} bytes)", b.len()),
+            Body::Stream(_) => write!(f, "Body::Stream"),
+        }
+    }
+}
+
+/// One response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Extra headers (`Cache-Control`, …).
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Body,
+}
+
+impl Response {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            headers: Vec::new(),
+            body: Body::Bytes(body.into().into_bytes()),
+        }
+    }
+
+    /// A JSON response rendered from a [`JsonValue`].
+    pub fn json(status: u16, value: &JsonValue) -> Response {
+        Response {
+            status,
+            content_type: "application/json".into(),
+            headers: Vec::new(),
+            body: Body::Bytes(value.render_pretty().into_bytes()),
+        }
+    }
+
+    /// A streaming response: the header is written with `content_type`,
+    /// then `stream` drives the connection (SSE).
+    pub fn stream(
+        content_type: impl Into<String>,
+        stream: impl FnOnce(&mut dyn Write) + Send + 'static,
+    ) -> Response {
+        Response {
+            status: 200,
+            content_type: content_type.into(),
+            headers: Vec::new(),
+            body: Body::Stream(Box::new(stream)),
+        }
+    }
+
+    /// `404 Not Found` with a one-line text body.
+    pub fn not_found() -> Response {
+        Response::text(404, "not found\n")
+    }
+
+    /// `405 Method Not Allowed`.
+    pub fn method_not_allowed() -> Response {
+        Response::text(405, "method not allowed\n")
+    }
+
+    /// `400 Bad Request` with a reason.
+    pub fn bad_request(reason: impl Into<String>) -> Response {
+        Response::text(400, format!("bad request: {}\n", reason.into()))
+    }
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum concurrently handled connections; further accepts are
+    /// answered `503` without queueing (the bounded accept queue).
+    pub max_concurrent: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Cap on request head bytes (request line + headers).
+    pub max_head_bytes: usize,
+    /// Cap on request body bytes.
+    pub max_body_bytes: usize,
+    /// How long [`Server::serve`] waits for in-flight handlers after
+    /// shutdown is requested before returning anyway.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_concurrent: 64,
+            read_timeout: Duration::from_secs(10),
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 8 * 1024 * 1024,
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The request handler: borrows the request, returns the response.
+pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
+
+/// A bound, not-yet-serving HTTP server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    token: CancelToken,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, port `0` for ephemeral).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            token: CancelToken::new(),
+            config,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A clone of the shutdown token: trip it (from a handler, another
+    /// thread, or a signal bridge) and [`Server::serve`] drains and
+    /// returns.
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Accepts and handles connections until the shutdown token trips,
+    /// then waits up to [`ServerConfig::drain_timeout`] for in-flight
+    /// handlers. Blocking — run on a dedicated thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns setup errors (nonblocking-mode failure); per-connection
+    /// errors are logged and absorbed.
+    pub fn serve(self, handler: Handler) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let active = Arc::new(AtomicUsize::new(0));
+        loop {
+            if self.token.is_cancelled() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if active.load(Ordering::Acquire) >= self.config.max_concurrent {
+                        reject_overloaded(stream);
+                        continue;
+                    }
+
+                    active.fetch_add(1, Ordering::AcqRel);
+                    let conn_active = Arc::clone(&active);
+                    let handler = Arc::clone(&handler);
+                    let config = self.config;
+                    let spawned = std::thread::Builder::new()
+                        .name("engine-http-conn".into())
+                        .spawn(move || {
+                            handle_connection(stream, peer, &handler, &config);
+                            conn_active.fetch_sub(1, Ordering::AcqRel);
+                        });
+                    if spawned.is_err() {
+                        active.fetch_sub(1, Ordering::AcqRel);
+                        log::error("engine::http", "spawn connection thread failed", &[]);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    log::warn(
+                        "engine::http",
+                        "accept error",
+                        &[("error", JsonValue::str(e.to_string()))],
+                    );
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        // Drain: in-flight handlers (SSE streams poll the same token).
+        let deadline = Instant::now() + self.config.drain_timeout;
+        while active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stragglers = active.load(Ordering::Acquire);
+        if stragglers > 0 {
+            log::warn(
+                "engine::http",
+                "drain timeout with connections still open",
+                &[("connections", JsonValue::UInt(stragglers as u64))],
+            );
+        }
+        Ok(())
+    }
+}
+
+fn reject_overloaded(mut stream: TcpStream) {
+    let _ = stream.write_all(
+        b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 9\r\n\
+          Content-Type: text/plain\r\nConnection: close\r\n\r\noverload\n",
+    );
+    log::warn(
+        "engine::http",
+        "connection rejected: handler pool full",
+        &[],
+    );
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    peer: std::net::SocketAddr,
+    handler: &Handler,
+    config: &ServerConfig,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let started = Instant::now();
+    let request = match read_request(&mut stream, config) {
+        Ok(r) => r,
+        Err(reason) => {
+            let resp = Response::bad_request(reason.clone());
+            let _ = write_response(&mut stream, resp);
+            log::warn(
+                "engine::http",
+                "malformed request",
+                &[
+                    ("peer", JsonValue::str(peer.to_string())),
+                    ("reason", JsonValue::str(reason)),
+                ],
+            );
+            return;
+        }
+    };
+    let method = request.method.clone();
+    let path = request.path.clone();
+    let response = handler(request);
+    let status = response.status;
+    let streamed = matches!(response.body, Body::Stream(_));
+    // Access-log a plain response after it is written, but a streaming
+    // one before its closure runs (streams can outlive the connection's
+    // useful logging window).
+    let mut pending = Some(response);
+    if !streamed {
+        let _ = write_response(&mut stream, pending.take().unwrap());
+    }
+    log::info(
+        "engine::http",
+        "request",
+        &[
+            ("peer", JsonValue::str(peer.to_string())),
+            ("method", JsonValue::str(method)),
+            ("path", JsonValue::str(path)),
+            ("status", JsonValue::UInt(status as u64)),
+            (
+                "micros",
+                JsonValue::UInt(started.elapsed().as_micros() as u64),
+            ),
+        ],
+    );
+    if let Some(response) = pending {
+        let _ = write_response(&mut stream, response);
+    }
+}
+
+/// Reads and parses one request from `stream`.
+fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> Result<Request, String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > config.max_head_bytes {
+            return Err("request head too large".into());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-head".into()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(format!("bad request line `{request_line}`"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("bad header line `{line}`"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().map_err(|_| format!("bad content-length `{v}`")))
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > config.max_body_bytes {
+        return Err("request body too large".into());
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-body".into()),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read body: {e}")),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes `response` to `stream`; streaming bodies run their closure.
+fn write_response(stream: &mut TcpStream, response: Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: close\r\n",
+        response.status,
+        reason_phrase(response.status),
+        response.content_type
+    );
+    for (k, v) in &response.headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    match response.body {
+        Body::Bytes(bytes) => {
+            head.push_str(&format!("Content-Length: {}\r\n\r\n", bytes.len()));
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(&bytes)?;
+            stream.flush()
+        }
+        Body::Stream(f) => {
+            // Close-delimited: no Content-Length; the stream closure
+            // writes until it returns (SSE handlers poll the shutdown
+            // token), then the connection closes.
+            head.push_str("Cache-Control: no-store\r\n\r\n");
+            stream.write_all(head.as_bytes())?;
+            stream.flush()?;
+            f(stream);
+            stream.flush()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn send(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn test_server(
+        handler: impl Fn(Request) -> Response + Send + Sync + 'static,
+    ) -> (
+        std::net::SocketAddr,
+        CancelToken,
+        std::thread::JoinHandle<std::io::Result<()>>,
+    ) {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let token = server.shutdown_token();
+        let join = std::thread::spawn(move || server.serve(Arc::new(handler)));
+        (addr, token, join)
+    }
+
+    #[test]
+    fn serves_parses_and_shuts_down() {
+        let (addr, token, join) =
+            test_server(|req| match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/hello") => {
+                    let who = req.query_param("who").unwrap_or("world").to_string();
+                    Response::text(200, format!("hello {who}\n"))
+                }
+                ("POST", "/echo") => {
+                    assert_eq!(req.header("content-type"), Some("text/plain"));
+                    Response::text(200, req.body_text())
+                }
+                _ => Response::not_found(),
+            });
+
+        let out = send(addr, "GET /hello?who=fpga HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        assert!(out.ends_with("hello fpga\n"), "{out}");
+        assert!(out.contains("Connection: close\r\n"));
+
+        let body = "round trip body";
+        let out = send(
+            addr,
+            &format!(
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Type: text/plain\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(out.ends_with(body), "{out}");
+
+        let out = send(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+
+        let out = send(addr, "BOGUS\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+
+        token.cancel();
+        join.join().unwrap().unwrap();
+        // The listener is gone: connects now fail (eventually — the OS
+        // may accept one backlogged connection, so poll briefly).
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match TcpStream::connect(addr) {
+                Err(_) => break,
+                Ok(_) if Instant::now() > deadline => panic!("listener still accepting"),
+                Ok(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_response_delivers_chunks() {
+        let (addr, token, join) = test_server(|req| {
+            assert_eq!(req.path, "/events");
+            Response::stream("text/event-stream", |w| {
+                for i in 0..3 {
+                    let _ = write!(w, "data: tick {i}\n\n");
+                    let _ = w.flush();
+                }
+            })
+        });
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /events HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(s);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        let mut all = String::new();
+        reader.read_to_string(&mut all).unwrap();
+        assert!(all.contains("data: tick 0\n\n"), "{all}");
+        assert!(all.contains("data: tick 2\n\n"), "{all}");
+        token.cancel();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let (addr, token, join) = test_server(|_| Response::text(200, "ok"));
+        let huge = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(64 * 1024));
+        // The server answers 400 and closes mid-upload, so the client
+        // may observe a reset instead of the response; the contract is
+        // that it never hangs and the server survives.
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(huge.as_bytes());
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.is_empty() || out.starts_with("HTTP/1.1 400"), "{out}");
+        drop(s);
+        let out = send(addr, "GET /after HTTP/1.1\r\n\r\n");
+        assert!(
+            out.starts_with("HTTP/1.1 200"),
+            "server must survive: {out}"
+        );
+        token.cancel();
+        join.join().unwrap().unwrap();
+    }
+}

@@ -23,6 +23,12 @@
 //!   disabled (one atomic branch per record site),
 //! * [`prom`] — a Prometheus text-exposition writer and validator for
 //!   batch-level metrics summaries,
+//! * [`http`] — a dependency-free HTTP/1.1 server (thread-per-connection
+//!   with a bounded handler pool, graceful shutdown through [`cancel`]
+//!   tokens, streaming responses for SSE) backing `tmfrt serve`,
+//! * [`log`] — structured JSON-lines logging with a `TMFRT_LOG` level
+//!   filter; events carry the current job and trace span so log lines
+//!   correlate with Chrome traces,
 //! * [`json`] — a small deterministic JSON writer for versioned result
 //!   artifacts (`BENCH_table1.json`),
 //! * [`rng`] — a seeded splitmix64 generator backing the workload
@@ -51,7 +57,9 @@
 pub mod batch;
 pub mod cancel;
 pub mod hist;
+pub mod http;
 pub mod json;
+pub mod log;
 pub mod pool;
 pub mod prom;
 pub mod rng;

@@ -9,6 +9,9 @@
 //! discipline as [`crate::json`]); [`validate_exposition`] is a strict
 //! character-level line check used by the tests and the CI smoke job.
 
+use crate::batch::JobReport;
+use crate::hist::HIST_NAMES;
+use crate::telemetry::{Telemetry, COUNTER_NAMES, PHASE_NAMES};
 use std::fmt::Write as _;
 
 /// Metric family kinds the writer supports.
@@ -112,6 +115,104 @@ fn is_label_name(name: &str) -> bool {
         _ => return false,
     }
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Job status keywords in the order the `tmfrt_jobs` family reports
+/// them (the [`crate::batch::JobOutcome::status`] vocabulary).
+pub const JOB_STATUSES: [&str; 4] = ["ok", "failed", "panicked", "deadline"];
+
+/// Writes the telemetry-derived families — `tmfrt_phase_seconds`,
+/// `tmfrt_events` and one quantile family per non-empty histogram —
+/// into `w`. Shared by `tmfrt batch --metrics-out`, `tmfrt serve
+/// /metrics` and the tests; output order is fixed, so a given snapshot
+/// always renders to the same bytes.
+pub fn write_telemetry_families(w: &mut PromWriter, agg: &Telemetry) {
+    w.family(
+        "tmfrt_phase_seconds",
+        MetricKind::Counter,
+        "CPU seconds per pipeline phase, summed over all jobs.",
+    );
+    for (i, phase) in PHASE_NAMES.iter().enumerate() {
+        w.sample(
+            "tmfrt_phase_seconds",
+            &[("phase", phase)],
+            agg.phase_nanos[i] as f64 / 1e9,
+        );
+    }
+
+    w.family(
+        "tmfrt_events",
+        MetricKind::Counter,
+        "Algorithmic counters summed over all jobs.",
+    );
+    for (i, counter) in COUNTER_NAMES.iter().enumerate() {
+        w.sample_u64("tmfrt_events", &[("counter", counter)], agg.counters[i]);
+    }
+
+    // One gauge family per non-empty histogram: quantile samples plus
+    // explicit _count/_sum counters (summary-style naming without
+    // claiming the summary type, which the writer does not model).
+    for (i, hist_name) in HIST_NAMES.iter().enumerate() {
+        let h = &agg.hists[i];
+        if h.is_empty() {
+            continue;
+        }
+        let name = format!("tmfrt_{hist_name}");
+        w.family(
+            &name,
+            MetricKind::Gauge,
+            "Upper bound of the log2 bucket holding the quantile.",
+        );
+        for q in ["0.5", "0.9", "0.99"] {
+            let v = h.quantile(q.parse().unwrap()).unwrap_or(0);
+            w.sample_u64(&name, &[("quantile", q)], v);
+        }
+        let count = format!("{name}_count");
+        w.family(&count, MetricKind::Counter, "Samples recorded.");
+        w.sample_u64(&count, &[], h.count);
+        let sum = format!("{name}_sum");
+        w.family(&sum, MetricKind::Counter, "Sum of recorded values.");
+        w.sample_u64(&sum, &[], h.sum);
+    }
+}
+
+/// Renders a finished batch's reports as one scrape-ready Prometheus
+/// exposition: job outcomes, total wall time, then the telemetry
+/// families of [`write_telemetry_families`]. Deterministic for a given
+/// report set and always passes [`validate_exposition`].
+pub fn render_job_metrics<T>(reports: &[JobReport<T>]) -> String {
+    let mut agg = Telemetry::default();
+    for r in reports {
+        agg.merge(&r.telemetry);
+    }
+
+    let mut w = PromWriter::new();
+    w.family(
+        "tmfrt_jobs",
+        MetricKind::Counter,
+        "Batch jobs by final status.",
+    );
+    for status in JOB_STATUSES {
+        let n = reports
+            .iter()
+            .filter(|r| r.outcome.status() == status)
+            .count();
+        w.sample_u64("tmfrt_jobs", &[("status", status)], n as u64);
+    }
+
+    w.family(
+        "tmfrt_job_wall_seconds",
+        MetricKind::Counter,
+        "Wall-clock seconds summed over all jobs.",
+    );
+    w.sample(
+        "tmfrt_job_wall_seconds",
+        &[],
+        reports.iter().map(|r| r.wall.as_secs_f64()).sum(),
+    );
+
+    write_telemetry_families(&mut w, &agg);
+    w.finish()
 }
 
 /// Validates Prometheus text-exposition content line by line: every line
@@ -267,6 +368,53 @@ mod tests {
         assert!(validate_exposition("# TYPE x widget").is_err());
         assert!(validate_exposition("#bad comment").is_err());
         assert!(validate_exposition("ok 3\nok{a=\"b\"} +Inf\n").is_ok());
+    }
+
+    #[test]
+    fn job_metrics_validate_and_aggregate() {
+        use crate::batch::JobOutcome;
+        use crate::hist::Metric;
+        use std::time::Duration;
+
+        let report = |name: &str, outcome: JobOutcome<()>| {
+            let mut t = Telemetry::default();
+            t.counters[0] = 10;
+            t.phase_nanos[0] = 250_000_000;
+            for v in [2u64, 3, 5, 9] {
+                t.hists[Metric::CutSize as usize].record(v);
+            }
+            JobReport {
+                name: name.into(),
+                outcome,
+                wall: Duration::from_millis(500),
+                telemetry: t,
+                trace: None,
+            }
+        };
+        let reports = vec![
+            report("a", JobOutcome::Completed(())),
+            report("b", JobOutcome::Completed(())),
+            report("c", JobOutcome::Panicked("boom".into())),
+        ];
+        let text = render_job_metrics(&reports);
+        validate_exposition(&text).expect("metrics must be valid exposition");
+        assert!(text.contains("tmfrt_jobs{status=\"ok\"} 2\n"));
+        assert!(text.contains("tmfrt_jobs{status=\"panicked\"} 1\n"));
+        assert!(text.contains("tmfrt_jobs{status=\"deadline\"} 0\n"));
+        assert!(text.contains("tmfrt_job_wall_seconds 1.5\n"));
+        assert!(text.contains("tmfrt_events{counter=\"flow_augmentations\"} 30\n"));
+        assert!(text.contains("tmfrt_phase_seconds{phase=\"label\"} 0.75\n"));
+        // 12 merged samples of 2,3,5,9: p50 lands in bucket [2,3].
+        assert!(text.contains("tmfrt_cut_size{quantile=\"0.5\"} 3\n"));
+        assert!(text.contains("tmfrt_cut_size_count 12\n"));
+        assert!(text.contains("tmfrt_cut_size_sum 57\n"));
+        // Histograms never recorded stay out of the exposition.
+        assert!(!text.contains("tmfrt_span_nanos"));
+
+        // An empty batch still renders a valid, all-zero exposition.
+        let empty = render_job_metrics::<()>(&[]);
+        validate_exposition(&empty).expect("empty exposition must validate");
+        assert!(empty.contains("tmfrt_jobs{status=\"ok\"} 0\n"));
     }
 
     #[test]

@@ -14,6 +14,8 @@
 
 use crate::hist::{Histogram, Metric, NUM_HISTS};
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Algorithmic event counters.
@@ -70,6 +72,19 @@ pub const NUM_PHASES: usize = 4;
 
 /// Stable phase names, indexed by `Phase as usize` (JSON keys).
 pub const PHASE_NAMES: [&str; NUM_PHASES] = ["label", "search", "generate", "verify"];
+
+impl Phase {
+    /// The phase with index `i` (`Phase as usize`), if in range.
+    pub fn from_index(i: usize) -> Option<Phase> {
+        match i {
+            0 => Some(Phase::Label),
+            1 => Some(Phase::Search),
+            2 => Some(Phase::Generate),
+            3 => Some(Phase::Verify),
+            _ => None,
+        }
+    }
+}
 
 /// A merged telemetry snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -134,6 +149,70 @@ impl Telemetry {
     }
 }
 
+/// A cross-thread live view of one running job's telemetry.
+///
+/// The worker thread installs an `Arc<LiveTelemetry>` as a *mirror*
+/// ([`install_mirror`]): every [`count`] and every finished
+/// [`PhaseTimer`] segment then also lands in these atomics, so another
+/// thread — the `tmfrt serve` `/jobs/<id>` handler — can read a running
+/// job's counters-so-far without touching the worker's thread-locals.
+/// Histograms are **not** mirrored (64 atomic buckets per sample would
+/// tax the hot paths); they arrive with the final [`Telemetry`] at job
+/// end. `current_phase` tracks the innermost open phase timer, feeding
+/// the serve monitor's phase-transition events.
+#[derive(Debug, Default)]
+pub struct LiveTelemetry {
+    counters: [AtomicU64; NUM_COUNTERS],
+    phase_nanos: [AtomicU64; NUM_PHASES],
+    /// `Phase as usize`, or `NUM_PHASES` when no phase timer is open.
+    current_phase: AtomicUsize,
+}
+
+impl LiveTelemetry {
+    /// A zeroed live view with no open phase.
+    pub fn new() -> LiveTelemetry {
+        let live = LiveTelemetry::default();
+        live.current_phase.store(NUM_PHASES, Ordering::Relaxed);
+        live
+    }
+
+    /// A point-in-time copy of the mirrored counters and phase timers
+    /// (histogram slots stay empty — see the type docs).
+    pub fn snapshot(&self) -> Telemetry {
+        let mut t = Telemetry::default();
+        for i in 0..NUM_COUNTERS {
+            t.counters[i] = self.counters[i].load(Ordering::Relaxed);
+        }
+        for i in 0..NUM_PHASES {
+            t.phase_nanos[i] = self.phase_nanos[i].load(Ordering::Relaxed);
+        }
+        t
+    }
+
+    /// The phase whose timer is currently open on the mirrored job, if
+    /// any.
+    pub fn current_phase(&self) -> Option<Phase> {
+        Phase::from_index(self.current_phase.load(Ordering::Relaxed))
+    }
+
+    fn add_count(&self, c: Counter, n: u64) {
+        self.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn add_phase(&self, p: Phase, nanos: u64) {
+        self.phase_nanos[p as usize].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Marks `p` open, returning the previous marker for restoration.
+    fn enter_phase(&self, p: Phase) -> usize {
+        self.current_phase.swap(p as usize, Ordering::Relaxed)
+    }
+
+    fn restore_phase(&self, prev: usize) {
+        self.current_phase.store(prev, Ordering::Relaxed);
+    }
+}
+
 thread_local! {
     static COUNTERS: [Cell<u64>; NUM_COUNTERS] = const {
         [const { Cell::new(0) }; NUM_COUNTERS]
@@ -143,16 +222,50 @@ thread_local! {
     };
     static HISTS: RefCell<[Histogram; NUM_HISTS]> =
         const { RefCell::new([Histogram::zeroed(); NUM_HISTS]) };
+    static MIRROR: RefCell<Option<Arc<LiveTelemetry>>> = const { RefCell::new(None) };
+}
+
+/// Installs `live` as the current thread's telemetry mirror for the
+/// lifetime of the returned guard (the previous mirror is restored on
+/// drop). Counters and phase-timer segments recorded on this thread are
+/// duplicated into the mirror's atomics.
+pub fn install_mirror(live: Arc<LiveTelemetry>) -> MirrorGuard {
+    let prev = MIRROR.with(|m| m.replace(Some(live)));
+    MirrorGuard { prev }
+}
+
+/// RAII guard returned by [`install_mirror`].
+#[derive(Debug)]
+pub struct MirrorGuard {
+    prev: Option<Arc<LiveTelemetry>>,
+}
+
+impl Drop for MirrorGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        MIRROR.with(|m| *m.borrow_mut() = prev);
+    }
+}
+
+#[inline]
+fn with_mirror(f: impl FnOnce(&LiveTelemetry)) {
+    MIRROR.with(|m| {
+        if let Some(live) = m.borrow().as_ref() {
+            f(live);
+        }
+    });
 }
 
 /// Adds `n` to a counter on the current thread. Lock-free: one
-/// thread-local access and a `Cell` read-modify-write.
+/// thread-local access and a `Cell` read-modify-write (plus one relaxed
+/// atomic add when a [`LiveTelemetry`] mirror is installed).
 #[inline]
 pub fn count(c: Counter, n: u64) {
     COUNTERS.with(|cs| {
         let cell = &cs[c as usize];
         cell.set(cell.get().wrapping_add(n));
     });
+    with_mirror(|live| live.add_count(c, n));
 }
 
 /// Records one sample into a distribution histogram on the current
@@ -194,11 +307,15 @@ pub fn reset() {
 }
 
 /// RAII timer: created by [`time_phase`], adds the elapsed monotonic time
-/// to the phase's thread-local accumulator on drop.
+/// to the phase's thread-local accumulator (and the installed mirror, if
+/// any) on drop.
 #[derive(Debug)]
 pub struct PhaseTimer {
     phase: Phase,
     start: Instant,
+    /// The mirror's previous `current_phase` marker, restored on drop
+    /// (`None` when no mirror was installed at creation).
+    mirror_prev: Option<usize>,
 }
 
 impl Drop for PhaseTimer {
@@ -208,15 +325,24 @@ impl Drop for PhaseTimer {
             let cell = &ps[self.phase as usize];
             cell.set(cell.get().wrapping_add(nanos));
         });
+        if let Some(prev) = self.mirror_prev {
+            with_mirror(|live| {
+                live.add_phase(self.phase, nanos);
+                live.restore_phase(prev);
+            });
+        }
     }
 }
 
 /// Starts timing `phase` until the returned guard drops.
 #[inline]
 pub fn time_phase(phase: Phase) -> PhaseTimer {
+    let mut mirror_prev = None;
+    with_mirror(|live| mirror_prev = Some(live.enter_phase(phase)));
     PhaseTimer {
         phase,
         start: Instant::now(),
+        mirror_prev,
     }
 }
 
@@ -296,6 +422,44 @@ mod tests {
         assert_eq!(t.hist(Metric::SweepsPerPhi).count, 1);
         // take() reset the histograms too.
         assert!(take().hist(Metric::CutSize).is_empty());
+    }
+
+    #[test]
+    fn mirror_sees_live_counts_and_phases() {
+        reset();
+        let live = Arc::new(LiveTelemetry::new());
+        assert_eq!(live.current_phase(), None);
+        {
+            let _g = install_mirror(Arc::clone(&live));
+            count(Counter::FlowAugmentations, 4);
+            {
+                let _t = time_phase(Phase::Search);
+                assert_eq!(live.current_phase(), Some(Phase::Search));
+                {
+                    let _inner = time_phase(Phase::Label);
+                    assert_eq!(live.current_phase(), Some(Phase::Label));
+                }
+                // Nested timer restored the outer phase marker.
+                assert_eq!(live.current_phase(), Some(Phase::Search));
+            }
+            assert_eq!(live.current_phase(), None);
+        }
+        // Mirror uninstalled: further counts stay local.
+        count(Counter::FlowAugmentations, 10);
+        let snap = live.snapshot();
+        assert_eq!(snap.counter(Counter::FlowAugmentations), 4);
+        assert!(snap.phase_nanos[Phase::Search as usize] > 0);
+        assert!(snap.phase_nanos[Phase::Label as usize] > 0);
+        // The thread-local view kept everything.
+        assert_eq!(take().counter(Counter::FlowAugmentations), 14);
+    }
+
+    #[test]
+    fn phase_from_index_roundtrips() {
+        for i in 0..NUM_PHASES {
+            assert_eq!(Phase::from_index(i).map(|p| p as usize), Some(i));
+        }
+        assert_eq!(Phase::from_index(NUM_PHASES), None);
     }
 
     #[test]

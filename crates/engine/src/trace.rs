@@ -137,6 +137,24 @@ impl Ring {
 
 thread_local! {
     static RING: RefCell<Ring> = RefCell::new(Ring::new(DEFAULT_CAPACITY));
+    /// Stack of open spans: `(name, seq)`, innermost last. Maintained
+    /// only while tracing is enabled; read by `engine::log` so log lines
+    /// can name the span they were emitted under.
+    static SPAN_STACK: RefCell<Vec<(&'static str, u64)>> = const { RefCell::new(Vec::new()) };
+    static SPAN_SEQ: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The innermost open span's name on this thread, when tracing is
+/// enabled and a span is open (log correlation; `None` otherwise).
+pub fn current_span() -> Option<&'static str> {
+    SPAN_STACK.with(|s| s.borrow().last().map(|&(name, _)| name))
+}
+
+/// The innermost open span's per-thread sequence number (1-based;
+/// 0 when no span is open). Paired with the span name this identifies
+/// one specific span instance within a job's trace.
+pub fn current_span_seq() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().map(|&(_, seq)| seq).unwrap_or(0))
 }
 
 /// Nanoseconds since this thread's job anchor.
@@ -155,6 +173,9 @@ fn push(ev: Event) {
 pub fn job_start() {
     if enabled() {
         RING.with(|r| r.borrow_mut().reset());
+        // Guards open across a job boundary (there should be none) must
+        // not leak context into the next job's log lines.
+        SPAN_STACK.with(|s| s.borrow_mut().clear());
     }
 }
 
@@ -201,6 +222,9 @@ impl Drop for SpanGuard {
             nanos,
             args: [None, None],
         });
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
         telemetry::record(Metric::SpanNanos, nanos.saturating_sub(self.enter_nanos));
     }
 }
@@ -223,6 +247,12 @@ pub fn span_with(name: &'static str, args: Payload) -> SpanGuard {
         nanos,
         args,
     });
+    let seq = SPAN_SEQ.with(|c| {
+        let next = c.get() + 1;
+        c.set(next);
+        next
+    });
+    SPAN_STACK.with(|s| s.borrow_mut().push((name, seq)));
     SpanGuard {
         name,
         enter_nanos: nanos,

@@ -150,6 +150,20 @@ fn check_cancelled() -> Result<(), TurboMapError> {
     }
 }
 
+/// One debug log line per Φ probe of the binary search; a disabled
+/// filter costs one atomic load.
+fn log_probe(target: &str, phi: u64, feasible: bool, sweeps: usize) {
+    engine::log::debug(
+        target,
+        "phi probe",
+        &[
+            ("phi", engine::JsonValue::UInt(phi)),
+            ("feasible", engine::JsonValue::Bool(feasible)),
+            ("sweeps", engine::JsonValue::UInt(sweeps as u64)),
+        ],
+    );
+}
+
 /// Prepares a circuit for mapping: validate and K-bound it.
 ///
 /// # Errors
@@ -196,6 +210,7 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
         ctx.check(upper)
     };
     check_cancelled()?;
+    log_probe("turbomap::frt", upper, top.feasible, top.iterations);
     iterations.push((upper, top.iterations));
     if !top.feasible {
         return Err(TurboMapError::NoFeasiblePeriod);
@@ -209,6 +224,7 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
             ctx.check(mid)
         };
         check_cancelled()?;
+        log_probe("turbomap::frt", mid, res.feasible, res.iterations);
         iterations.push((mid, res.iterations));
         if res.feasible {
             best = Some((mid, res.labels));
@@ -295,6 +311,7 @@ pub fn turbomap_general(c: &Circuit, opts: Options) -> Result<TurboMapResult, Tu
         ctx.check(upper)
     };
     check_cancelled()?;
+    log_probe("turbomap::general", upper, top.feasible, top.iterations);
     iterations.push((upper, top.iterations));
     if !top.feasible {
         return Err(TurboMapError::NoFeasiblePeriod);
@@ -308,6 +325,7 @@ pub fn turbomap_general(c: &Circuit, opts: Options) -> Result<TurboMapResult, Tu
             ctx.check(mid)
         };
         check_cancelled()?;
+        log_probe("turbomap::general", mid, res.feasible, res.iterations);
         iterations.push((mid, res.iterations));
         if res.feasible {
             best = Some((mid, res.labels));
