@@ -23,6 +23,13 @@ pub struct SuiteConfig {
     pub timeout: Option<Duration>,
     /// Keep only circuits with at most this many gates (`None` → all 18).
     pub max_gates: Option<usize>,
+    /// Intra-job sweep parallelism for the TurboMap-frt Φ probes
+    /// (`turbomap::Options::sweep_workers`: 1 serial, 0 auto). Mapped
+    /// results are byte-identical for every value.
+    pub sweep_workers: usize,
+    /// Warm-start Φ probes from the previous feasible labels
+    /// (`turbomap::Options::warm_start`).
+    pub warm_start: bool,
 }
 
 impl Default for SuiteConfig {
@@ -33,6 +40,8 @@ impl Default for SuiteConfig {
             jobs: 1,
             timeout: None,
             max_gates: None,
+            sweep_workers: 1,
+            warm_start: true,
         }
     }
 }
@@ -47,9 +56,13 @@ pub fn run_table1_suite(cfg: &SuiteConfig) -> Vec<JobReport<Row>> {
     let specs: Vec<JobSpec<Row>> = suite
         .into_iter()
         .map(|(p, c)| {
-            let k = cfg.k;
+            let mut opts = turbomap::Options::with_k(cfg.k);
+            opts.sweep_workers = cfg.sweep_workers;
+            opts.warm_start = cfg.warm_start;
             let verify = cfg.verify;
-            JobSpec::new(p.name, move || crate::try_run_row(p.name, &c, k, verify))
+            JobSpec::new(p.name, move || {
+                crate::try_run_row_opts(p.name, &c, verify, opts)
+            })
         })
         .collect();
     let mut opts = BatchOptions::with_jobs(cfg.jobs);

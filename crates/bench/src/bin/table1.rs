@@ -3,7 +3,8 @@
 //!
 //! Usage:
 //!   table1 [--max-gates N] [--k K] [--no-verify] [--stats]
-//!          [--jobs N] [--timeout-secs S] [--json PATH] [--canonical]
+//!          [--jobs N] [--sweep-workers N] [--no-warm-start]
+//!          [--timeout-secs S] [--json PATH] [--canonical]
 //!          [--trace-dir DIR]
 //!
 //! Circuits run as isolated jobs on the `engine` batch runner: `--jobs`
@@ -19,6 +20,13 @@
 //!
 //! `--stats` additionally prints the FRTcheck iteration counts per probed
 //! clock period (the paper's §3.2 claim of 5–15 iterations).
+//!
+//! `--sweep-workers` sets the *intra*-job parallelism of the
+//! TurboMap-frt label sweeps (1 = serial, the default for artifact
+//! comparability; 0 = auto); any value yields the byte-identical
+//! canonical artifact. `--no-warm-start` disables probe warm-starting:
+//! mapped quality (Φ/LUT/FF) is unchanged but per-probe sweep counts
+//! and the `frt_sweeps`/`sweeps_saved` counters shift.
 
 use bench::batch::{failures, run_table1_suite, SuiteConfig};
 use bench::{artifact, geomean, Row};
@@ -50,6 +58,13 @@ fn main() {
             "--jobs" => {
                 cfg.jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N");
             }
+            "--sweep-workers" => {
+                cfg.sweep_workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sweep-workers N (0 = auto)");
+            }
+            "--no-warm-start" => cfg.warm_start = false,
             "--timeout-secs" => {
                 let s: u64 = args
                     .next()
@@ -196,6 +211,17 @@ fn main() {
                 .map(|(phi, it)| format!("Φ={phi}:{it}"))
                 .collect();
             println!("           FRTcheck sweeps: {}", iters.join(" "));
+        }
+        let capped = row
+            .turbomap_frt
+            .telemetry
+            .counter(engine::telemetry::Counter::FrtCapped);
+        if capped > 0 {
+            println!(
+                "           WARNING: weight horizon capped frt(v) on {capped} gate{} — \
+                 TurboMap-frt may be suboptimal here",
+                if capped == 1 { "" } else { "s" }
+            );
         }
         rows.push(row);
     }

@@ -86,7 +86,24 @@ fn mapping_secs(t: &Telemetry) -> f64 {
 /// Returns a message naming the failing algorithm; cancellation
 /// (`TurboMapError::Cancelled`) propagates as an error mentioning it.
 pub fn try_run_row(name: &str, c: &Circuit, k: usize, verify: bool) -> Result<Row, String> {
-    let opts = turbomap::Options::with_k(k);
+    try_run_row_opts(name, c, verify, turbomap::Options::with_k(k))
+}
+
+/// [`try_run_row`] with full control over the TurboMap options — the
+/// bench binaries use this to thread `--sweep-workers` /
+/// `--no-warm-start` through to the Φ probes. `opts.k` applies to all
+/// three algorithms.
+///
+/// # Errors
+///
+/// Same contract as [`try_run_row`].
+pub fn try_run_row_opts(
+    name: &str,
+    c: &Circuit,
+    verify: bool,
+    opts: turbomap::Options,
+) -> Result<Row, String> {
+    let k = opts.k;
     let check = |mapped: &Circuit, seed: u64| -> bool {
         let _t = telemetry::time_phase(Phase::Verify);
         let _s = engine::trace::span1("verify", "vectors", VERIFY_VECTORS as u64);

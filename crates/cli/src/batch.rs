@@ -78,6 +78,8 @@ impl BatchArgs {
                 onehot: false,
                 pack: false,
                 strash: false,
+                sweep_workers: 1,
+                no_warm_start: false,
                 trace_out: None,
                 quiet: false,
             },

@@ -65,6 +65,11 @@ pub struct Args {
     pub pack: bool,
     /// Run structural hashing on the mapped result.
     pub strash: bool,
+    /// Intra-job sweep parallelism for turbomap-frt (1 = serial,
+    /// 0 = auto). Results are identical for every setting.
+    pub sweep_workers: usize,
+    /// Disable warm-starting Φ probes from the previous feasible probe.
+    pub no_warm_start: bool,
     /// Write a Chrome-trace JSON of the run's spans to this path.
     pub trace_out: Option<String>,
     /// Suppress the progress report on stderr (results and errors still
@@ -89,6 +94,8 @@ impl Args {
             onehot: false,
             pack: false,
             strash: false,
+            sweep_workers: 1,
+            no_warm_start: false,
             trace_out: None,
             quiet: false,
         };
@@ -134,6 +141,13 @@ impl Args {
                 "--onehot" => args.onehot = true,
                 "--pack" => args.pack = true,
                 "--strash" => args.strash = true,
+                "--sweep-workers" => {
+                    args.sweep_workers = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "--sweep-workers needs a count (0 = auto)".to_string())?;
+                }
+                "--no-warm-start" => args.no_warm_start = true,
                 "--trace-out" => {
                     args.trace_out = Some(
                         it.next()
@@ -174,6 +188,11 @@ USAGE: tmfrt [map] <input> [-o out.blif] [-a ALGO] [-k K] [--pushback] [--verify
   --onehot     one-hot state encoding for KISS2 inputs (default binary)
   --pack       LUT packing area post-pass on the result
   --strash     structural hashing (duplicate-logic sweep) on the result
+  --sweep-workers N
+               threads for the turbomap-frt label sweeps (default 1,
+               0 = all cores); any N gives byte-identical results
+  --no-warm-start
+               cold-start every Φ probe (A/B switch; results unchanged)
   --trace-out  write a Chrome-trace JSON of the run's spans (open in
                Perfetto or chrome://tracing)
   -q, --quiet  suppress the progress report on stderr
@@ -277,8 +296,10 @@ pub fn run(args: &Args, input: &Circuit) -> Result<RunOutcome, String> {
             (r.circuit, false)
         }
         Algorithm::TurboMapFrt => {
-            let r = turbomap::turbomap_frt(&source, turbomap::Options::with_k(args.k))
-                .map_err(|e| e.to_string())?;
+            let mut opts = turbomap::Options::with_k(args.k);
+            opts.sweep_workers = args.sweep_workers;
+            opts.warm_start = !args.no_warm_start;
+            let r = turbomap::turbomap_frt(&source, opts).map_err(|e| e.to_string())?;
             writeln!(
                 report,
                 "turbomap-frt: Φ = {}, {} LUTs, {} FFs (initial state guaranteed)",
@@ -393,6 +414,20 @@ mod tests {
         assert_eq!(a.verify, Some(100));
         assert!(a.onehot);
         assert_eq!(a.output.as_deref(), Some("out.blif"));
+    }
+
+    #[test]
+    fn parses_reuse_knobs() {
+        let a = Args::parse(&argv("gen:sand --sweep-workers 4 --no-warm-start")).unwrap();
+        assert_eq!(a.sweep_workers, 4);
+        assert!(a.no_warm_start);
+        let b = Args::parse(&argv("gen:sand --sweep-workers 0")).unwrap();
+        assert_eq!(b.sweep_workers, 0);
+        assert!(Args::parse(&argv("gen:sand --sweep-workers")).is_err());
+        // Defaults: serial sweeps, warm starts on.
+        let d = Args::parse(&argv("gen:sand")).unwrap();
+        assert_eq!(d.sweep_workers, 1);
+        assert!(!d.no_warm_start);
     }
 
     #[test]

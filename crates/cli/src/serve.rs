@@ -36,7 +36,7 @@ tmfrt serve — live mapping service with /metrics, /jobs and SSE events
 
 USAGE: tmfrt serve [--addr HOST:PORT] [--jobs N] [--timeout-secs S]
                    [-a ALGO] [-k K] [--verify N] [--pack] [--strash]
-                   [--pushback] [-q]
+                   [--pushback] [--sweep-workers N] [--no-warm-start] [-q]
 
   --addr A          listen address (default 127.0.0.1:7878; port 0 picks
                     an ephemeral port, reported in the startup log line)
@@ -47,7 +47,8 @@ USAGE: tmfrt serve [--addr HOST:PORT] [--jobs N] [--timeout-secs S]
 
 ENDPOINTS
   POST /jobs        submit a BLIF body (?name=&algorithm=&k=&verify=&
-                    timeout_secs= override defaults) or a JSON manifest
+                    sweep_workers=&timeout_secs= override defaults) or a
+                    JSON manifest
                     {\"jobs\":[{\"name\":…,\"source\":\"gen:…|path\"|\"blif\":…}]}
   GET  /jobs        all jobs (id, state, status, wall)
   GET  /jobs/<id>   one job: phase timers and counters-so-far while
@@ -138,6 +139,13 @@ impl ServeArgs {
                 "--pack" => out.run.pack = true,
                 "--strash" => out.run.strash = true,
                 "--pushback" => out.run.pushback = true,
+                "--sweep-workers" => {
+                    out.run.sweep_workers = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "--sweep-workers needs a count (0 = auto)".to_string())?;
+                }
+                "--no-warm-start" => out.run.no_warm_start = true,
                 "-q" | "--quiet" => out.quiet = true,
                 "-h" | "--help" => return Err(SERVE_USAGE.to_string()),
                 other => return Err(format!("unexpected argument `{other}`\n{SERVE_USAGE}")),
@@ -444,6 +452,12 @@ fn submit_jobs(state: &Arc<ServeState>, req: &Request) -> Response {
     if state.shutdown.is_cancelled() {
         return Response::text(503, "shutting down\n");
     }
+    // A submission must declare its body: without Content-Length the
+    // request legally has none (RFC 9112 §6.3), and treating it as an
+    // empty submission would mask the client's framing bug as a 400.
+    if !req.declares_body() {
+        return Response::length_required();
+    }
     // Per-request overrides of the serve-level defaults.
     let mut run_args = state.defaults.run.clone();
     if let Some(a) = req.query_param("algorithm") {
@@ -462,6 +476,12 @@ fn submit_jobs(state: &Arc<ServeState>, req: &Request) -> Response {
         match v.parse::<usize>() {
             Ok(n) => run_args.verify = Some(n),
             Err(_) => return Response::bad_request("verify must be a vector count"),
+        }
+    }
+    if let Some(w) = req.query_param("sweep_workers") {
+        match w.parse::<usize>() {
+            Ok(n) => run_args.sweep_workers = n,
+            Err(_) => return Response::bad_request("sweep_workers must be a count (0 = auto)"),
         }
     }
     let mut limit = state.defaults.timeout;
@@ -878,7 +898,8 @@ mod tests {
     #[test]
     fn parses_serve_flags() {
         let a = ServeArgs::parse(&argv(
-            "--addr 0.0.0.0:9000 --jobs 4 --timeout-secs 60 -a turbomap -k 4 --verify 64 -q",
+            "--addr 0.0.0.0:9000 --jobs 4 --timeout-secs 60 -a turbomap -k 4 --verify 64 \
+             --sweep-workers 3 --no-warm-start -q",
         ))
         .unwrap();
         assert_eq!(a.addr, "0.0.0.0:9000");
@@ -887,6 +908,8 @@ mod tests {
         assert_eq!(a.run.algorithm, crate::Algorithm::TurboMap);
         assert_eq!(a.run.k, 4);
         assert_eq!(a.run.verify, Some(64));
+        assert_eq!(a.run.sweep_workers, 3);
+        assert!(a.run.no_warm_start);
         assert!(a.quiet);
     }
 

@@ -246,6 +246,47 @@ fn serve_end_to_end() {
 }
 
 #[test]
+fn serve_rejects_malformed_body_framing() {
+    let args = ServeArgs::parse(&argv("--addr 127.0.0.1:0 --jobs 1")).unwrap();
+    let handle = start(&args).expect("serve starts");
+    let addr = handle.addr;
+
+    // A body-carrying request without Content-Length must draw 411, not
+    // be treated as an empty submission (which would read as a user
+    // error, 400, and mask the client's framing bug).
+    let (status, body) = request(
+        addr,
+        "POST /jobs HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 411, "{body}");
+    assert!(body.contains("length required"), "{body}");
+
+    // Claiming more bytes than the client sends is a 400 once the
+    // half-close reveals the truncation.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(b"POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\n.model x\n")
+        .expect("send truncated request");
+    s.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+
+    // Neither malformed request queued a job or hurt the service.
+    let (status, body) = get(addr, "/jobs");
+    assert_eq!(status, 200);
+    let index = JsonValue::parse(&body).unwrap();
+    assert!(
+        index
+            .get("jobs")
+            .and_then(|j| j.as_array())
+            .is_some_and(|j| j.is_empty()),
+        "{body}"
+    );
+    assert_eq!(get(addr, "/healthz").0, 200);
+    handle.shutdown();
+}
+
+#[test]
 fn serve_binary_logs_to_stderr_only() {
     // Drive the real binary: the startup log line reports the ephemeral
     // port, stdout stays empty (stream discipline), exit is clean.

@@ -30,10 +30,17 @@ pub enum Metric {
     /// Span durations in nanoseconds (recorded when tracing is enabled;
     /// a timing field — canonical artifacts zero it).
     SpanNanos = 3,
+    /// Cut queries per Φ probe answered from the probe-invariant expansion
+    /// cache (one sample per label-check call).
+    CacheHitsPerProbe = 4,
+    /// Dirty-task count of each topological level large enough for the
+    /// parallel LabelUpdate path. Recorded from the level size alone, so
+    /// the distribution is identical for every worker count.
+    ParallelBatchSize = 5,
 }
 
 /// Number of [`Metric`] variants.
-pub const NUM_HISTS: usize = 4;
+pub const NUM_HISTS: usize = 6;
 
 /// Stable snake_case metric names, indexed by `Metric as usize` (JSON
 /// keys in the `turbomap-bench/table1/v2` artifact).
@@ -42,6 +49,8 @@ pub const HIST_NAMES: [&str; NUM_HISTS] = [
     "augmentations_per_cut",
     "sweeps_per_phi",
     "span_nanos",
+    "cache_hits_per_probe",
+    "parallel_batch_size",
 ];
 
 /// A streaming log-bucketed histogram. All fields are monotone counters.

@@ -65,6 +65,14 @@ impl Request {
     pub fn body_text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
+
+    /// Whether the request declared a body (`Content-Length` present).
+    /// Body-consuming routes use this to answer `411 Length Required`
+    /// rather than silently treating an unframed submission as empty —
+    /// while bodyless control POSTs keep working without the header.
+    pub fn declares_body(&self) -> bool {
+        self.header("content-length").is_some()
+    }
 }
 
 /// The boxed closure driving a [`Body::Stream`] response.
@@ -152,6 +160,20 @@ impl Response {
     pub fn bad_request(reason: impl Into<String>) -> Response {
         Response::text(400, format!("bad request: {}\n", reason.into()))
     }
+
+    /// `411 Length Required` — for routes that *need* a request body,
+    /// when the request declared none. RFC 9112 §6.3 makes a request
+    /// without `Content-Length`/`Transfer-Encoding` a zero-length body
+    /// (so bodyless control POSTs like `/shutdown` stay one plain
+    /// `curl -X POST`); a body-consuming route answers with this instead
+    /// of treating the submission as empty — see
+    /// [`Request::declares_body`].
+    pub fn length_required() -> Response {
+        Response::text(
+            411,
+            "length required: request must include Content-Length\n",
+        )
+    }
 }
 
 /// The standard reason phrase for the status codes this server emits.
@@ -164,6 +186,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        411 => "Length Required",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -332,9 +355,9 @@ fn handle_connection(
     let started = Instant::now();
     let request = match read_request(&mut stream, config) {
         Ok(r) => r,
-        Err(reason) => {
-            let resp = Response::bad_request(reason.clone());
-            let _ = write_response(&mut stream, resp);
+        Err(err) => {
+            let reason = err;
+            let _ = write_response(&mut stream, Response::bad_request(reason.clone()));
             log::warn(
                 "engine::http",
                 "malformed request",
@@ -377,7 +400,8 @@ fn handle_connection(
     }
 }
 
-/// Reads and parses one request from `stream`.
+/// Reads and parses one request from `stream`; an `Err` is the reason
+/// string for the `400 Bad Request` answer.
 fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> Result<Request, String> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
@@ -418,12 +442,15 @@ fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> Result<Request
             .ok_or_else(|| format!("bad header line `{line}`"))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    let content_length: usize = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse().map_err(|_| format!("bad content-length `{v}`")))
-        .transpose()?
-        .unwrap_or(0);
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v.parse().map_err(|_| format!("bad content-length `{v}`"))?,
+        // No Content-Length (and this server never negotiates chunked
+        // transfer) means a zero-length body per RFC 9112 §6.3. Routes
+        // that *require* a body answer 411 through
+        // [`Request::declares_body`]; rejecting here would break
+        // bodyless control POSTs like `curl -X POST /shutdown`.
+        None => 0,
+    };
     if content_length > config.max_body_bytes {
         return Err("request body too large".into());
     }
@@ -582,6 +609,46 @@ mod tests {
         reader.read_to_string(&mut all).unwrap();
         assert!(all.contains("data: tick 0\n\n"), "{all}");
         assert!(all.contains("data: tick 2\n\n"), "{all}");
+        token.cancel();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn post_without_content_length_is_a_zero_body_request() {
+        // RFC 9112 §6.3: no Content-Length (and no chunked transfer)
+        // means no body — the request reaches the handler with an empty
+        // body and `declares_body() == false`, so body-consuming routes
+        // can answer 411 while bodyless control POSTs keep working.
+        let (addr, token, join) = test_server(|req| {
+            if req.declares_body() {
+                Response::text(200, "framed")
+            } else {
+                Response::length_required()
+            }
+        });
+        let out = send(addr, "POST /jobs HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 411 Length Required\r\n"), "{out}");
+        assert!(out.contains("length required"), "{out}");
+        let out = send(addr, "POST /jobs HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi");
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        assert!(out.ends_with("framed"), "{out}");
+        token.cancel();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn content_length_larger_than_body_is_rejected() {
+        let (addr, token, join) = test_server(|_| Response::text(200, "ok"));
+        // Claim 100 bytes, send 4, then half-close: the server must answer
+        // 400 (connection closed mid-body), not fabricate a short body.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /jobs HTTP/1.1\r\nContent-Length: 100\r\n\r\nabcd")
+            .unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        assert!(out.contains("mid-body"), "{out}");
         token.cancel();
         join.join().unwrap().unwrap();
     }

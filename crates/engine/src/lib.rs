@@ -70,7 +70,7 @@ pub use batch::{run_batch, BatchOptions, JobOutcome, JobReport, JobSpec};
 pub use cancel::CancelToken;
 pub use hist::{Histogram, Metric};
 pub use json::JsonValue;
-pub use pool::Pool;
+pub use pool::{scoped_workers, Pool};
 pub use prom::PromWriter;
 pub use rng::Rng64;
 pub use telemetry::{Counter, Phase, Telemetry};

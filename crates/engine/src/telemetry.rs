@@ -36,10 +36,16 @@ pub enum Counter {
     ForwardMoves = 5,
     /// Backward unit register moves (each required justification).
     BackwardMoves = 6,
+    /// Gates whose expansion window `F_v^{frt(v)}` was truncated by the
+    /// `weight_horizon` cap — the mapped result may be suboptimal.
+    FrtCapped = 7,
+    /// Label sweeps skipped thanks to warm-started Φ probes (estimated as
+    /// the previous feasible probe's sweep count minus this probe's).
+    SweepsSaved = 8,
 }
 
 /// Number of [`Counter`] variants.
-pub const NUM_COUNTERS: usize = 7;
+pub const NUM_COUNTERS: usize = 9;
 
 /// Stable snake_case names, indexed by `Counter as usize` (used as JSON
 /// keys — part of the `BENCH_table1.json` schema).
@@ -51,6 +57,8 @@ pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "expand_cache_misses",
     "forward_moves",
     "backward_moves",
+    "frt_capped",
+    "sweeps_saved",
 ];
 
 /// Pipeline phases timed per job.
@@ -223,6 +231,36 @@ thread_local! {
     static HISTS: RefCell<[Histogram; NUM_HISTS]> =
         const { RefCell::new([Histogram::zeroed(); NUM_HISTS]) };
     static MIRROR: RefCell<Option<Arc<LiveTelemetry>>> = const { RefCell::new(None) };
+}
+
+/// The `Arc<LiveTelemetry>` mirror currently installed on this thread, if
+/// any — lets a parent thread hand its mirror to scoped workers so their
+/// counts stay visible live (e.g. in `tmfrt serve`'s `/jobs/<id>`).
+pub fn current_mirror() -> Option<Arc<LiveTelemetry>> {
+    MIRROR.with(|m| m.borrow().clone())
+}
+
+/// Merges a snapshot into the current thread's **local** accumulators
+/// only — the installed mirror (if any) is deliberately not updated,
+/// because the usual source of `t` is a scoped worker that mirrored its
+/// counts live while running; re-mirroring here would double-count them.
+pub fn merge_local(t: &Telemetry) {
+    COUNTERS.with(|cs| {
+        for (i, cell) in cs.iter().enumerate() {
+            cell.set(cell.get().wrapping_add(t.counters[i]));
+        }
+    });
+    PHASES.with(|ps| {
+        for (i, cell) in ps.iter().enumerate() {
+            cell.set(cell.get().wrapping_add(t.phase_nanos[i]));
+        }
+    });
+    HISTS.with(|hs| {
+        let mut hists = hs.borrow_mut();
+        for i in 0..NUM_HISTS {
+            hists[i].merge(&t.hists[i]);
+        }
+    });
 }
 
 /// Installs `live` as the current thread's telemetry mirror for the
@@ -401,13 +439,45 @@ mod tests {
             "backward_moves"
         );
         assert_eq!(PHASE_NAMES[Phase::Verify as usize], "verify");
-        // Every counter (0..=6 = FlowAugmentations..BackwardMoves) has a
+        // Every counter (0..=8 = FlowAugmentations..SweepsSaved) has a
         // distinct JSON key — a duplicate would silently shadow a column
         // in the artifact.
         let unique: std::collections::HashSet<&str> = COUNTER_NAMES.iter().copied().collect();
         assert_eq!(unique.len(), NUM_COUNTERS);
         assert_eq!(Counter::FlowAugmentations as usize, 0);
-        assert_eq!(Counter::BackwardMoves as usize, NUM_COUNTERS - 1);
+        assert_eq!(COUNTER_NAMES[Counter::FrtCapped as usize], "frt_capped");
+        assert_eq!(COUNTER_NAMES[Counter::SweepsSaved as usize], "sweeps_saved");
+        assert_eq!(Counter::SweepsSaved as usize, NUM_COUNTERS - 1);
+    }
+
+    #[test]
+    fn merge_local_accumulates_without_mirror() {
+        reset();
+        count(Counter::FrtSweeps, 2);
+        record(Metric::CutSize, 4);
+        let live = Arc::new(LiveTelemetry::new());
+        let _g = install_mirror(Arc::clone(&live));
+        let mut worker = Telemetry::default();
+        worker.counters[Counter::FrtSweeps as usize] = 5;
+        worker.hists[Metric::CutSize as usize].record(9);
+        merge_local(&worker);
+        // Thread-local view has both; the mirror saw nothing from the merge.
+        assert_eq!(snapshot().counter(Counter::FrtSweeps), 7);
+        assert_eq!(snapshot().hist(Metric::CutSize).count, 2);
+        assert_eq!(live.snapshot().counter(Counter::FrtSweeps), 0);
+        reset();
+    }
+
+    #[test]
+    fn current_mirror_roundtrips() {
+        assert!(current_mirror().is_none());
+        let live = Arc::new(LiveTelemetry::new());
+        {
+            let _g = install_mirror(Arc::clone(&live));
+            let seen = current_mirror().expect("mirror installed");
+            assert!(Arc::ptr_eq(&seen, &live));
+        }
+        assert!(current_mirror().is_none());
     }
 
     #[test]

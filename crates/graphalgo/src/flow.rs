@@ -13,6 +13,12 @@
 //! capacity. Max flow is computed with BFS augmenting paths (Edmonds–Karp);
 //! since every augmenting path adds one unit of flow, deciding "is there a
 //! cut of size ≤ K" takes at most `K + 1` BFS passes.
+//!
+//! Mappers issue thousands of cut queries per label sweep, so the network
+//! is reusable: [`NodeCutNetwork::reset`] returns it to the empty state of
+//! [`NodeCutNetwork::new`] while keeping every allocation (arc pool,
+//! adjacency rows, BFS scratch), making the steady-state query cost
+//! allocation-free.
 
 use std::collections::VecDeque;
 
@@ -44,19 +50,35 @@ struct Arc {
 /// net.add_edge(0, 1);
 /// net.add_edge(1, 2);
 /// assert_eq!(net.max_flow(0, 2, 5).flow, 1);
+///
+/// // Reuse the same allocations for an unrelated query.
+/// net.reset(4);
+/// net.add_edge(0, 1);
+/// net.add_edge(0, 2);
+/// net.add_edge(1, 3);
+/// net.add_edge(2, 3);
+/// assert_eq!(net.max_flow(0, 3, 5).flow, 2);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct NodeCutNetwork {
     n: usize,
     arcs: Vec<Arc>,
     /// Adjacency: arc indices leaving each split node. Split node `2v` is
-    /// `v_in`, `2v + 1` is `v_out`.
+    /// `v_in`, `2v + 1` is `v_out`. May be longer than `2n` after a
+    /// shrinking [`NodeCutNetwork::reset`]; only the first `2n` rows are
+    /// live.
     adj: Vec<Vec<u32>>,
     /// Arc index of the internal `v_in -> v_out` arc for node `v`.
     internal: Vec<u32>,
     source: usize,
     sink: usize,
     ran: bool,
+    /// BFS predecessor scratch, reused across augmentations and resets.
+    parent: Vec<u32>,
+    /// BFS queue scratch.
+    queue: VecDeque<u32>,
+    /// Residual-reachability scratch for the min-cut extractions.
+    mark: Vec<bool>,
 }
 
 /// Result of a bounded max-flow computation.
@@ -82,22 +104,33 @@ pub struct MinCutResult {
 impl NodeCutNetwork {
     /// Creates an empty network over `n` nodes, all with capacity one.
     pub fn new(n: usize) -> Self {
-        let mut adj = vec![Vec::new(); 2 * n];
-        let mut arcs = Vec::with_capacity(4 * n);
-        let mut internal = Vec::with_capacity(n);
+        let mut net = NodeCutNetwork::default();
+        net.reset(n);
+        net
+    }
+
+    /// Returns the network to the state of [`NodeCutNetwork::new`]`(n)`
+    /// while keeping every allocation: the arc pool, the per-node
+    /// adjacency rows and the BFS scratch buffers all retain their
+    /// capacity. The steady-state cost of a rebuilt query is therefore
+    /// pure initialisation, no allocator traffic.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.arcs.clear();
+        self.internal.clear();
+        if self.adj.len() < 2 * n {
+            self.adj.resize_with(2 * n, Vec::new);
+        }
+        for row in self.adj[..2 * n].iter_mut() {
+            row.clear();
+        }
         for v in 0..n {
-            internal.push(arcs.len() as u32);
-            Self::push_arc(&mut arcs, &mut adj, 2 * v, 2 * v + 1, 1);
+            self.internal.push(self.arcs.len() as u32);
+            Self::push_arc(&mut self.arcs, &mut self.adj, 2 * v, 2 * v + 1, 1);
         }
-        NodeCutNetwork {
-            n,
-            arcs,
-            adj,
-            internal,
-            source: usize::MAX,
-            sink: usize::MAX,
-            ran: false,
-        }
+        self.source = usize::MAX;
+        self.sink = usize::MAX;
+        self.ran = false;
     }
 
     fn push_arc(arcs: &mut Vec<Arc>, adj: &mut [Vec<u32>], from: usize, to: usize, cap: u32) {
@@ -154,7 +187,8 @@ impl NodeCutNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if called twice, if `source == sink`, or on out-of-range ids.
+    /// Panics if called twice without a [`NodeCutNetwork::reset`] in
+    /// between, if `source == sink`, or on out-of-range ids.
     pub fn max_flow(&mut self, source: usize, sink: usize, limit: u32) -> MaxFlowResult {
         assert!(!self.ran, "max_flow may only be called once");
         assert!(source < self.n && sink < self.n, "endpoint out of range");
@@ -165,10 +199,12 @@ impl NodeCutNetwork {
         self.arcs[self.internal[source] as usize].cap = INF;
         self.arcs[self.internal[sink] as usize].cap = INF;
 
+        let split = 2 * self.n;
         let s = 2 * source + 1; // leave from source's out-node
         let t = 2 * sink; // arrive at sink's in-node
         let mut flow = 0u32;
-        let mut parent: Vec<u32> = vec![u32::MAX; self.adj.len()];
+        self.parent.clear();
+        self.parent.resize(split, u32::MAX);
         loop {
             if flow > limit {
                 return MaxFlowResult {
@@ -177,24 +213,24 @@ impl NodeCutNetwork {
                 };
             }
             // BFS for an augmenting path.
-            for p in parent.iter_mut() {
+            for p in self.parent.iter_mut() {
                 *p = u32::MAX;
             }
-            let mut queue = VecDeque::new();
-            queue.push_back(s);
-            parent[s] = u32::MAX - 1; // mark visited
+            self.queue.clear();
+            self.queue.push_back(s as u32);
+            self.parent[s] = u32::MAX - 1; // mark visited
             let mut reached = false;
-            'bfs: while let Some(x) = queue.pop_front() {
-                for &ai in &self.adj[x] {
+            'bfs: while let Some(x) = self.queue.pop_front() {
+                for &ai in &self.adj[x as usize] {
                     let arc = &self.arcs[ai as usize];
                     let y = arc.to as usize;
-                    if arc.cap > 0 && parent[y] == u32::MAX {
-                        parent[y] = ai;
+                    if arc.cap > 0 && self.parent[y] == u32::MAX {
+                        self.parent[y] = ai;
                         if y == t {
                             reached = true;
                             break 'bfs;
                         }
-                        queue.push_back(y);
+                        self.queue.push_back(y as u32);
                     }
                 }
             }
@@ -210,7 +246,7 @@ impl NodeCutNetwork {
             // Augment one unit along the path (all arcs have cap >= 1).
             let mut y = t;
             while y != s {
-                let ai = parent[y] as usize;
+                let ai = self.parent[y] as usize;
                 if self.arcs[ai].cap != INF {
                     self.arcs[ai].cap -= 1;
                 }
@@ -235,31 +271,33 @@ impl NodeCutNetwork {
     /// # Panics
     ///
     /// Panics if `max_flow` has not run or stopped early (`exceeded_limit`).
-    pub fn min_cut(&self, source: usize) -> MinCutResult {
+    pub fn min_cut(&mut self, source: usize) -> MinCutResult {
         assert!(self.ran, "min_cut requires max_flow to have run");
         assert_eq!(source, self.source, "min_cut source must match max_flow");
+        let split = 2 * self.n;
         let s = 2 * source + 1;
-        let mut visited = vec![false; self.adj.len()];
-        let mut queue = VecDeque::new();
-        visited[s] = true;
+        self.mark.clear();
+        self.mark.resize(split, false);
+        self.queue.clear();
+        self.mark[s] = true;
         // The source's in-node is on the source side by definition.
-        visited[2 * source] = true;
-        queue.push_back(s);
-        while let Some(x) = queue.pop_front() {
-            for &ai in &self.adj[x] {
+        self.mark[2 * source] = true;
+        self.queue.push_back(s as u32);
+        while let Some(x) = self.queue.pop_front() {
+            for &ai in &self.adj[x as usize] {
                 let arc = &self.arcs[ai as usize];
                 let y = arc.to as usize;
-                if arc.cap > 0 && !visited[y] {
-                    visited[y] = true;
-                    queue.push_back(y);
+                if arc.cap > 0 && !self.mark[y] {
+                    self.mark[y] = true;
+                    self.queue.push_back(y as u32);
                 }
             }
         }
         let mut cut_nodes = Vec::new();
         let mut source_side = vec![false; self.n];
-        for v in 0..self.n {
-            source_side[v] = visited[2 * v];
-            if visited[2 * v] && !visited[2 * v + 1] {
+        for (v, side) in source_side.iter_mut().enumerate() {
+            *side = self.mark[2 * v];
+            if self.mark[2 * v] && !self.mark[2 * v + 1] {
                 cut_nodes.push(v);
             }
         }
@@ -278,35 +316,37 @@ impl NodeCutNetwork {
     /// # Panics
     ///
     /// Panics if `max_flow` has not run.
-    pub fn min_cut_near_sink(&self, source: usize) -> MinCutResult {
+    pub fn min_cut_near_sink(&mut self, source: usize) -> MinCutResult {
         assert!(self.ran, "min_cut requires max_flow to have run");
         assert_eq!(source, self.source, "min_cut source must match max_flow");
+        let split = 2 * self.n;
         let t = 2 * self.sink;
         // Reverse residual BFS from the sink: x co-reaches t when some
         // residual arc x -> y exists with y co-reaching t. For each arc id
         // `ai ∈ adj[y]`, the paired arc `ai ^ 1` enters y from
         // `arcs[ai].to` and has residual capacity `arcs[ai ^ 1].cap`.
-        let mut coreach = vec![false; self.adj.len()];
-        let mut queue = VecDeque::new();
-        coreach[t] = true;
-        coreach[2 * self.sink + 1] = true;
-        queue.push_back(t);
-        queue.push_back(2 * self.sink + 1);
-        while let Some(y) = queue.pop_front() {
-            for &ai in &self.adj[y] {
+        self.mark.clear();
+        self.mark.resize(split, false);
+        self.queue.clear();
+        self.mark[t] = true;
+        self.mark[2 * self.sink + 1] = true;
+        self.queue.push_back(t as u32);
+        self.queue.push_back((2 * self.sink + 1) as u32);
+        while let Some(y) = self.queue.pop_front() {
+            for &ai in &self.adj[y as usize] {
                 let pair = (ai ^ 1) as usize;
                 let from = self.arcs[ai as usize].to as usize;
-                if self.arcs[pair].cap > 0 && !coreach[from] {
-                    coreach[from] = true;
-                    queue.push_back(from);
+                if self.arcs[pair].cap > 0 && !self.mark[from] {
+                    self.mark[from] = true;
+                    self.queue.push_back(from as u32);
                 }
             }
         }
         let mut cut_nodes = Vec::new();
         let mut source_side = vec![false; self.n];
-        for v in 0..self.n {
-            source_side[v] = !coreach[2 * v];
-            if !coreach[2 * v] && coreach[2 * v + 1] {
+        for (v, side) in source_side.iter_mut().enumerate() {
+            *side = !self.mark[2 * v];
+            if !self.mark[2 * v] && self.mark[2 * v + 1] {
                 cut_nodes.push(v);
             }
         }
@@ -460,5 +500,49 @@ mod tests {
         let r = net.max_flow(0, 3, 2);
         assert_eq!(r.flow, 2);
         assert!(!r.exceeded_limit);
+    }
+
+    #[test]
+    fn reset_matches_fresh_network() {
+        // Run a query, reset (growing, then shrinking), and check every
+        // reused query agrees with a fresh network.
+        let mut net = NodeCutNetwork::new(4);
+        net.add_edge(0, 1);
+        net.add_edge(1, 2);
+        net.add_edge(2, 3);
+        assert_eq!(net.max_flow(0, 3, 10).flow, 1);
+
+        // Grow: diamond over 5 nodes.
+        net.reset(5);
+        net.add_edge(0, 1);
+        net.add_edge(0, 2);
+        net.add_edge(1, 4);
+        net.add_edge(2, 4);
+        let r = net.max_flow(0, 4, 10);
+        assert_eq!(r.flow, 2);
+        assert_eq!(net.min_cut(0).cut_nodes, vec![1, 2]);
+
+        // Shrink: chain over 3 nodes; stale adjacency must be gone.
+        net.reset(3);
+        net.add_edge(0, 1);
+        net.add_edge(1, 2);
+        let r = net.max_flow(0, 2, 10);
+        assert_eq!(r.flow, 1);
+        assert_eq!(net.min_cut_near_sink(0).cut_nodes, vec![1]);
+    }
+
+    #[test]
+    fn reset_clears_uncapacitated_and_ran() {
+        let mut net = NodeCutNetwork::new(3);
+        net.add_edge(0, 1);
+        net.add_edge(1, 2);
+        net.set_uncapacitated(1);
+        assert!(net.max_flow(0, 2, 50).flow > 1);
+        // After reset the same node is unit-capacity again and max_flow
+        // may run anew.
+        net.reset(3);
+        net.add_edge(0, 1);
+        net.add_edge(1, 2);
+        assert_eq!(net.max_flow(0, 2, 50).flow, 1);
     }
 }

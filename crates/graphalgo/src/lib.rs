@@ -45,6 +45,8 @@ pub mod scc;
 pub mod topo;
 
 pub use flow::{MaxFlowResult, MinCutResult, NodeCutNetwork};
-pub use paths::{dijkstra, longest_paths, LongestPathError, NEG_INF};
+pub use paths::{
+    dijkstra, longest_paths, DijkstraScratch, LongestPathError, LongestPathScratch, NEG_INF,
+};
 pub use scc::strongly_connected_components;
 pub use topo::{topo_order, TopoError};

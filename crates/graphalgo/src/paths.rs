@@ -11,6 +11,12 @@
 //!   retiming graph is cyclic, so this is a Bellman–Ford-style longest path
 //!   with positive cycles signalling infeasibility, solved by
 //!   [`longest_paths`].
+//!
+//! Both solvers are called once per probe of a binary search over Φ, so
+//! each has a scratch-reusing form ([`DijkstraScratch`],
+//! [`LongestPathScratch`]) that keeps its distance arrays and heap across
+//! calls; the free functions are one-shot conveniences over a fresh
+//! scratch.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -18,10 +24,61 @@ use std::collections::BinaryHeap;
 /// Sentinel for "unreachable" in longest-path results (acts as `−∞`).
 pub const NEG_INF: i64 = i64::MIN / 4;
 
+/// Reusable state for [`dijkstra`]: the distance array and the binary
+/// heap survive across calls, so repeated queries (one per Φ probe) do
+/// not touch the allocator once warm.
+#[derive(Debug, Default, Clone)]
+pub struct DijkstraScratch {
+    dist: Vec<Option<u64>>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch.
+    pub fn new() -> DijkstraScratch {
+        DijkstraScratch::default()
+    }
+
+    /// Multi-source Dijkstra; see [`dijkstra`] for the semantics. The
+    /// returned slice borrows this scratch and is valid until the next
+    /// call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range.
+    pub fn run(&mut self, adj: &[Vec<(usize, u64)>], sources: &[usize]) -> &[Option<u64>] {
+        let n = adj.len();
+        self.dist.clear();
+        self.dist.resize(n, None);
+        self.heap.clear();
+        for &s in sources {
+            assert!(s < n, "source out of range");
+            if self.dist[s] != Some(0) {
+                self.dist[s] = Some(0);
+                self.heap.push(Reverse((0, s)));
+            }
+        }
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if self.dist[u] != Some(d) {
+                continue;
+            }
+            for &(v, w) in &adj[u] {
+                let nd = d + w;
+                if self.dist[v].is_none_or(|cur| nd < cur) {
+                    self.dist[v] = Some(nd);
+                    self.heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        &self.dist
+    }
+}
+
 /// Multi-source Dijkstra over an adjacency list with non-negative `u64`
 /// weights.
 ///
 /// Returns `dist[v] = None` for nodes unreachable from every source.
+/// One-shot form of [`DijkstraScratch::run`].
 ///
 /// # Examples
 ///
@@ -39,43 +96,105 @@ pub const NEG_INF: i64 = i64::MIN / 4;
 ///
 /// Panics if a source or edge target is out of range.
 pub fn dijkstra(adj: &[Vec<(usize, u64)>], sources: &[usize]) -> Vec<Option<u64>> {
-    let n = adj.len();
-    let mut dist: Vec<Option<u64>> = vec![None; n];
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    for &s in sources {
-        assert!(s < n, "source out of range");
-        if dist[s] != Some(0) {
-            dist[s] = Some(0);
-            heap.push(Reverse((0, s)));
-        }
-    }
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if dist[u] != Some(d) {
-            continue;
-        }
-        for &(v, w) in &adj[u] {
-            let nd = d + w;
-            if dist[v].is_none_or(|cur| nd < cur) {
-                dist[v] = Some(nd);
-                heap.push(Reverse((nd, v)));
-            }
-        }
-    }
-    dist
+    let mut scratch = DijkstraScratch::new();
+    scratch.run(adj, sources);
+    scratch.dist
 }
 
-/// Error from [`longest_paths`]: relaxation failed to converge, implying a
-/// positive-length cycle reachable from a source.
+/// Error from [`longest_paths`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LongestPathError;
+pub enum LongestPathError {
+    /// Relaxation failed to converge within `n` rounds, implying a
+    /// positive-length cycle reachable from a source.
+    PositiveCycle,
+    /// A relaxation overflowed `i64` towards `+∞` — path lengths grew past
+    /// what the machine can represent, so no finite answer exists.
+    Overflow,
+}
 
 impl std::fmt::Display for LongestPathError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "positive cycle reachable from a source")
+        match self {
+            LongestPathError::PositiveCycle => {
+                write!(f, "positive cycle reachable from a source")
+            }
+            LongestPathError::Overflow => {
+                write!(f, "path length overflowed i64 during relaxation")
+            }
+        }
     }
 }
 
 impl std::error::Error for LongestPathError {}
+
+/// Reusable state for [`longest_paths`]: the length array survives across
+/// calls (one per Φ probe of a retiming feasibility search).
+#[derive(Debug, Default, Clone)]
+pub struct LongestPathScratch {
+    len: Vec<i64>,
+}
+
+impl LongestPathScratch {
+    /// An empty scratch.
+    pub fn new() -> LongestPathScratch {
+        LongestPathScratch::default()
+    }
+
+    /// Longest paths by Bellman–Ford relaxation; see [`longest_paths`] for
+    /// the semantics. The returned slice borrows this scratch and is valid
+    /// until the next call.
+    ///
+    /// # Errors
+    ///
+    /// [`LongestPathError::PositiveCycle`] when a positive-length cycle is
+    /// reachable from a source; [`LongestPathError::Overflow`] when a
+    /// relaxation overflows `i64` towards `+∞` (a candidate that
+    /// underflows towards `−∞` can never improve a length and is simply
+    /// skipped — saturation, not an error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range.
+    pub fn run(
+        &mut self,
+        n: usize,
+        edges: &[(usize, usize, i64)],
+        sources: &[usize],
+    ) -> Result<&[i64], LongestPathError> {
+        self.len.clear();
+        self.len.resize(n, NEG_INF);
+        for &s in sources {
+            assert!(s < n, "source out of range");
+            self.len[s] = 0;
+        }
+        for round in 0..=n {
+            let mut changed = false;
+            for &(u, v, l) in edges {
+                if self.len[u] <= NEG_INF {
+                    continue;
+                }
+                let cand = match self.len[u].checked_add(l) {
+                    Some(c) => c,
+                    // Underflow: the candidate is far below NEG_INF and can
+                    // never improve len[v]; skip it (saturating behaviour).
+                    None if l < 0 => continue,
+                    None => return Err(LongestPathError::Overflow),
+                };
+                if cand > self.len[v] {
+                    self.len[v] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(&self.len);
+            }
+            if round == n {
+                return Err(LongestPathError::PositiveCycle);
+            }
+        }
+        Ok(&self.len)
+    }
+}
 
 /// Longest paths from `sources` over possibly-cyclic graphs with `i64` edge
 /// lengths (Bellman–Ford relaxation).
@@ -83,13 +202,17 @@ impl std::error::Error for LongestPathError {}
 /// Source nodes start at length 0; all other nodes at [`NEG_INF`]. A node
 /// that remains at `NEG_INF` is unreachable. Relaxation runs at most `n`
 /// rounds; if the lengths still change afterwards there is a positive cycle
-/// and `Err(LongestPathError)` is returned — for l-values this means the
-/// target clock period `Φ` is infeasible.
+/// and `Err(LongestPathError::PositiveCycle)` is returned — for l-values
+/// this means the target clock period `Φ` is infeasible. Arithmetic is
+/// checked: a relaxation overflowing `i64` towards `+∞` reports
+/// [`LongestPathError::Overflow`] instead of wrapping. One-shot form of
+/// [`LongestPathScratch::run`].
 ///
 /// # Errors
 ///
-/// Returns [`LongestPathError`] when a positive-length cycle is reachable
-/// from a source.
+/// Returns [`LongestPathError::PositiveCycle`] when a positive-length cycle
+/// is reachable from a source, [`LongestPathError::Overflow`] when path
+/// lengths exceed `i64`.
 ///
 /// # Examples
 ///
@@ -104,27 +227,9 @@ pub fn longest_paths(
     edges: &[(usize, usize, i64)],
     sources: &[usize],
 ) -> Result<Vec<i64>, LongestPathError> {
-    let mut len = vec![NEG_INF; n];
-    for &s in sources {
-        assert!(s < n, "source out of range");
-        len[s] = 0;
-    }
-    for round in 0..=n {
-        let mut changed = false;
-        for &(u, v, l) in edges {
-            if len[u] > NEG_INF && len[u] + l > len[v] {
-                len[v] = len[u] + l;
-                changed = true;
-            }
-        }
-        if !changed {
-            return Ok(len);
-        }
-        if round == n {
-            return Err(LongestPathError);
-        }
-    }
-    Ok(len)
+    let mut scratch = LongestPathScratch::new();
+    scratch.run(n, edges, sources)?;
+    Ok(scratch.len)
 }
 
 #[cfg(test)]
@@ -154,6 +259,19 @@ mod tests {
     }
 
     #[test]
+    fn dijkstra_scratch_reuse_matches_fresh() {
+        let mut scratch = DijkstraScratch::new();
+        let a = vec![vec![(1, 2u64)], vec![]];
+        assert_eq!(scratch.run(&a, &[0]), &[Some(0), Some(2)]);
+        // Second, smaller query on the same scratch: no stale state.
+        let b = vec![vec![]];
+        assert_eq!(scratch.run(&b, &[0]), &[Some(0)]);
+        // Third, bigger again.
+        let c = vec![vec![(2, 1u64)], vec![], vec![(1, 1)]];
+        assert_eq!(scratch.run(&c, &[0]), dijkstra(&c, &[0]).as_slice());
+    }
+
+    #[test]
     fn longest_path_on_dag() {
         // Classic: two paths to node 3, lengths 3 and 1.
         let edges = [(0, 1, 1), (1, 3, 2), (0, 2, 1), (2, 3, 0)];
@@ -180,7 +298,10 @@ mod tests {
     #[test]
     fn longest_path_positive_cycle_errors() {
         let edges = [(0, 1, 1), (1, 2, 1), (2, 1, 0)];
-        assert_eq!(longest_paths(3, &edges, &[0]), Err(LongestPathError));
+        assert_eq!(
+            longest_paths(3, &edges, &[0]),
+            Err(LongestPathError::PositiveCycle)
+        );
     }
 
     #[test]
@@ -189,5 +310,60 @@ mod tests {
         let edges = [(1, 2, 1), (2, 1, 1)];
         let l = longest_paths(3, &edges, &[0]).unwrap();
         assert_eq!(l, vec![0, NEG_INF, NEG_INF]);
+    }
+
+    #[test]
+    fn longest_path_positive_overflow_is_an_error() {
+        // Two huge edges in sequence: 0 + MAX/2 is fine, adding another
+        // MAX/2 + MAX/2 wraps — must be reported, not wrapped into a
+        // negative "length".
+        let big = i64::MAX / 2;
+        let edges = [(0, 1, big), (1, 2, big), (2, 3, big)];
+        assert_eq!(
+            longest_paths(4, &edges, &[0]),
+            Err(LongestPathError::Overflow)
+        );
+    }
+
+    #[test]
+    fn longest_path_adversarial_cycle_reports_not_wraps() {
+        // A positive cycle with weights large enough that unchecked
+        // arithmetic would wrap to negative (masking the cycle) before the
+        // n-round detector fires.
+        let big = i64::MAX / 2;
+        let edges = [(0, 1, big), (1, 2, big), (2, 1, big)];
+        let err = longest_paths(3, &edges, &[0]).unwrap_err();
+        assert!(
+            err == LongestPathError::Overflow || err == LongestPathError::PositiveCycle,
+            "wrapped arithmetic must not produce an Ok result: {err:?}"
+        );
+    }
+
+    #[test]
+    fn longest_path_negative_underflow_saturates() {
+        // len[1] stays above NEG_INF, then a hugely negative edge would
+        // underflow i64: the candidate can never win, so it is skipped and
+        // node 2 stays unreachable-equivalent instead of wrapping positive.
+        let edges = [(0, 1, NEG_INF + 1), (1, 2, i64::MIN / 2)];
+        let l = longest_paths(3, &edges, &[0]).unwrap();
+        assert_eq!(l[1], NEG_INF + 1);
+        assert_eq!(l[2], NEG_INF);
+    }
+
+    #[test]
+    fn longest_path_scratch_reuse_matches_fresh() {
+        let mut scratch = LongestPathScratch::new();
+        let e1 = [(0, 1, 1), (1, 3, 2), (0, 2, 1), (2, 3, 0)];
+        assert_eq!(scratch.run(4, &e1, &[0]).unwrap()[3], 3);
+        // Smaller follow-up query: stale lengths must not leak.
+        let e2 = [(0, 1, -5)];
+        assert_eq!(scratch.run(2, &e2, &[0]).unwrap(), &[0, -5]);
+        // Error path leaves the scratch reusable.
+        let cyc = [(0, 1, 1), (1, 0, 1)];
+        assert_eq!(
+            scratch.run(2, &cyc, &[0]),
+            Err(LongestPathError::PositiveCycle)
+        );
+        assert_eq!(scratch.run(2, &e2, &[0]).unwrap(), &[0, -5]);
     }
 }

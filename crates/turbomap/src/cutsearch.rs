@@ -25,6 +25,27 @@ pub struct ExpCut {
     pub signals: Vec<ExpNode>,
 }
 
+/// Reusable flow-network arena for cut queries.
+///
+/// The FRTcheck sweeps issue one bounded max-flow per `LabelUpdate`
+/// candidate weight — hundreds of thousands of queries per Φ probe on the
+/// larger circuits — and the inner [`NodeCutNetwork`] is the only
+/// allocation each query needs. A scratch amortises it: every query calls
+/// [`NodeCutNetwork::reset`] instead of reallocating, so the adjacency
+/// rows, arc pool and BFS buffers grow to the largest expanded circuit
+/// seen and stay there. One scratch per thread (they are not shared).
+#[derive(Debug, Clone, Default)]
+pub struct CutScratch {
+    net: NodeCutNetwork,
+}
+
+impl CutScratch {
+    /// An empty scratch; the first query sizes it.
+    pub fn new() -> CutScratch {
+        CutScratch::default()
+    }
+}
+
 /// Searches `F_v^{weight_bound}` (restricted from `exp`) for a K-feasible
 /// cut with height ≤ `height_bound`.
 ///
@@ -35,6 +56,29 @@ pub struct ExpCut {
 ///
 /// Panics if `exp` is rooted at a leaf (never constructed that way).
 pub fn find_cut(
+    exp: &ExpandedCircuit,
+    ls: &[i64],
+    phi: i64,
+    height_bound: i64,
+    weight_bound: u64,
+    k: usize,
+) -> Option<ExpCut> {
+    find_cut_with(
+        &mut CutScratch::new(),
+        exp,
+        ls,
+        phi,
+        height_bound,
+        weight_bound,
+        k,
+    )
+}
+
+/// [`find_cut`] with a caller-provided arena — the hot-path form used by
+/// the label sweeps, which reuse one [`CutScratch`] per thread across all
+/// queries of a run.
+pub fn find_cut_with(
+    scratch: &mut CutScratch,
     exp: &ExpandedCircuit,
     ls: &[i64],
     phi: i64,
@@ -57,7 +101,8 @@ pub fn find_cut(
         let en = exp.nodes[i];
         ls[en.node.index()] - phi * en.weight as i64 + 1
     };
-    let mut net = NodeCutNetwork::new(n + 1);
+    let net = &mut scratch.net;
+    net.reset(n + 1);
     let source = n;
     let root = exp.root();
     for i in 0..n {
@@ -104,13 +149,34 @@ pub fn min_weight_cut(
     weight_cap: u64,
     k: usize,
 ) -> Option<(u64, ExpCut)> {
+    min_weight_cut_with(
+        &mut CutScratch::new(),
+        exp,
+        ls,
+        phi,
+        height_bound,
+        weight_cap,
+        k,
+    )
+}
+
+/// [`min_weight_cut`] with a caller-provided arena (see [`find_cut_with`]).
+pub fn min_weight_cut_with(
+    scratch: &mut CutScratch,
+    exp: &ExpandedCircuit,
+    ls: &[i64],
+    phi: i64,
+    height_bound: i64,
+    weight_cap: u64,
+    k: usize,
+) -> Option<(u64, ExpCut)> {
     // Existence at the full bound first.
-    find_cut(exp, ls, phi, height_bound, weight_cap, k)?;
+    find_cut_with(scratch, exp, ls, phi, height_bound, weight_cap, k)?;
     let mut lo = 0u64;
     let mut hi = weight_cap;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if find_cut(exp, ls, phi, height_bound, mid, k).is_some() {
+        if find_cut_with(scratch, exp, ls, phi, height_bound, mid, k).is_some() {
             hi = mid;
         } else {
             lo = mid + 1;
@@ -119,7 +185,7 @@ pub fn min_weight_cut(
     // `lo` is the minimal feasible weight bound; a cut found under a
     // larger probe bound may have heavier cone nodes, so re-extract at
     // exactly `lo`.
-    let cut = find_cut(exp, ls, phi, height_bound, lo, k).expect("lo is feasible");
+    let cut = find_cut_with(scratch, exp, ls, phi, height_bound, lo, k).expect("lo is feasible");
     Some((lo, cut))
 }
 
@@ -243,6 +309,36 @@ mod tests {
         assert_eq!(cut.signals.len(), 2);
         let i1 = c.find("i1").unwrap();
         assert!(cut.signals.iter().all(|s| s.node == i1));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_queries() {
+        // The arena must be invisible: mixed-size queries through one
+        // reused scratch agree exactly with fresh-network queries.
+        let (c1, cc1) = fig_circuit(false);
+        let exp1 = ExpandedCircuit::build(&c1, cc1, 0, 1000).unwrap();
+        let (c2, cc2) = fig_circuit(true);
+        let exp2 = ExpandedCircuit::build(&c2, cc2, 1, 1000).unwrap();
+        let ls1 = zero_labels(&c1);
+        let mut ls2 = zero_labels(&c2);
+        ls2[c2.find("a").unwrap().index()] = 1_000;
+        ls2[c2.find("b").unwrap().index()] = 1_000;
+        let mut scratch = CutScratch::new();
+        for _ in 0..2 {
+            // Bigger then smaller network through the same arena.
+            assert_eq!(
+                find_cut_with(&mut scratch, &exp2, &ls2, 10, 5, 1, 2),
+                find_cut(&exp2, &ls2, 10, 5, 1, 2)
+            );
+            assert_eq!(
+                find_cut_with(&mut scratch, &exp1, &ls1, 10, 100, 0, 2),
+                find_cut(&exp1, &ls1, 10, 100, 0, 2)
+            );
+            assert_eq!(
+                min_weight_cut_with(&mut scratch, &exp2, &ls2, 10, 5, 1, 3),
+                min_weight_cut(&exp2, &ls2, 10, 5, 1, 3)
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,18 @@ pub struct Options {
     /// small windows in practice; 1 reproduces its reported behaviour
     /// (see DESIGN.md).
     pub general_horizon: u64,
+    /// Intra-job parallelism of the FRTcheck label sweeps: total compute
+    /// threads per Φ probe. `1` (the default) runs serially; `0` resolves
+    /// to the machine's available parallelism. Every setting produces
+    /// byte-identical results — the sweeps are level-synchronized and
+    /// apply updates in a fixed order (see DESIGN.md).
+    pub sweep_workers: usize,
+    /// Seed each Φ probe's `l^s` lower bounds from the best feasible
+    /// probe so far (sound: the labels are pointwise non-decreasing as Φ
+    /// shrinks, so they remain lower bounds). Skipped sweeps show up in
+    /// the `sweeps_saved` counter. On by default; the switch exists as a
+    /// kill switch and for A/B measurement.
+    pub warm_start: bool,
 }
 
 impl Options {
@@ -37,6 +49,18 @@ impl Options {
             k,
             weight_horizon: 32,
             general_horizon: 1,
+            sweep_workers: 1,
+            warm_start: true,
+        }
+    }
+
+    /// The effective sweep worker count: `0` means auto-detect.
+    pub fn resolved_sweep_workers(&self) -> usize {
+        match self.sweep_workers {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            w => w,
         }
     }
 }
@@ -198,6 +222,7 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
         let _t = time_phase(Phase::Search);
         FrtContext::new(&bounded, opts.k, opts.weight_horizon)
     };
+    let workers = opts.resolved_sweep_workers();
     let mut iterations = Vec::new();
     let mut lo = 1u64;
     let mut hi = upper;
@@ -207,7 +232,7 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
     let top = {
         let _t = time_phase(Phase::Label);
         let _p = engine::trace::span1("phi_probe", "phi", upper);
-        ctx.check(upper)
+        ctx.check_opts(upper, None, workers)
     };
     check_cancelled()?;
     log_probe("turbomap::frt", upper, top.feasible, top.iterations);
@@ -215,26 +240,48 @@ pub fn turbomap_frt(c: &Circuit, opts: Options) -> Result<TurboMapResult, TurboM
     if !top.feasible {
         return Err(TurboMapError::NoFeasiblePeriod);
     }
-    let mut best = Some((upper, top.labels));
+    // Best feasible probe so far: its period, labels (the mapping seed
+    // and the warm-start donor) and sweep count (the warm-start savings
+    // baseline).
+    let mut best = Some((upper, top.labels, top.iterations));
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         let res = {
             let _t = time_phase(Phase::Label);
             let _p = engine::trace::span1("phi_probe", "phi", mid);
-            ctx.check(mid)
+            // Every remaining probe sits strictly below the best feasible
+            // Φ (the search keeps `hi` at it), so its labels are a sound
+            // warm seed for `mid`.
+            let warm = if opts.warm_start {
+                best.as_ref().map(|(_, l, _)| l)
+            } else {
+                None
+            };
+            ctx.check_opts(mid, warm, workers)
         };
         check_cancelled()?;
         log_probe("turbomap::frt", mid, res.feasible, res.iterations);
+        if opts.warm_start {
+            if let Some((_, _, seed_iters)) = &best {
+                // Estimate: a cold probe re-derives at least what the
+                // seeding probe needed; count the sweeps the warm seed
+                // let this probe skip relative to that.
+                engine::telemetry::count(
+                    engine::telemetry::Counter::SweepsSaved,
+                    (seed_iters.saturating_sub(res.iterations)) as u64,
+                );
+            }
+        }
         iterations.push((mid, res.iterations));
         if res.feasible {
-            best = Some((mid, res.labels));
+            best = Some((mid, res.labels, res.iterations));
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
     drop(phi_span);
-    let (phi, labels) = best.ok_or(TurboMapError::NoFeasiblePeriod)?;
+    let (phi, labels, _) = best.ok_or(TurboMapError::NoFeasiblePeriod)?;
     debug_assert_eq!(phi, lo.min(upper));
 
     // At equal Φ the FlowMap-frt network is itself an optimal FRT mapping
@@ -472,6 +519,80 @@ mod tests {
         assert!(exhaustive_equiv(&c, &res.circuit, 2)
             .unwrap()
             .is_equivalent());
+    }
+
+    fn medium_fsm() -> Circuit {
+        workloads::generate_fsm(&workloads::FsmSpec {
+            name: "det".into(),
+            states: 9,
+            inputs: 4,
+            decoded: 2,
+            outputs: 2,
+            encoding: workloads::Encoding::Binary,
+            registered_inputs: true,
+            seed: 11,
+        })
+    }
+
+    /// The tentpole's correctness bar: whatever the sweep-worker count
+    /// and whether probes are warm-started, `turbomap_frt` must produce
+    /// the byte-identical mapped circuit — same Φ, LUTs, FFs, initial
+    /// states, names. Only the per-probe sweep counts may differ (warm
+    /// starts exist to shrink them).
+    #[test]
+    fn results_identical_across_workers_and_warm_start() {
+        let c = medium_fsm();
+        let mut opts = Options::with_k(4);
+        let baseline = turbomap_frt(&c, opts).unwrap();
+        let reference = netlist::write_blif(&baseline.circuit);
+        for (workers, warm) in [(1, false), (3, true), (3, false), (0, true)] {
+            opts.sweep_workers = workers;
+            opts.warm_start = warm;
+            let res = turbomap_frt(&c, opts).unwrap();
+            let tag = format!("workers={workers} warm={warm}");
+            assert_eq!(res.period, baseline.period, "{tag}");
+            assert_eq!(res.luts, baseline.luts, "{tag}");
+            assert_eq!(res.ffs, baseline.ffs, "{tag}");
+            assert_eq!(res.star(), baseline.star(), "{tag}");
+            assert_eq!(netlist::write_blif(&res.circuit), reference, "{tag}");
+        }
+    }
+
+    /// Warm starts must never probe *more* periods and still report the
+    /// same feasibility frontier (same probed Φ sequence).
+    #[test]
+    fn warm_start_probes_the_same_periods() {
+        let c = medium_fsm();
+        let mut opts = Options::with_k(4);
+        opts.warm_start = false;
+        let cold = turbomap_frt(&c, opts).unwrap();
+        opts.warm_start = true;
+        let warm = turbomap_frt(&c, opts).unwrap();
+        let phis = |r: &TurboMapResult| r.iterations.iter().map(|&(p, _)| p).collect::<Vec<_>>();
+        assert_eq!(phis(&warm), phis(&cold));
+        let sweeps = |r: &TurboMapResult| r.iterations.iter().map(|&(_, s)| s).sum::<usize>();
+        assert!(sweeps(&warm) <= sweeps(&cold));
+    }
+
+    /// A pre-tripped cancel token must stop a parallel run promptly with
+    /// `Cancelled` — helpers parked on the sweep board may not deadlock
+    /// the driver or leak past the scope.
+    #[test]
+    fn parallel_sweeps_respect_cancellation() {
+        let c = medium_fsm();
+        let token = engine::CancelToken::new();
+        token.cancel();
+        let _guard = engine::cancel::install(token);
+        let mut opts = Options::with_k(4);
+        opts.sweep_workers = 4;
+        let start = std::time::Instant::now();
+        let res = turbomap_frt(&c, opts);
+        assert!(matches!(res, Err(TurboMapError::Cancelled)), "{res:?}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "cancelled run took {:?} — sweep crew hung?",
+            start.elapsed()
+        );
     }
 
     #[test]

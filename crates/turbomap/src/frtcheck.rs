@@ -13,10 +13,37 @@
 //! Since lower bounds only grow and any node with `l^s(v) > Φ` already
 //! violates Corollary 1 for every `r ≥ 0`, divergence is detected long
 //! before the theoretical `|V|²` iteration cap.
+//!
+//! # Sweep structure: level-synchronized, two-phase
+//!
+//! Each sweep walks the topological levels of the combinational graph.
+//! Per level, the dirty nodes' updates are **computed** against a frozen
+//! label snapshot (serially, or fanned out over a [`crate::sweep::Board`]
+//! crew), then **applied** in node order. Every computed pair is a pure
+//! function of (snapshot, node), so the outcome — labels, sweep counts,
+//! requeue counts — is byte-identical for every worker count. Register
+//! edges may point within or across levels in either direction; that only
+//! means an update can be computed against a slightly stale fanin bound,
+//! and the dirty re-marking in the apply phase schedules the node again —
+//! chaotic iteration of a monotone system converges to the same least
+//! fixpoint under any fair order.
+//!
+//! # Warm starts
+//!
+//! [`FrtContext::check_opts`] can seed `l^s` from the labels of a
+//! previously *feasible* check at a strictly larger Φ′. Since the final
+//! `l^s` values are pointwise non-decreasing as Φ shrinks, that seed is
+//! still below this probe's least fixpoint, and monotone ascent from any
+//! point below the least fixpoint converges exactly to it (`r` restarts
+//! at 0 and reconverges the same way) — so a warm probe returns the same
+//! answer as a cold one, minus the sweeps spent re-deriving what the
+//! previous probe already proved.
 
-use crate::cutsearch::{find_cut, min_weight_cut, ExpCut};
+use crate::cutsearch::{find_cut_with, min_weight_cut_with, CutScratch, ExpCut};
 use crate::expand::ExpandedCircuit;
+use crate::sweep::{Board, StopOnDrop};
 use netlist::{Circuit, NodeId};
+use std::sync::RwLock;
 
 /// Practical ceiling on expanded-circuit size; `F_v^i` beyond this is
 /// treated as cut-less at that bound (conservative; never triggered by the
@@ -25,6 +52,10 @@ pub const MAX_EXPANDED_NODES: usize = 500_000;
 
 /// Sentinel for `−∞` labels.
 pub const LS_NEG_INF: i64 = i64::MIN / 4;
+
+/// Smallest dirty-task count of a level worth waking the sweep crew for
+/// (and the recording threshold of the `parallel_batch_size` histogram).
+const PAR_THRESHOLD: usize = 4;
 
 /// Per-node label pairs.
 #[derive(Debug, Clone)]
@@ -46,16 +77,32 @@ pub struct FrtCheck {
     pub iterations: usize,
 }
 
+/// How a sweep loop ended (internal).
+enum SweepEnd {
+    /// The installed cancel token tripped; partial labels, no records.
+    Cancelled,
+    /// Corollary 1 provably violated (or the iteration cap was hit).
+    Infeasible,
+    /// Labels converged; Corollary 1 decides feasibility.
+    Converged,
+}
+
 /// Precomputed per-circuit state shared across FRTcheck runs (binary
 /// search on `Φ` re-uses it).
 pub struct FrtContext<'a> {
     circuit: &'a Circuit,
     /// Capped `frt(v)` per node.
     pub frt: Vec<u64>,
+    /// Gates whose true `frt(v)` exceeded the cap, so their expanded
+    /// circuits are truncated and the mapping may be pessimal for them.
+    pub frt_capped_gates: u64,
     /// Expanded circuit per gate, at bound `frt(v)`.
     expanded: Vec<Option<ExpandedCircuit>>,
-    /// Combinational topological order (good label propagation order).
-    order: Vec<NodeId>,
+    /// Topological levels over zero-weight edges: `levels[d]` lists the
+    /// non-PI nodes at combinational depth `d`, in topological order.
+    /// Within a level no zero-weight edge connects two members, which is
+    /// what makes the per-level fan-out safe and effective.
+    levels: Vec<Vec<u32>>,
     /// Inverted cone index: `influenced[x]` lists the gates whose
     /// expanded circuits contain node `x` (whose labels therefore depend
     /// on `x`'s label through the cut heights).
@@ -65,24 +112,44 @@ pub struct FrtContext<'a> {
 
 impl<'a> FrtContext<'a> {
     /// Builds the context: `frt` values (Lemma 1, Dijkstra) and expanded
-    /// circuits `F_v^{frt(v)}` for every gate.
+    /// circuits `F_v^{frt(v)}` for every gate — built **once** per run and
+    /// shared read-only by every Φ probe of the binary search.
     ///
     /// `frt_cap` bounds the forward-retiming horizon (Definition 3 allows
     /// arbitrarily large values on register-heavy inputs; the cap trades
     /// optimality for memory and is far beyond anything the benchmarks
-    /// need).
+    /// need). Gates actually truncated by the cap are counted in
+    /// [`FrtContext::frt_capped_gates`], the `frt_capped` telemetry
+    /// counter, and a structured warning — truncation is no longer
+    /// silent.
     ///
     /// # Panics
     ///
     /// Panics on combinational cycles (validate first).
     pub fn new(circuit: &'a Circuit, k: usize, frt_cap: u64) -> FrtContext<'a> {
-        let frt: Vec<u64> = retiming::max_forward_retiming_values(circuit)
-            .into_iter()
-            .map(|f| f.min(frt_cap))
-            .collect();
+        let raw_frt = retiming::max_forward_retiming_values(circuit);
+        let mut frt_capped_gates = 0u64;
+        for v in circuit.gate_ids() {
+            if raw_frt[v.index()] > frt_cap {
+                frt_capped_gates += 1;
+            }
+        }
+        if frt_capped_gates > 0 {
+            engine::telemetry::count(engine::telemetry::Counter::FrtCapped, frt_capped_gates);
+            engine::log::warn(
+                "turbomap::frtcheck",
+                "weight horizon capped frt(v); mapping may be suboptimal for these gates",
+                &[
+                    ("gates", engine::JsonValue::UInt(frt_capped_gates)),
+                    ("cap", engine::JsonValue::UInt(frt_cap)),
+                ],
+            );
+        }
+        let frt: Vec<u64> = raw_frt.into_iter().map(|f| f.min(frt_cap)).collect();
         let order = circuit
             .comb_topo_order()
             .expect("combinational cycles must be rejected before mapping");
+        let levels = comb_levels(circuit, &order);
         let mut expanded: Vec<Option<ExpandedCircuit>> = vec![None; circuit.num_nodes()];
         let mut influenced: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_nodes()];
         for v in circuit.gate_ids() {
@@ -101,8 +168,9 @@ impl<'a> FrtContext<'a> {
         FrtContext {
             circuit,
             frt,
+            frt_capped_gates,
             expanded,
-            order,
+            levels,
             influenced,
             k,
         }
@@ -126,125 +194,249 @@ impl<'a> FrtContext<'a> {
         best
     }
 
-    /// Runs FRTcheck for one target period.
+    /// Runs FRTcheck for one target period (serial, cold-started).
     pub fn check(&self, phi: u64) -> FrtCheck {
+        self.check_opts(phi, None, 1)
+    }
+
+    /// Runs FRTcheck with explicit reuse controls.
+    ///
+    /// * `warm` — label pairs of a previously **feasible** check of this
+    ///   same context at a strictly larger Φ; their `l^s` seeds this run
+    ///   (see the module docs for why that is sound). Pass `None` for a
+    ///   cold start.
+    /// * `workers` — total compute threads for the per-level cut queries
+    ///   (1 = serial). The answer is byte-identical for every value;
+    ///   helpers inherit the caller's cancel token and telemetry mirror
+    ///   through [`engine::pool::scoped_workers`].
+    pub fn check_opts(&self, phi: u64, warm: Option<&LabelPairs>, workers: usize) -> FrtCheck {
         let c = self.circuit;
         let n = c.num_nodes();
         let phi_i = phi as i64;
-        let mut labels = LabelPairs {
+        let helpers = workers.max(1) - 1;
+        let mut init = LabelPairs {
             ls: vec![LS_NEG_INF; n],
             r: vec![0; n],
         };
         for &pi in c.inputs() {
-            labels.ls[pi.index()] = 0;
+            init.ls[pi.index()] = 0;
         }
+        if let Some(seed) = warm {
+            debug_assert_eq!(seed.ls.len(), n);
+            for v in c.node_ids() {
+                if !c.node(v).is_input() {
+                    init.ls[v.index()] = seed.ls[v.index()];
+                }
+            }
+        }
+        let labels = RwLock::new(init);
+        let board: Board<Option<(i64, u64)>> = Board::new();
+        let (end, iterations, cache_hits) = engine::pool::scoped_workers(
+            helpers,
+            |_| {
+                let mut scratch = CutScratch::new();
+                board.serve(|t| {
+                    let guard = labels.read().expect("labels poisoned");
+                    self.compute_node(&guard.ls, NodeId(t), phi_i, &mut scratch)
+                });
+            },
+            || {
+                let _stop = StopOnDrop(&board);
+                self.sweep_loop(phi_i, &labels, &board, helpers)
+            },
+        );
+        let labels = labels.into_inner().expect("labels poisoned");
+        match end {
+            SweepEnd::Cancelled => FrtCheck {
+                feasible: false,
+                labels,
+                iterations,
+            },
+            SweepEnd::Infeasible => {
+                record_probe_metrics(iterations, cache_hits);
+                FrtCheck {
+                    feasible: false,
+                    labels,
+                    iterations,
+                }
+            }
+            SweepEnd::Converged => {
+                record_probe_metrics(iterations, cache_hits);
+                // Converged: Corollary 1 must hold at every node.
+                let feasible = c.node_ids().all(|v| {
+                    let i = v.index();
+                    labels.ls[i] <= LS_NEG_INF || labels.ls[i] + phi_i * labels.r[i] as i64 <= phi_i
+                });
+                FrtCheck {
+                    feasible,
+                    labels,
+                    iterations,
+                }
+            }
+        }
+    }
+
+    /// The dirty-driven sweep loop: owner side of the two-phase scheme.
+    /// Returns the end state, the sweep count, and the number of cut
+    /// queries answered from the probe-invariant expansion cache.
+    fn sweep_loop(
+        &self,
+        phi_i: i64,
+        labels: &RwLock<LabelPairs>,
+        board: &Board<Option<(i64, u64)>>,
+        helpers: usize,
+    ) -> (SweepEnd, usize, u64) {
+        let c = self.circuit;
+        let n = c.num_nodes();
         let cap = n.saturating_mul(n).max(4);
         let mut iterations = 0usize;
+        let mut cache_hits = 0u64;
         // Dirty-driven sweeps: a node needs re-evaluation only when some
         // fanin label changed since its last update (the practical
         // speed-up behind the paper's "5–15 iterations per Φ").
         let mut dirty = vec![true; n];
+        let mut tasks: Vec<u32> = Vec::new();
+        let mut scratch = CutScratch::new();
         loop {
             // Sweep-granular cancellation: when the batch runner's deadline
             // (or an external cancel) trips the installed token, bail out
             // as "infeasible" — the driver re-checks the token and maps
             // the early exit to `TurboMapError::Cancelled`, never using
-            // the partial labels.
+            // the partial labels. (The compute closures additionally
+            // short-circuit per task, so a tripped token also drains an
+            // in-flight parallel level at full speed.)
             if engine::cancel::cancelled() {
-                return FrtCheck {
-                    feasible: false,
-                    labels,
-                    iterations,
-                };
+                return (SweepEnd::Cancelled, iterations, cache_hits);
             }
             iterations += 1;
             engine::telemetry::count(engine::telemetry::Counter::FrtSweeps, 1);
             let _sweep = engine::trace::span1("frtcheck_sweep", "n", iterations as u64);
             let mut changed = false;
-            for &v in &self.order {
-                let node = c.node(v);
-                if node.is_input() || !dirty[v.index()] {
+            for level in &self.levels {
+                // Phase 1: collect this level's dirty nodes. The flags
+                // clear now; the apply phase below may re-mark them.
+                tasks.clear();
+                for &vi in level {
+                    if dirty[vi as usize] {
+                        dirty[vi as usize] = false;
+                        tasks.push(vi);
+                    }
+                }
+                if tasks.is_empty() {
                     continue;
                 }
-                dirty[v.index()] = false;
-                let (new_ls, new_r) = if node.is_output() {
-                    (self.script_l(&labels.ls, v, phi_i), 0u64)
+                cache_hits += tasks
+                    .iter()
+                    .filter(|&&vi| self.expanded[vi as usize].is_some())
+                    .count() as u64;
+                // Phase 2: compute every update against the frozen labels.
+                // The batch-size histogram keys off the level size alone,
+                // so its shape is identical for every worker count.
+                let parallel = tasks.len() >= PAR_THRESHOLD;
+                if parallel {
+                    engine::telemetry::record(
+                        engine::hist::Metric::ParallelBatchSize,
+                        tasks.len() as u64,
+                    );
+                }
+                let results: Vec<Option<(i64, u64)>> = if helpers > 0 && parallel {
+                    board.run_level(tasks.clone(), helpers, |t| {
+                        let guard = labels.read().expect("labels poisoned");
+                        self.compute_node(&guard.ls, NodeId(t), phi_i, &mut scratch)
+                    })
                 } else {
-                    match self.label_update(&labels.ls, v, phi_i) {
+                    let guard = labels.read().expect("labels poisoned");
+                    tasks
+                        .iter()
+                        .map(|&t| self.compute_node(&guard.ls, NodeId(t), phi_i, &mut scratch))
+                        .collect()
+                };
+                // Phase 3: apply in task order (what a serial sweep would
+                // have done), re-marking dependents.
+                let mut w = labels.write().expect("labels poisoned");
+                for (slot, res) in results.into_iter().enumerate() {
+                    let (new_ls, new_r) = match res {
                         Some(pair) => pair,
                         None => continue, // no information yet
-                    }
-                };
-                let i = v.index();
-                if new_ls > labels.ls[i] || (new_ls == labels.ls[i] && new_r > labels.r[i]) {
-                    labels.ls[i] = new_ls;
-                    labels.r[i] = new_r;
-                    changed = true;
-                    // Direct fanouts see the change through ℒ^s; gates
-                    // whose expanded circuits contain `v` see it through
-                    // their cut heights.
-                    for &e in node.fanout() {
-                        let t = c.edge(e).to().index();
-                        if !dirty[t] {
-                            dirty[t] = true;
-                            engine::telemetry::count(
-                                engine::telemetry::Counter::FrtRequeuedGates,
-                                1,
-                            );
+                    };
+                    let i = tasks[slot] as usize;
+                    if new_ls > w.ls[i] || (new_ls == w.ls[i] && new_r > w.r[i]) {
+                        w.ls[i] = new_ls;
+                        w.r[i] = new_r;
+                        changed = true;
+                        // Direct fanouts see the change through ℒ^s; gates
+                        // whose expanded circuits contain the node see it
+                        // through their cut heights.
+                        let node = c.node(NodeId(i as u32));
+                        for &e in node.fanout() {
+                            let t = c.edge(e).to().index();
+                            if !dirty[t] {
+                                dirty[t] = true;
+                                engine::telemetry::count(
+                                    engine::telemetry::Counter::FrtRequeuedGates,
+                                    1,
+                                );
+                            }
                         }
-                    }
-                    for &g in &self.influenced[i] {
-                        if !dirty[g as usize] {
-                            dirty[g as usize] = true;
-                            engine::telemetry::count(
-                                engine::telemetry::Counter::FrtRequeuedGates,
-                                1,
-                            );
+                        for &g in &self.influenced[i] {
+                            if !dirty[g as usize] {
+                                dirty[g as usize] = true;
+                                engine::telemetry::count(
+                                    engine::telemetry::Counter::FrtRequeuedGates,
+                                    1,
+                                );
+                            }
                         }
-                    }
-                    if new_ls > phi_i {
-                        // Lower bound already violates Corollary 1 for
-                        // every r ≥ 0: infeasible.
-                        engine::telemetry::record(
-                            engine::hist::Metric::SweepsPerPhi,
-                            iterations as u64,
-                        );
-                        return FrtCheck {
-                            feasible: false,
-                            labels,
-                            iterations,
-                        };
+                        if new_ls > phi_i {
+                            // Lower bound already violates Corollary 1 for
+                            // every r ≥ 0: infeasible.
+                            return (SweepEnd::Infeasible, iterations, cache_hits);
+                        }
                     }
                 }
             }
             if !changed {
-                break;
+                return (SweepEnd::Converged, iterations, cache_hits);
             }
             if iterations >= cap {
-                engine::telemetry::record(engine::hist::Metric::SweepsPerPhi, iterations as u64);
-                return FrtCheck {
-                    feasible: false,
-                    labels,
-                    iterations,
-                };
+                return (SweepEnd::Infeasible, iterations, cache_hits);
             }
         }
-        engine::telemetry::record(engine::hist::Metric::SweepsPerPhi, iterations as u64);
-        // Converged: Corollary 1 must hold at every node.
-        let feasible = c.node_ids().all(|v| {
-            let i = v.index();
-            labels.ls[i] <= LS_NEG_INF || labels.ls[i] + phi_i * labels.r[i] as i64 <= phi_i
-        });
-        FrtCheck {
-            feasible,
-            labels,
-            iterations,
+    }
+
+    /// One node's tightened pair against a frozen snapshot: `ℒ^s` plus
+    /// `LabelUpdate` for gates, `ℒ^s` itself for POs, `None` when the
+    /// fanins carry no information yet (or cancellation tripped — the
+    /// sweep is about to be discarded, so stop burning max-flows).
+    fn compute_node(
+        &self,
+        ls: &[i64],
+        v: NodeId,
+        phi: i64,
+        scratch: &mut CutScratch,
+    ) -> Option<(i64, u64)> {
+        if engine::cancel::cancelled() {
+            return None;
         }
+        if self.circuit.node(v).is_output() {
+            let script = self.script_l(ls, v, phi);
+            if script <= LS_NEG_INF {
+                return None;
+            }
+            return Some((script, 0));
+        }
+        self.label_update(ls, v, phi, scratch)
     }
 
     /// `LabelUpdate` (§3.2): the tightened pair for a gate, or `None` when
     /// the fanins carry no information yet.
-    fn label_update(&self, ls: &[i64], v: NodeId, phi: i64) -> Option<(i64, u64)> {
+    fn label_update(
+        &self,
+        ls: &[i64],
+        v: NodeId,
+        phi: i64,
+        scratch: &mut CutScratch,
+    ) -> Option<(i64, u64)> {
         let script = self.script_l(ls, v, phi);
         if script <= LS_NEG_INF {
             return None;
@@ -254,7 +446,7 @@ impl<'a> FrtContext<'a> {
             None => return Some((script + 1, 0)), // conservative on cap
         };
         let frt_v = self.frt[v.index()];
-        match min_weight_cut(exp, ls, phi, script, frt_v, self.k) {
+        match min_weight_cut_with(scratch, exp, ls, phi, script, frt_v, self.k) {
             None => Some((script + 1, 0)),
             Some((w_min, _)) => {
                 if script + phi * w_min as i64 <= phi {
@@ -276,18 +468,60 @@ impl<'a> FrtContext<'a> {
     pub fn final_cuts(&self, labels: &LabelPairs, phi: u64) -> Vec<Option<ExpCut>> {
         let phi_i = phi as i64;
         let mut cuts: Vec<Option<ExpCut>> = vec![None; self.circuit.num_nodes()];
+        let mut scratch = CutScratch::new();
         for v in self.circuit.gate_ids() {
             let i = v.index();
             if labels.ls[i] <= LS_NEG_INF {
                 continue;
             }
             let exp = self.expanded(v).expect("expanded circuit exists");
-            let cut = find_cut(exp, &labels.ls, phi_i, labels.ls[i], labels.r[i], self.k)
-                .expect("converged labels admit a cut");
+            let cut = find_cut_with(
+                &mut scratch,
+                exp,
+                &labels.ls,
+                phi_i,
+                labels.ls[i],
+                labels.r[i],
+                self.k,
+            )
+            .expect("converged labels admit a cut");
             cuts[i] = Some(cut);
         }
         cuts
     }
+}
+
+/// Records the per-probe reuse metrics (shared by the converged and
+/// infeasible exits; cancelled runs record nothing, like before).
+fn record_probe_metrics(iterations: usize, cache_hits: u64) {
+    engine::telemetry::record(engine::hist::Metric::SweepsPerPhi, iterations as u64);
+    engine::telemetry::record(engine::hist::Metric::CacheHitsPerProbe, cache_hits);
+}
+
+/// Groups the non-PI nodes by combinational depth (longest zero-weight
+/// path from any source), preserving topological order within each level.
+pub(crate) fn comb_levels(c: &Circuit, order: &[NodeId]) -> Vec<Vec<u32>> {
+    let n = c.num_nodes();
+    let mut depth = vec![0u32; n];
+    let mut max_depth = 0u32;
+    for &v in order {
+        let mut d = 0u32;
+        for &e in c.node(v).fanin() {
+            let edge = c.edge(e);
+            if edge.weight() == 0 {
+                d = d.max(depth[edge.from().index()] + 1);
+            }
+        }
+        depth[v.index()] = d;
+        max_depth = max_depth.max(d);
+    }
+    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_depth as usize + 1];
+    for &v in order {
+        if !c.node(v).is_input() {
+            levels[depth[v.index()] as usize].push(v.0);
+        }
+    }
+    levels
 }
 
 #[cfg(test)]
@@ -436,5 +670,104 @@ mod tests {
         let ctx = FrtContext::new(&c, 2, 32);
         assert!(!ctx.check(2).feasible);
         assert!(ctx.check(3).feasible);
+    }
+
+    #[test]
+    fn levels_partition_non_inputs_topologically() {
+        let c = chainy();
+        let order = c.comb_topo_order().unwrap();
+        let levels = comb_levels(&c, &order);
+        let total: usize = levels.iter().map(Vec::len).sum();
+        let non_inputs = c.node_ids().filter(|&v| !c.node(v).is_input()).count();
+        assert_eq!(total, non_inputs);
+        // Zero-weight edges must never connect two nodes of one level.
+        let mut level_of = vec![usize::MAX; c.num_nodes()];
+        for (d, lvl) in levels.iter().enumerate() {
+            for &vi in lvl {
+                level_of[vi as usize] = d;
+            }
+        }
+        for v in c.node_ids() {
+            for &e in c.node(v).fanin() {
+                let edge = c.edge(e);
+                if edge.weight() == 0 && !c.node(edge.from()).is_input() {
+                    assert!(level_of[edge.from().index()] < level_of[v.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_fixpoint() {
+        let c = chainy();
+        for k in 1..=3 {
+            let ctx = FrtContext::new(&c, k, 32);
+            for upper in 2..=4u64 {
+                let seed = ctx.check(upper);
+                if !seed.feasible {
+                    continue;
+                }
+                for phi in 1..upper {
+                    let cold = ctx.check(phi);
+                    let warm = ctx.check_opts(phi, Some(&seed.labels), 1);
+                    assert_eq!(cold.feasible, warm.feasible, "k={k} phi={phi}");
+                    if cold.feasible {
+                        assert_eq!(cold.labels.ls, warm.labels.ls, "k={k} phi={phi}");
+                        assert_eq!(cold.labels.r, warm.labels.r, "k={k} phi={phi}");
+                    }
+                    assert!(
+                        warm.iterations <= cold.iterations,
+                        "warm start must not add sweeps (k={k} phi={phi})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_check_matches_serial_exactly() {
+        let c = chainy();
+        for k in 1..=3 {
+            let ctx = FrtContext::new(&c, k, 32);
+            for phi in 1..=4u64 {
+                let serial = ctx.check_opts(phi, None, 1);
+                for workers in [2usize, 4] {
+                    let par = ctx.check_opts(phi, None, workers);
+                    assert_eq!(serial.feasible, par.feasible, "k={k} phi={phi}");
+                    assert_eq!(serial.iterations, par.iterations, "k={k} phi={phi}");
+                    assert_eq!(serial.labels.ls, par.labels.ls, "k={k} phi={phi}");
+                    assert_eq!(serial.labels.r, par.labels.r, "k={k} phi={phi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frt_cap_truncation_is_counted() {
+        // A register chain deeper than the cap: every gate past the cap
+        // has frt(v) above it.
+        let mut c = Circuit::new("deep");
+        let i = c.add_input("i").unwrap();
+        let mut prev = i;
+        let depth = 6u64;
+        for d in 0..depth {
+            let g = c.add_gate(format!("g{d}"), TruthTable::not()).unwrap();
+            c.connect(prev, g, vec![Bit::Zero]).unwrap();
+            prev = g;
+        }
+        let o = c.add_output("o").unwrap();
+        c.connect(prev, o, vec![]).unwrap();
+        // Cap below the chain depth: gates at register depth cap+1.. are
+        // truncated. frt(g_d) = d+1 registers from the PI.
+        let cap = 3u64;
+        let ctx = FrtContext::new(&c, 2, cap);
+        assert_eq!(ctx.frt_capped_gates, depth - cap);
+        for d in 0..depth {
+            let g = c.find(&format!("g{d}")).unwrap();
+            assert!(ctx.frt[g.index()] <= cap);
+        }
+        // An ample cap reports nothing.
+        let ctx2 = FrtContext::new(&c, 2, 64);
+        assert_eq!(ctx2.frt_capped_gates, 0);
     }
 }

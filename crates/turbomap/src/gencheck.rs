@@ -10,7 +10,7 @@
 //! of `frt(v)` — nothing guarantees forward-only register motion, which is
 //! exactly why this baseline's initial states need NP-hard justification.
 
-use crate::cutsearch::{find_cut, ExpCut};
+use crate::cutsearch::{find_cut_with, CutScratch, ExpCut};
 use crate::expand::ExpandedCircuit;
 use crate::frtcheck::{LS_NEG_INF, MAX_EXPANDED_NODES};
 use netlist::{Circuit, NodeId};
@@ -108,6 +108,8 @@ impl<'a> GeneralContext<'a> {
         let cap = n.saturating_mul(n).max(4);
         let mut iterations = 0usize;
         let mut dirty = vec![true; n];
+        // One flow-network arena for every cut query of this run.
+        let mut scratch = CutScratch::new();
         loop {
             // Same cancellation contract as `FrtContext::check`: bail out
             // as "infeasible"; the driver re-checks the token.
@@ -136,9 +138,17 @@ impl<'a> GeneralContext<'a> {
                     script
                 } else {
                     let exp = self.expanded[v.index()].as_ref();
-                    match exp
-                        .and_then(|e| find_cut(e, &labels, phi_i, script, self.horizon, self.k))
-                    {
+                    match exp.and_then(|e| {
+                        find_cut_with(
+                            &mut scratch,
+                            e,
+                            &labels,
+                            phi_i,
+                            script,
+                            self.horizon,
+                            self.k,
+                        )
+                    }) {
                         Some(_) => script,
                         None => script + 1,
                     }
@@ -196,14 +206,23 @@ impl<'a> GeneralContext<'a> {
     pub fn final_cuts(&self, labels: &[i64], phi: u64) -> Vec<Option<ExpCut>> {
         let phi_i = phi as i64;
         let mut cuts: Vec<Option<ExpCut>> = vec![None; self.circuit.num_nodes()];
+        let mut scratch = CutScratch::new();
         for v in self.circuit.gate_ids() {
             let i = v.index();
             if !self.live[i] || labels[i] <= LS_NEG_INF {
                 continue;
             }
             let exp = self.expanded[i].as_ref().expect("live gate expanded");
-            let cut = find_cut(exp, labels, phi_i, labels[i], self.horizon, self.k)
-                .expect("converged labels admit a cut");
+            let cut = find_cut_with(
+                &mut scratch,
+                exp,
+                labels,
+                phi_i,
+                labels[i],
+                self.horizon,
+                self.k,
+            )
+            .expect("converged labels admit a cut");
             cuts[i] = Some(cut);
         }
         cuts

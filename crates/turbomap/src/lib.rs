@@ -58,11 +58,15 @@ pub mod frtcheck;
 pub mod gencheck;
 pub mod generate;
 pub mod slack;
+pub mod sweep;
 
-pub use cutsearch::{find_cut, min_weight_cut, ExpCut};
+pub use cutsearch::{
+    find_cut, find_cut_with, min_weight_cut, min_weight_cut_with, CutScratch, ExpCut,
+};
 pub use driver::{prepare, turbomap_frt, turbomap_general, Options, TurboMapError, TurboMapResult};
 pub use expand::{ExpNode, ExpandedCircuit};
 pub use frtcheck::{FrtCheck, FrtContext, LabelPairs};
 pub use gencheck::{po_reachable, GeneralCheck, GeneralContext};
 pub use generate::{collect_roots, generate_mapping, GenerateError, GeneratedMapping};
 pub use slack::{plan_mapping, MappingPlan};
+pub use sweep::Board;

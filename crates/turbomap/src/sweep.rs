@@ -1,0 +1,262 @@
+//! Deterministic intra-job parallelism for the label sweeps.
+//!
+//! A [`Board`] distributes the independent `LabelUpdate` queries of one
+//! topological level across a fixed crew of helper threads (spawned once
+//! per label check through [`engine::pool::scoped_workers`]) and collects
+//! their results **in task order**, so the owner can apply them in exactly
+//! the sequence a serial sweep would. The protocol per level ("epoch"):
+//!
+//! 1. the owner publishes the level's task list and bumps the epoch
+//!    sequence number (helpers park on a condvar between epochs),
+//! 2. owner and helpers claim task slots from a shared atomic counter and
+//!    push `(slot, result)` pairs into a shared vector,
+//! 3. each helper, once the counter is exhausted, checks in on the
+//!    finished barrier; the owner waits for the full crew, then drains
+//!    the results sorted by slot.
+//!
+//! Determinism across worker counts follows because the tasks of one
+//! epoch are computed against labels the owner does not touch until the
+//! barrier: each result is a pure function of (snapshot, task), whoever
+//! computes it, and the apply order is fixed by the slot sort.
+//!
+//! Helpers never exit an epoch early — a worker that stopped claiming
+//! while slots remain would still check in, so the barrier cannot hang;
+//! cancellation instead short-circuits inside the compute closure (the
+//! query returns a cheap "no information" answer) and the *owner* aborts
+//! the sweep, whose partial results the driver then discards.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shared state of one level-synchronized sweep crew.
+///
+/// `R` is the per-task result type. One board serves many epochs; create
+/// it next to the labels it feeds and hand `&Board` to the helper
+/// closures of [`engine::pool::scoped_workers`].
+pub struct Board<R> {
+    epoch: Mutex<Epoch>,
+    epoch_cv: Condvar,
+    /// Next unclaimed slot of the current epoch.
+    next: AtomicUsize,
+    /// Helpers that finished the current epoch.
+    finished: Mutex<usize>,
+    finished_cv: Condvar,
+    results: Mutex<Vec<(usize, R)>>,
+    stop: AtomicBool,
+}
+
+struct Epoch {
+    seq: u64,
+    tasks: Arc<Vec<u32>>,
+}
+
+impl<R> Default for Board<R> {
+    fn default() -> Board<R> {
+        Board::new()
+    }
+}
+
+impl<R> Board<R> {
+    /// A board with no published epoch.
+    pub fn new() -> Board<R> {
+        Board {
+            epoch: Mutex::new(Epoch {
+                seq: 0,
+                tasks: Arc::new(Vec::new()),
+            }),
+            epoch_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+            finished: Mutex::new(0),
+            finished_cv: Condvar::new(),
+            results: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Helper-thread entry point: serve epochs until [`Board::stop`].
+    ///
+    /// `compute` runs once per claimed task; per-thread state (a cut
+    /// scratch, a labels read guard) lives in the closure.
+    pub fn serve(&self, mut compute: impl FnMut(u32) -> R) {
+        let mut seen = 0u64;
+        loop {
+            let tasks = {
+                let mut e = self.epoch.lock().expect("epoch poisoned");
+                loop {
+                    if self.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if e.seq > seen {
+                        seen = e.seq;
+                        break Arc::clone(&e.tasks);
+                    }
+                    e = self.epoch_cv.wait(e).expect("epoch poisoned");
+                }
+            };
+            // Check in even if `compute` unwinds: a missing check-in would
+            // park the owner on the barrier forever, turning a panic into
+            // a hang. With the guard the owner sees a short result vector
+            // instead and raises the alarm (and the original panic still
+            // propagates when the thread scope joins).
+            let _checkin = Checkin(self);
+            self.claim(&tasks, &mut compute);
+        }
+    }
+
+    fn claim(&self, tasks: &[u32], compute: &mut impl FnMut(u32) -> R) {
+        loop {
+            let slot = self.next.fetch_add(1, Ordering::Relaxed);
+            if slot >= tasks.len() {
+                return;
+            }
+            let r = compute(tasks[slot]);
+            self.results
+                .lock()
+                .expect("results poisoned")
+                .push((slot, r));
+        }
+    }
+
+    /// Publishes one level, helps compute it, waits for the crew and
+    /// returns the results in task order.
+    ///
+    /// `crew` is the number of [`Board::serve`] threads attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a helper failed to deliver every claimed result (it
+    /// panicked mid-task).
+    pub fn run_level(
+        &self,
+        tasks: Vec<u32>,
+        crew: usize,
+        mut compute: impl FnMut(u32) -> R,
+    ) -> Vec<R> {
+        let want = tasks.len();
+        let tasks = Arc::new(tasks);
+        self.results.lock().expect("results poisoned").reserve(want);
+        *self.finished.lock().expect("finished poisoned") = 0;
+        {
+            let mut e = self.epoch.lock().expect("epoch poisoned");
+            // Helpers only read `next` after observing the new sequence
+            // number, which this mutex publishes.
+            self.next.store(0, Ordering::Relaxed);
+            e.seq += 1;
+            e.tasks = Arc::clone(&tasks);
+            self.epoch_cv.notify_all();
+        }
+        self.claim(&tasks, &mut compute);
+        let mut finished = self.finished.lock().expect("finished poisoned");
+        while *finished < crew {
+            finished = self.finished_cv.wait(finished).expect("finished poisoned");
+        }
+        drop(finished);
+        let mut out = std::mem::take(&mut *self.results.lock().expect("results poisoned"));
+        assert_eq!(out.len(), want, "a sweep helper lost results (panicked?)");
+        out.sort_unstable_by_key(|&(slot, _)| slot);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Releases the crew: every [`Board::serve`] call returns. Idempotent;
+    /// must run before the owning thread scope joins the helpers.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        // Lock the epoch mutex so a helper between its stop-check and its
+        // condvar wait cannot miss the wake-up.
+        let _e = self.epoch.lock().expect("epoch poisoned");
+        self.epoch_cv.notify_all();
+    }
+}
+
+struct Checkin<'a, R>(&'a Board<R>);
+
+impl<R> Drop for Checkin<'_, R> {
+    fn drop(&mut self) {
+        let mut finished = self.0.finished.lock().expect("finished poisoned");
+        *finished += 1;
+        self.0.finished_cv.notify_all();
+    }
+}
+
+/// RAII wrapper that [`Board::stop`]s on drop, so helpers are released
+/// even when the owner's sweep unwinds.
+pub struct StopOnDrop<'a, R>(
+    /// The board whose crew to release.
+    pub &'a Board<R>,
+);
+
+impl<R> Drop for StopOnDrop<'_, R> {
+    fn drop(&mut self) {
+        self.0.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_crew<R: Send>(
+        crew: usize,
+        board: &Board<R>,
+        compute: impl Fn(u32) -> R + Sync,
+        main: impl FnOnce() -> Vec<Vec<R>>,
+    ) -> Vec<Vec<R>> {
+        engine::pool::scoped_workers(
+            crew,
+            |_| board.serve(&compute),
+            || {
+                let out = main();
+                board.stop();
+                out
+            },
+        )
+    }
+
+    #[test]
+    fn epochs_return_results_in_task_order() {
+        let square = |t: u32| u64::from(t) * u64::from(t);
+        for crew in [0usize, 1, 3] {
+            // One board per crew: `stop` is terminal.
+            let board: Board<u64> = Board::new();
+            let levels = with_crew(crew, &board, square, || {
+                (0..4u32)
+                    .map(|lvl| {
+                        let tasks: Vec<u32> = (lvl * 10..lvl * 10 + 7).collect();
+                        board.run_level(tasks, crew, square)
+                    })
+                    .collect()
+            });
+            for (lvl, got) in levels.iter().enumerate() {
+                let want: Vec<u64> = (lvl as u32 * 10..lvl as u32 * 10 + 7)
+                    .map(|t| u64::from(t) * u64::from(t))
+                    .collect();
+                assert_eq!(*got, want, "crew={crew} level={lvl}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_level_is_fine() {
+        let board: Board<u32> = Board::new();
+        let out = with_crew(
+            2,
+            &board,
+            |t| t,
+            || vec![board.run_level(Vec::new(), 2, |t| t)],
+        );
+        assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn stop_on_drop_releases_crew() {
+        let board: Board<u32> = Board::new();
+        // No epochs at all: helpers park, the guard must free them.
+        engine::pool::scoped_workers(
+            2,
+            |_| board.serve(|t| t),
+            || {
+                let _guard = StopOnDrop(&board);
+            },
+        );
+    }
+}
