@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod fuzz;
 pub mod metrics;
 pub mod serve;
 
@@ -177,6 +178,7 @@ tmfrt — FPGA mapping with forward retiming (Cong & Wu, DAC'98 reproduction)
 USAGE: tmfrt [map] <input> [-o out.blif] [-a ALGO] [-k K] [--pushback] [--verify N]
              [--onehot] [--trace-out t.json] [-q]
        tmfrt batch <dir> [--jobs N] [--timeout-secs S] [-o OUTDIR] …  (see `tmfrt batch --help`)
+       tmfrt fuzz [--seed A..=B] [--cases N] [--jobs N] …  (see `tmfrt fuzz --help`)
 
   <input>      circuit: a .blif file, a .kiss2 file, `-` (BLIF on stdin),
                or gen:<name> for a generated Table-1 benchmark (e.g. gen:sand)

@@ -7,6 +7,7 @@
 use engine::log;
 use engine::JsonValue;
 use tmfrt_cli::batch::{run_batch_dir, BatchArgs};
+use tmfrt_cli::fuzz::{run_fuzz, FuzzArgs};
 use tmfrt_cli::serve::{run_serve, ServeArgs};
 use tmfrt_cli::{load_circuit, run, Args};
 
@@ -31,6 +32,10 @@ fn main() {
         }
         Some("serve") => {
             run_serve_main(&raw[1..]);
+            return;
+        }
+        Some("fuzz") => {
+            run_fuzz_main(&raw[1..]);
             return;
         }
         _ => {}
@@ -176,6 +181,22 @@ fn run_batch_main(raw: &[String]) {
             }
         }
         Err(msg) => fatal("batch failed", &msg),
+    }
+}
+
+/// The `tmfrt fuzz` subcommand: exits 2 on usage errors, 1 when the
+/// campaign found any oracle violation (or a job escaped the oracle's
+/// panic guards), 0 otherwise — deadline-skipped cases alone do not fail
+/// the run.
+fn run_fuzz_main(raw: &[String]) {
+    let args = match FuzzArgs::parse(raw) {
+        Ok(a) => a,
+        Err(msg) => usage_error(&msg),
+    };
+    log::init(args.quiet);
+    let report = run_fuzz(&args);
+    if !report.clean() {
+        std::process::exit(1);
     }
 }
 

@@ -37,10 +37,16 @@ pub enum Metric {
     /// parallel LabelUpdate path. Recorded from the level size alone, so
     /// the distribution is identical for every worker count.
     ParallelBatchSize = 5,
+    /// Gate count of each generated fuzz case (`crates/fuzz`), recorded
+    /// after generation so the campaign's size distribution is visible.
+    FuzzCaseGates = 6,
+    /// Wall-clock nanoseconds per completed fuzz case (generation through
+    /// oracle verdict; a timing field — canonical artifacts zero it).
+    FuzzCaseNanos = 7,
 }
 
 /// Number of [`Metric`] variants.
-pub const NUM_HISTS: usize = 6;
+pub const NUM_HISTS: usize = 8;
 
 /// Stable snake_case metric names, indexed by `Metric as usize` (JSON
 /// keys in the `turbomap-bench/table1/v2` artifact).
@@ -51,6 +57,8 @@ pub const HIST_NAMES: [&str; NUM_HISTS] = [
     "span_nanos",
     "cache_hits_per_probe",
     "parallel_batch_size",
+    "fuzz_case_gates",
+    "fuzz_case_nanos",
 ];
 
 /// A streaming log-bucketed histogram. All fields are monotone counters.

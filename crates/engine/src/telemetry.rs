@@ -42,10 +42,18 @@ pub enum Counter {
     /// Label sweeps skipped thanks to warm-started Φ probes (estimated as
     /// the previous feasible probe's sweep count minus this probe's).
     SweepsSaved = 8,
+    /// Fuzz cases executed to completion by the differential oracle
+    /// (`crates/fuzz`): generated, mapped by all three flows, and judged.
+    CasesRun = 9,
+    /// Individual oracle-check failures recorded by the fuzzer (one per
+    /// violated invariant, so a single case can contribute several).
+    OracleFailures = 10,
+    /// Accepted shrinker reductions while minimizing failing fuzz cases.
+    ShrinkSteps = 11,
 }
 
 /// Number of [`Counter`] variants.
-pub const NUM_COUNTERS: usize = 9;
+pub const NUM_COUNTERS: usize = 12;
 
 /// Stable snake_case names, indexed by `Counter as usize` (used as JSON
 /// keys — part of the `BENCH_table1.json` schema).
@@ -59,6 +67,9 @@ pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "backward_moves",
     "frt_capped",
     "sweeps_saved",
+    "cases_run",
+    "oracle_failures",
+    "shrink_steps",
 ];
 
 /// Pipeline phases timed per job.
@@ -439,7 +450,7 @@ mod tests {
             "backward_moves"
         );
         assert_eq!(PHASE_NAMES[Phase::Verify as usize], "verify");
-        // Every counter (0..=8 = FlowAugmentations..SweepsSaved) has a
+        // Every counter (0..=11 = FlowAugmentations..ShrinkSteps) has a
         // distinct JSON key — a duplicate would silently shadow a column
         // in the artifact.
         let unique: std::collections::HashSet<&str> = COUNTER_NAMES.iter().copied().collect();
@@ -447,7 +458,13 @@ mod tests {
         assert_eq!(Counter::FlowAugmentations as usize, 0);
         assert_eq!(COUNTER_NAMES[Counter::FrtCapped as usize], "frt_capped");
         assert_eq!(COUNTER_NAMES[Counter::SweepsSaved as usize], "sweeps_saved");
-        assert_eq!(Counter::SweepsSaved as usize, NUM_COUNTERS - 1);
+        assert_eq!(COUNTER_NAMES[Counter::CasesRun as usize], "cases_run");
+        assert_eq!(
+            COUNTER_NAMES[Counter::OracleFailures as usize],
+            "oracle_failures"
+        );
+        assert_eq!(COUNTER_NAMES[Counter::ShrinkSteps as usize], "shrink_steps");
+        assert_eq!(Counter::ShrinkSteps as usize, NUM_COUNTERS - 1);
     }
 
     #[test]

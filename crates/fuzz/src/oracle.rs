@@ -1,0 +1,533 @@
+//! The differential oracle: three mappers judging each other.
+//!
+//! For one case the oracle runs FlowMap-frt, TurboMap-frt and TurboMap
+//! (general retiming) and checks the paper's relational claims:
+//!
+//! 1. **Φ ordering** (Theorem 3 and footnote 4) —
+//!    `Φ(TurboMap) ≤ Φ(TurboMap-frt) ≤ Φ(FlowMap-frt)`: forward retiming
+//!    restricts general retiming, and TurboMap-frt is optimal among
+//!    forward-retimed mappings while FlowMap-frt is merely one of them.
+//! 2. **Sequential equivalence** — every mapped result must match the
+//!    source under three-valued simulation with
+//!    [`EquivMode::Compatibility`]: `X` against a defined bit passes
+//!    (pessimistic initial-state derivation may lose definedness, never
+//!    invert it), conflicting defined bits fail. The general flow is
+//!    exempt when it reports `⋆` (initial state lost) — there is nothing
+//!    to compare against.
+//! 3. **Initial-state computability** (Section 3.3) — the forward-retimed
+//!    flows must never report `⋆`: no lost initial values, no register-
+//!    sharing conflicts.
+//! 4. **Determinism** — TurboMap-frt must produce byte-identical BLIF for
+//!    every `sweep_workers` setting.
+//!
+//! Mapper panics are caught ([`std::panic::catch_unwind`]) and reported
+//! as [`CheckKind::MapperPanic`] verdicts so a panicking case can still
+//! be shrunk and archived. Cancellation (batch deadline) is recognized
+//! and reported as [`OracleOutcome::Cancelled`], never as a failure.
+
+use netlist::{random_equiv_mode, Circuit, EquivMode, EquivResult};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use turbomap::{Options, TurboMapError, TurboMapResult};
+
+/// Oracle knobs; a repro manifest stores all of them.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// LUT input bound K.
+    pub k: usize,
+    /// Random vectors per equivalence check.
+    pub equiv_vectors: usize,
+    /// Seed of the equivalence-check input sequence.
+    pub equiv_seed: u64,
+    /// Second `sweep_workers` setting for the determinism check (the
+    /// first is always 1); 0 disables the check.
+    pub alt_sweep_workers: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig {
+            k: 4,
+            equiv_vectors: 64,
+            equiv_seed: 0xEC41_55EE,
+            alt_sweep_workers: 3,
+        }
+    }
+}
+
+/// Which oracle check fired. Doubles as the shrinker's verdict key: a
+/// shrink step is only accepted when the minimized case still violates
+/// the same kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// `Φ(TurboMap) ≤ Φ(TurboMap-frt) ≤ Φ(FlowMap-frt)` broken.
+    PhiOrdering,
+    /// A mapped result diverged from the source under three-valued
+    /// simulation (Compatibility mode).
+    Equivalence,
+    /// A forward-retimed flow reported `⋆` (lost initial state or
+    /// register-sharing conflict).
+    InitialState,
+    /// TurboMap-frt produced different bytes across `sweep_workers`.
+    Determinism,
+    /// A mapper returned an error on a valid input.
+    MapperError,
+    /// A mapper panicked.
+    MapperPanic,
+    /// A mapped result failed structural validation or the K bound.
+    StructuralInvalid,
+}
+
+impl CheckKind {
+    /// Stable snake_case name (manifest key, log field).
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckKind::PhiOrdering => "phi_ordering",
+            CheckKind::Equivalence => "equivalence",
+            CheckKind::InitialState => "initial_state",
+            CheckKind::Determinism => "determinism",
+            CheckKind::MapperError => "mapper_error",
+            CheckKind::MapperPanic => "mapper_panic",
+            CheckKind::StructuralInvalid => "structural_invalid",
+        }
+    }
+}
+
+/// One violated invariant.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which check fired.
+    pub kind: CheckKind,
+    /// Which flow it implicates (`flowmap-frt`, `turbomap-frt`,
+    /// `turbomap`, or `oracle` for cross-flow checks).
+    pub flow: &'static str,
+    /// Human-readable detail (periods, counterexample cycle, …).
+    pub detail: String,
+}
+
+/// Periods and sizes of the successfully mapped flows (diagnostics).
+#[derive(Debug, Clone, Default)]
+pub struct CaseStats {
+    /// `(period, luts)` of FlowMap-frt when it completed.
+    pub flowmap_frt: Option<(u64, usize)>,
+    /// `(period, luts)` of TurboMap-frt when it completed.
+    pub turbomap_frt: Option<(u64, usize)>,
+    /// `(period, luts)` of TurboMap (general) when it completed.
+    pub turbomap_general: Option<(u64, usize)>,
+    /// True when the general flow reported `⋆`.
+    pub general_star: bool,
+}
+
+/// The oracle's judgement of one case.
+#[derive(Debug, Clone)]
+pub enum OracleOutcome {
+    /// Every check passed.
+    Pass(CaseStats),
+    /// At least one invariant was violated.
+    Fail {
+        /// The violations, in check order.
+        violations: Vec<Violation>,
+        /// Whatever stats were collected before/despite the failure.
+        stats: CaseStats,
+    },
+    /// The run was cancelled (deadline); the case was *not* judged.
+    Cancelled,
+}
+
+impl OracleOutcome {
+    /// True for [`OracleOutcome::Pass`].
+    pub fn is_pass(&self) -> bool {
+        matches!(self, OracleOutcome::Pass(_))
+    }
+
+    /// The first violation's kind, when failing (the shrinker's key).
+    pub fn primary_kind(&self) -> Option<CheckKind> {
+        match self {
+            OracleOutcome::Fail { violations, .. } => violations.first().map(|v| v.kind),
+            _ => None,
+        }
+    }
+
+    /// True when failing with at least one violation of `kind`.
+    pub fn has_kind(&self, kind: CheckKind) -> bool {
+        match self {
+            OracleOutcome::Fail { violations, .. } => violations.iter().any(|v| v.kind == kind),
+            _ => false,
+        }
+    }
+}
+
+/// How one mapper invocation ended.
+enum MapperRun<T> {
+    Ok(T),
+    Error(String),
+    Panic(String),
+    Cancelled,
+}
+
+/// Runs `f` under `catch_unwind`, classifying panics and cancellation.
+fn guarded<T>(f: impl FnOnce() -> Result<T, TurboMapError>) -> MapperRun<T> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(v)) => MapperRun::Ok(v),
+        Ok(Err(TurboMapError::Cancelled)) => MapperRun::Cancelled,
+        Ok(Err(e)) => MapperRun::Error(e.to_string()),
+        Err(payload) => {
+            // A deadline can surface as a panic deep in a sweep; treat a
+            // tripped token as cancellation, not as a mapper bug.
+            if engine::cancel::cancelled() {
+                return MapperRun::Cancelled;
+            }
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            MapperRun::Panic(msg)
+        }
+    }
+}
+
+/// Checks one mapped circuit against the source: structure, K bound,
+/// sequential equivalence.
+fn check_mapped(
+    source: &Circuit,
+    mapped: &Circuit,
+    flow: &'static str,
+    cfg: &OracleConfig,
+    violations: &mut Vec<Violation>,
+) {
+    if let Err(e) = netlist::validate(mapped) {
+        violations.push(Violation {
+            kind: CheckKind::StructuralInvalid,
+            flow,
+            detail: format!("mapped circuit invalid: {e}"),
+        });
+        return;
+    }
+    if let Err(e) = netlist::check_k_bounded(mapped, cfg.k) {
+        violations.push(Violation {
+            kind: CheckKind::StructuralInvalid,
+            flow,
+            detail: format!("mapped circuit breaks K={}: {e}", cfg.k),
+        });
+    }
+    match random_equiv_mode(
+        source,
+        mapped,
+        cfg.equiv_vectors,
+        cfg.equiv_seed,
+        EquivMode::Compatibility,
+    ) {
+        Ok(EquivResult::Equivalent) => {}
+        Ok(EquivResult::Different(ce)) => violations.push(Violation {
+            kind: CheckKind::Equivalence,
+            flow,
+            detail: format!(
+                "output `{}` diverged at cycle {}: expected {:?}, got {:?}",
+                ce.output, ce.cycle, ce.expected, ce.actual
+            ),
+        }),
+        Err(e) => violations.push(Violation {
+            kind: CheckKind::Equivalence,
+            flow,
+            detail: format!("equivalence check failed to run: {e}"),
+        }),
+    }
+}
+
+/// Judges one *mapped result* against its source, exactly as the full
+/// oracle does per flow: structural validity, the K bound, sequential
+/// equivalence under Compatibility. Public so fault-injection tests (and
+/// external harnesses) can audit a single circuit pair without rerunning
+/// the mappers.
+pub fn judge_mapped(
+    source: &Circuit,
+    mapped: &Circuit,
+    flow: &'static str,
+    cfg: &OracleConfig,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    check_mapped(source, mapped, flow, cfg, &mut violations);
+    violations
+}
+
+/// Judges one case. `source` must pass [`netlist::validate`] and be
+/// sharing-consistent (the generator guarantees both; the shrinker
+/// re-checks both on every candidate) — a source that already carries a
+/// register-sharing conflict would trip the initial-state check through
+/// no fault of the mappers.
+pub fn run_oracle(source: &Circuit, cfg: &OracleConfig) -> OracleOutcome {
+    if engine::cancel::cancelled() {
+        return OracleOutcome::Cancelled;
+    }
+    let mut violations = Vec::new();
+    let mut stats = CaseStats::default();
+
+    // FlowMap-frt needs a K-bounded input; `prepare` is the shared
+    // validate + prune + decompose pipeline the TurboMap drivers use.
+    let bounded = match catch_unwind(AssertUnwindSafe(|| turbomap::prepare(source, cfg.k))) {
+        Ok(Ok(b)) => Some(b),
+        Ok(Err(e)) => {
+            violations.push(Violation {
+                kind: CheckKind::MapperError,
+                flow: "prepare",
+                detail: e.to_string(),
+            });
+            None
+        }
+        Err(_) => {
+            if engine::cancel::cancelled() {
+                return OracleOutcome::Cancelled;
+            }
+            violations.push(Violation {
+                kind: CheckKind::MapperPanic,
+                flow: "prepare",
+                detail: "panic while preparing the case".to_string(),
+            });
+            None
+        }
+    };
+
+    let fm = bounded
+        .as_ref()
+        .map(|b| guarded(|| flowmap::flowmap_frt(b, cfg.k).map_err(TurboMapError::Baseline)));
+    let opts = Options::with_k(cfg.k);
+    let frt = guarded(|| turbomap::turbomap_frt(source, opts));
+    let general = guarded(|| turbomap::turbomap_general(source, opts));
+
+    // Cancellation anywhere voids the whole judgement.
+    for run in [&frt, &general] {
+        if matches!(run, MapperRun::Cancelled) {
+            return OracleOutcome::Cancelled;
+        }
+    }
+    if matches!(fm, Some(MapperRun::Cancelled)) {
+        return OracleOutcome::Cancelled;
+    }
+
+    let mut note = |kind: CheckKind, flow: &'static str, detail: String| {
+        violations.push(Violation { kind, flow, detail });
+    };
+
+    let fm_res = match fm {
+        Some(MapperRun::Ok(r)) => {
+            stats.flowmap_frt = Some((r.period, r.luts));
+            Some(r)
+        }
+        Some(MapperRun::Error(e)) => {
+            note(CheckKind::MapperError, "flowmap-frt", e);
+            None
+        }
+        Some(MapperRun::Panic(e)) => {
+            note(CheckKind::MapperPanic, "flowmap-frt", e);
+            None
+        }
+        _ => None,
+    };
+    let frt_res = match frt {
+        MapperRun::Ok(r) => {
+            stats.turbomap_frt = Some((r.period, r.luts));
+            Some(r)
+        }
+        MapperRun::Error(e) => {
+            note(CheckKind::MapperError, "turbomap-frt", e);
+            None
+        }
+        MapperRun::Panic(e) => {
+            note(CheckKind::MapperPanic, "turbomap-frt", e);
+            None
+        }
+        MapperRun::Cancelled => unreachable!("handled above"),
+    };
+    let gen_res: Option<TurboMapResult> = match general {
+        MapperRun::Ok(r) => {
+            stats.turbomap_general = Some((r.period, r.luts));
+            stats.general_star = r.star();
+            Some(r)
+        }
+        MapperRun::Error(e) => {
+            note(CheckKind::MapperError, "turbomap", e);
+            None
+        }
+        MapperRun::Panic(e) => {
+            note(CheckKind::MapperPanic, "turbomap", e);
+            None
+        }
+        MapperRun::Cancelled => unreachable!("handled above"),
+    };
+
+    // Check 1: Φ ordering.
+    if let (Some(frt), Some(fm)) = (&frt_res, &fm_res) {
+        if frt.period > fm.period {
+            note(
+                CheckKind::PhiOrdering,
+                "oracle",
+                format!(
+                    "Φ(TurboMap-frt) = {} > Φ(FlowMap-frt) = {}",
+                    frt.period, fm.period
+                ),
+            );
+        }
+    }
+    if let (Some(gen), Some(frt)) = (&gen_res, &frt_res) {
+        if gen.period > frt.period {
+            note(
+                CheckKind::PhiOrdering,
+                "oracle",
+                format!(
+                    "Φ(TurboMap) = {} > Φ(TurboMap-frt) = {}",
+                    gen.period, frt.period
+                ),
+            );
+        }
+    }
+
+    // Check 3: initial-state computability of the forward-retimed flows.
+    if let Some(frt) = &frt_res {
+        if frt.initial_state_lost {
+            note(
+                CheckKind::InitialState,
+                "turbomap-frt",
+                "forward-retimed flow lost its initial state".to_string(),
+            );
+        }
+        if frt.sharing_conflict {
+            note(
+                CheckKind::InitialState,
+                "turbomap-frt",
+                "register-sharing conflict in a forward-retimed flow".to_string(),
+            );
+        }
+    }
+    if let Some(fm) = &fm_res {
+        if !fm.circuit.sharing_consistent() {
+            note(
+                CheckKind::InitialState,
+                "flowmap-frt",
+                "register-sharing conflict in a forward-retimed flow".to_string(),
+            );
+        }
+    }
+
+    // Check 2: sequential equivalence of every usable mapped result.
+    if let Some(fm) = &fm_res {
+        check_mapped(source, &fm.circuit, "flowmap-frt", cfg, &mut violations);
+    }
+    if let Some(frt) = &frt_res {
+        check_mapped(source, &frt.circuit, "turbomap-frt", cfg, &mut violations);
+    }
+    if let Some(gen) = &gen_res {
+        if !gen.star() {
+            check_mapped(source, &gen.circuit, "turbomap", cfg, &mut violations);
+        }
+    }
+
+    // Check 4: byte-determinism of TurboMap-frt across sweep workers.
+    if cfg.alt_sweep_workers > 1 {
+        if let Some(frt) = &frt_res {
+            let mut alt_opts = opts;
+            alt_opts.sweep_workers = cfg.alt_sweep_workers;
+            match guarded(|| turbomap::turbomap_frt(source, alt_opts)) {
+                MapperRun::Ok(alt) => {
+                    if netlist::write_blif(&alt.circuit) != netlist::write_blif(&frt.circuit) {
+                        violations.push(Violation {
+                            kind: CheckKind::Determinism,
+                            flow: "turbomap-frt",
+                            detail: format!(
+                                "BLIF differs between sweep_workers=1 and sweep_workers={}",
+                                cfg.alt_sweep_workers
+                            ),
+                        });
+                    }
+                }
+                MapperRun::Error(e) => violations.push(Violation {
+                    kind: CheckKind::Determinism,
+                    flow: "turbomap-frt",
+                    detail: format!(
+                        "sweep_workers={} run errored where serial succeeded: {e}",
+                        cfg.alt_sweep_workers
+                    ),
+                }),
+                MapperRun::Panic(e) => violations.push(Violation {
+                    kind: CheckKind::Determinism,
+                    flow: "turbomap-frt",
+                    detail: format!(
+                        "sweep_workers={} run panicked where serial succeeded: {e}",
+                        cfg.alt_sweep_workers
+                    ),
+                }),
+                MapperRun::Cancelled => return OracleOutcome::Cancelled,
+            }
+        }
+    }
+
+    if engine::cancel::cancelled() {
+        return OracleOutcome::Cancelled;
+    }
+    if violations.is_empty() {
+        OracleOutcome::Pass(stats)
+    } else {
+        OracleOutcome::Fail { violations, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_case, GenConfig};
+
+    #[test]
+    fn clean_cases_pass() {
+        let gen_cfg = GenConfig {
+            k: 4,
+            max_gates: 40,
+            max_mutations: 6,
+        };
+        let cfg = OracleConfig {
+            equiv_vectors: 32,
+            ..OracleConfig::default()
+        };
+        for seed in 0..6 {
+            let c = generate_case(seed, &gen_cfg);
+            let out = run_oracle(&c, &cfg);
+            match &out {
+                OracleOutcome::Pass(stats) => {
+                    assert!(stats.turbomap_frt.is_some());
+                    assert!(stats.flowmap_frt.is_some());
+                }
+                OracleOutcome::Fail { violations, .. } => {
+                    panic!("seed {seed} failed: {violations:?}")
+                }
+                OracleOutcome::Cancelled => panic!("not cancelled"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_token_yields_cancelled_not_failure() {
+        let token = engine::CancelToken::new();
+        token.cancel();
+        let _guard = engine::cancel::install(token);
+        let c = generate_case(1, &GenConfig::default());
+        assert!(matches!(
+            run_oracle(&c, &OracleConfig::default()),
+            OracleOutcome::Cancelled
+        ));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        for (kind, name) in [
+            (CheckKind::PhiOrdering, "phi_ordering"),
+            (CheckKind::Equivalence, "equivalence"),
+            (CheckKind::InitialState, "initial_state"),
+            (CheckKind::Determinism, "determinism"),
+            (CheckKind::MapperError, "mapper_error"),
+            (CheckKind::MapperPanic, "mapper_panic"),
+            (CheckKind::StructuralInvalid, "structural_invalid"),
+        ] {
+            assert_eq!(kind.name(), name);
+        }
+    }
+}

@@ -10,15 +10,47 @@
 //!   depth (product-machine unrolling by brute force); exact for small
 //!   circuits and used heavily in the test suite.
 //!
-//! Comparison uses **conformance**: wherever the reference output is defined
-//! (`0`/`1`), the candidate must match; where the reference is `X` the
-//! candidate may output anything. A retimed/mapped circuit with a correctly
-//! computed initial state conforms to its original.
+//! Comparison defaults to **conformance**: wherever the reference output is
+//! defined (`0`/`1`), the candidate must match; where the reference is `X`
+//! the candidate may output anything. A retimed/mapped circuit with a
+//! correctly computed initial state conforms to its original. The weaker
+//! [`EquivMode::Compatibility`] additionally forgives a candidate `X`
+//! against a defined reference — the right relation when the candidate's
+//! initial state was *derived* by pessimistic 3-valued forward simulation
+//! and may legitimately be less defined than the source.
 
 use crate::bit::Bit;
 use crate::circuit::Circuit;
 use crate::error::NetlistError;
 use crate::sim::Simulator;
+use engine::rng::Rng64;
+
+/// How two output bits are compared by the equivalence checkers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EquivMode {
+    /// Candidate must refine the reference: defined reference bits must
+    /// match exactly; a reference `X` permits anything. This is the check
+    /// for a mapper that claims to preserve the exact initial behaviour.
+    #[default]
+    Conformance,
+    /// Bits must be [`Bit::compatible`]: `X` on **either** side permits the
+    /// other, only conflicting defined bits miscompare. This is the check
+    /// for forward-retimed results whose computed initial state may be
+    /// pessimistically `X` where the source was defined (Touati–Brayton
+    /// forward simulation loses information, never inverts it).
+    Compatibility,
+}
+
+impl EquivMode {
+    /// True when `actual` is acceptable against `expected` under this mode.
+    #[inline]
+    pub fn accepts(self, expected: Bit, actual: Bit) -> bool {
+        match self {
+            EquivMode::Conformance => actual.refines(expected),
+            EquivMode::Compatibility => actual.compatible(expected),
+        }
+    }
+}
 
 /// A concrete distinguishing input sequence found by an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +131,20 @@ pub fn sequence_equiv(
     candidate: &Circuit,
     sequence: &[Vec<Bit>],
 ) -> Result<EquivResult, NetlistError> {
+    sequence_equiv_mode(reference, candidate, sequence, EquivMode::Conformance)
+}
+
+/// [`sequence_equiv`] with an explicit comparison [`EquivMode`].
+///
+/// # Errors
+///
+/// Same as [`sequence_equiv`].
+pub fn sequence_equiv_mode(
+    reference: &Circuit,
+    candidate: &Circuit,
+    sequence: &[Vec<Bit>],
+    mode: EquivMode,
+) -> Result<EquivResult, NetlistError> {
     check_interfaces(reference, candidate)?;
     let mut ref_sim = Simulator::new(reference)?;
     let mut cand_sim = Simulator::new(candidate)?;
@@ -106,7 +152,7 @@ pub fn sequence_equiv(
         let ref_out = ref_sim.step(inputs);
         let cand_out = cand_sim.step(inputs);
         for (po_idx, (&e, &a)) in ref_out.iter().zip(cand_out.iter()).enumerate() {
-            if !a.refines(e) {
+            if !mode.accepts(e, a) {
                 return Ok(EquivResult::Different(Box::new(CounterExample {
                     inputs: sequence[..=cycle].to_vec(),
                     cycle,
@@ -123,9 +169,26 @@ pub fn sequence_equiv(
     Ok(EquivResult::Equivalent)
 }
 
+/// A reproducible sequence of `num_vectors` uniformly random *defined*
+/// input vectors of width `num_inputs`, generated from `seed` on the
+/// workspace-wide [`engine::rng::Rng64`] (splitmix64) — the same generator
+/// the workloads and fuzzing subsystems use, so one seed reproduces an
+/// entire run.
+pub fn random_sequence(num_inputs: usize, num_vectors: usize, seed: u64) -> Vec<Vec<Bit>> {
+    let mut rng = Rng64::new(seed);
+    (0..num_vectors)
+        .map(|_| {
+            (0..num_inputs)
+                .map(|_| Bit::from_bool(rng.next_u64() & 1 == 1))
+                .collect()
+        })
+        .collect()
+}
+
 /// Random-simulation equivalence: `num_vectors` cycles of uniformly random
-/// defined inputs generated from `seed` (xorshift; self-contained so results
-/// are reproducible across platforms).
+/// defined inputs generated from `seed` via [`random_sequence`]
+/// (splitmix64; self-contained so results are reproducible across
+/// platforms).
 ///
 /// # Errors
 ///
@@ -136,18 +199,29 @@ pub fn random_equiv(
     num_vectors: usize,
     seed: u64,
 ) -> Result<EquivResult, NetlistError> {
-    let m = reference.inputs().len();
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
-    let mut next = || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    let sequence: Vec<Vec<Bit>> = (0..num_vectors)
-        .map(|_| (0..m).map(|_| Bit::from_bool(next() & 1 == 1)).collect())
-        .collect();
-    sequence_equiv(reference, candidate, &sequence)
+    random_equiv_mode(
+        reference,
+        candidate,
+        num_vectors,
+        seed,
+        EquivMode::Conformance,
+    )
+}
+
+/// [`random_equiv`] with an explicit comparison [`EquivMode`].
+///
+/// # Errors
+///
+/// Same as [`sequence_equiv`].
+pub fn random_equiv_mode(
+    reference: &Circuit,
+    candidate: &Circuit,
+    num_vectors: usize,
+    seed: u64,
+    mode: EquivMode,
+) -> Result<EquivResult, NetlistError> {
+    let sequence = random_sequence(reference.inputs().len(), num_vectors, seed);
+    sequence_equiv_mode(reference, candidate, &sequence, mode)
 }
 
 /// Exhaustive bounded equivalence: checks **every** defined input sequence
@@ -272,6 +346,89 @@ mod tests {
         c2.connect(g, o, vec![]).unwrap();
 
         assert!(!random_equiv(&c1, &c2, 64, 3).unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn random_sequence_is_reproducible_and_defined() {
+        let a = random_sequence(3, 16, 42);
+        let b = random_sequence(3, 16, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, random_sequence(3, 16, 43));
+        assert!(a.iter().flatten().all(|&bit| bit != Bit::X));
+        assert_eq!(a.len(), 16);
+        assert!(a.iter().all(|v| v.len() == 3));
+    }
+
+    #[test]
+    fn compatibility_forgives_candidate_x() {
+        // Candidate has an X initial FF where the reference is defined:
+        // conformance rejects it, compatibility accepts it. This is the
+        // exact situation after forward-retiming computes a pessimistic
+        // initial state by 3-valued simulation.
+        let reference = inverter_circuit("c1", Bit::Zero);
+        let candidate = inverter_circuit("c2", Bit::X);
+        assert!(!sequence_equiv_mode(
+            &reference,
+            &candidate,
+            &random_sequence(1, 8, 1),
+            EquivMode::Conformance,
+        )
+        .unwrap()
+        .is_equivalent());
+        assert!(
+            random_equiv_mode(&reference, &candidate, 8, 1, EquivMode::Compatibility)
+                .unwrap()
+                .is_equivalent()
+        );
+    }
+
+    #[test]
+    fn compatibility_still_rejects_conflicting_concretes() {
+        // X-vs-concrete is compatible in both directions, but two
+        // *conflicting* defined initial values must still miscompare.
+        let reference = inverter_circuit("c1", Bit::Zero);
+        let candidate = inverter_circuit("c2", Bit::One);
+        match random_equiv_mode(&reference, &candidate, 8, 1, EquivMode::Compatibility).unwrap() {
+            EquivResult::Different(ce) => {
+                assert_eq!(ce.cycle, 0);
+                assert_eq!(ce.expected, Bit::Zero);
+                assert_eq!(ce.actual, Bit::One);
+            }
+            EquivResult::Equivalent => panic!("conflicting concretes must miscompare"),
+        }
+    }
+
+    #[test]
+    fn equiv_mode_accepts_table() {
+        use Bit::*;
+        // Conformance: actual refines expected.
+        for (e, a, ok) in [
+            (Zero, Zero, true),
+            (One, One, true),
+            (X, Zero, true),
+            (X, One, true),
+            (X, X, true),
+            (Zero, X, false),
+            (One, X, false),
+            (Zero, One, false),
+        ] {
+            assert_eq!(EquivMode::Conformance.accepts(e, a), ok, "conf {e:?} {a:?}");
+        }
+        // Compatibility: X on either side is fine, conflicts are not.
+        for (e, a, ok) in [
+            (Zero, X, true),
+            (One, X, true),
+            (X, One, true),
+            (Zero, Zero, true),
+            (Zero, One, false),
+            (One, Zero, false),
+        ] {
+            assert_eq!(
+                EquivMode::Compatibility.accepts(e, a),
+                ok,
+                "compat {e:?} {a:?}"
+            );
+        }
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub use blif::{parse_blif, write_blif};
 pub use circuit::{Circuit, Edge, EdgeId, Node, NodeId, NodeKind};
 pub use decompose::decompose_to_k;
 pub use dot::to_dot;
-pub use equiv::{exhaustive_equiv, random_equiv, sequence_equiv, CounterExample, EquivResult};
+pub use equiv::{
+    exhaustive_equiv, random_equiv, random_equiv_mode, random_sequence, sequence_equiv,
+    sequence_equiv_mode, CounterExample, EquivMode, EquivResult,
+};
 pub use error::NetlistError;
 pub use prune::prune_dead;
 pub use sim::Simulator;

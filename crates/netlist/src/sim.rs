@@ -209,6 +209,63 @@ mod tests {
     }
 
     #[test]
+    fn partial_initial_state_x_masked_by_controlling_value() {
+        // AND(a, ff) with ff initial X: the X is *masked* whenever a=0 (a
+        // controlling input), visible only when a=1. Pessimistic 3-valued
+        // eval must distinguish the two — this is the boundary the fuzz
+        // oracle's Compatibility mode leans on.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("g", TruthTable::and(2)).unwrap();
+        let d = c.add_gate("d", TruthTable::buf()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(d, g, vec![Bit::X]).unwrap();
+        c.connect(a, d, vec![]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        let mut sim = Simulator::new(&c).unwrap();
+        assert_eq!(sim.step(&bits("0")), bits("0")); // X masked
+        let mut sim2 = Simulator::new(&c).unwrap();
+        assert_eq!(sim2.step(&bits("1")), bits("x")); // X exposed
+    }
+
+    #[test]
+    fn x_in_mid_chain_flushes_in_order() {
+        // Chain [1, X, 0] (source→sink): delivers 0, then X, then 1 —
+        // a partially defined chain releases its X exactly once, at the
+        // cycle matching its position.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("g", TruthTable::buf()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(g, o, vec![Bit::One, Bit::X, Bit::Zero]).unwrap();
+        let mut sim = Simulator::new(&c).unwrap();
+        assert_eq!(sim.step(&bits("1")), bits("0"));
+        assert_eq!(sim.step(&bits("1")), bits("x"));
+        assert_eq!(sim.step(&bits("1")), bits("1"));
+        assert_eq!(sim.step(&bits("1")), bits("1")); // cycle-1 input arrives
+    }
+
+    #[test]
+    fn x_input_to_xor_never_defined() {
+        // XOR has no controlling value: an X PI forces X out every cycle,
+        // while the FF path below keeps shifting defined values intact.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("g", TruthTable::xor(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(a, g, vec![Bit::One]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        let mut sim = Simulator::new(&c).unwrap();
+        assert_eq!(sim.step(&bits("x")), bits("x"));
+        // After an X has been clocked into the FF, even a defined input
+        // cannot recover a defined output.
+        assert_eq!(sim.step(&bits("1")), bits("x"));
+    }
+
+    #[test]
     fn run_matches_steps() {
         let mut c = Circuit::new("t");
         let a = c.add_input("a").unwrap();

@@ -63,7 +63,7 @@ pub fn fig2_circuit() -> Circuit {
         registered_inputs: false,
         seed: 1,
     });
-    crate::grow::grow(&base, base.num_gates() + 10, 8, 1)
+    crate::grow::grow(&base, base.num_gates() + 10, 8, 1).expect("fig2 base is a valid FSM")
 }
 
 /// Figure 3: `i1 → a → c` with a parallel registered path `a → b —FF→ c`.

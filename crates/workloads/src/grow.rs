@@ -17,7 +17,46 @@
 //! circuit and its own mapping.
 
 use engine::Rng64;
-use netlist::{Circuit, EdgeId, TruthTable};
+use netlist::{Circuit, EdgeId, NetlistError, TruthTable};
+
+/// Why [`grow`] rejected its input or output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrowError {
+    /// The base circuit has no edges to splice into.
+    NoEdges,
+    /// The base circuit has no primary inputs to pair spliced gates with.
+    NoInputs,
+    /// The base circuit — or, defensively, the grown result — failed
+    /// [`netlist::validate`]. Growth only ever splices live 2-input gates
+    /// into existing edges, so a failure here means the *input* was
+    /// already structurally broken.
+    Invalid(NetlistError),
+}
+
+impl std::fmt::Display for GrowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GrowError::NoEdges => write!(f, "grow: base circuit has no edges"),
+            GrowError::NoInputs => write!(f, "grow: base circuit has no primary inputs"),
+            GrowError::Invalid(e) => write!(f, "grow: circuit invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GrowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GrowError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for GrowError {
+    fn from(e: NetlistError) -> GrowError {
+        GrowError::Invalid(e)
+    }
+}
 
 /// Grows `c` to exactly `target_gates` gates (if it is not already
 /// larger), first deepening it to `target_depth`.
@@ -25,11 +64,26 @@ use netlist::{Circuit, EdgeId, TruthTable};
 /// Returns the grown circuit; when `c` already has at least
 /// `target_gates` gates it is returned unchanged (no trimming).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `c` has no edges or no PIs.
-pub fn grow(c: &Circuit, target_gates: usize, target_depth: u64, seed: u64) -> Circuit {
-    assert!(c.num_edges() > 0 && !c.inputs().is_empty());
+/// Returns [`GrowError::NoEdges`] / [`GrowError::NoInputs`] for bases
+/// that cannot be spliced into, and [`GrowError::Invalid`] when the base
+/// (checked up front) or the grown result (checked defensively before
+/// returning) fails [`netlist::validate`] — callers never receive a
+/// circuit that would panic downstream.
+pub fn grow(
+    c: &Circuit,
+    target_gates: usize,
+    target_depth: u64,
+    seed: u64,
+) -> Result<Circuit, GrowError> {
+    if c.num_edges() == 0 {
+        return Err(GrowError::NoEdges);
+    }
+    if c.inputs().is_empty() {
+        return Err(GrowError::NoInputs);
+    }
+    netlist::validate(c)?;
     let mut rng = Rng64::new(seed ^ 0x6407_17A6_0000_0003);
     let mut out = c.clone();
     let ops: [fn(usize) -> TruthTable; 3] = [TruthTable::and, TruthTable::or, TruthTable::xor];
@@ -40,20 +94,20 @@ pub fn grow(c: &Circuit, target_gates: usize, target_depth: u64, seed: u64) -> C
     // braid keeps ≥ K+1 live strands at every level so K-LUT covering
     // cannot flatten the depth through reconvergence, unlike a plain
     // chain over few PIs.
-    let mut depth = out.clock_period().expect("acyclic");
+    let mut depth = out.clock_period()?;
     if depth < target_depth && out.num_gates() < target_gates {
         if let Some(e) = deepest_register_edge(&out) {
             let budget = target_gates - out.num_gates();
             let levels = (target_depth - depth) as usize;
             braid(&mut out, e, levels, budget, &mut counter, &mut rng);
-            depth = out.clock_period().expect("acyclic");
+            depth = out.clock_period()?;
         }
         // Chains into PO tails for any remaining depth (rare).
         while out.num_gates() < target_gates && depth < target_depth && !out.outputs().is_empty() {
             let po = out.outputs()[rng.below(out.outputs().len())];
             let e = out.node(po).fanin()[0];
             splice(&mut out, e, ops[rng.below(3)](2), &mut counter, &mut rng);
-            depth = out.clock_period().expect("acyclic");
+            depth = out.clock_period()?;
         }
     }
     // Phase 2: bulk. Avoid splicing near the critical path so the depth
@@ -122,7 +176,8 @@ pub fn grow(c: &Circuit, target_gates: usize, target_depth: u64, seed: u64) -> C
         required.push(u64::MAX / 4);
         since_refresh += 1;
     }
-    out
+    netlist::validate(&out)?;
+    Ok(out)
 }
 
 /// Weaves a braid of `levels` levels of 2-input gates in front of edge
@@ -343,7 +398,7 @@ mod tests {
     fn hits_exact_gate_target() {
         let c = base();
         let start = c.num_gates();
-        let grown = grow(&c, start + 40, 4, 1);
+        let grown = grow(&c, start + 40, 4, 1).unwrap();
         assert_eq!(grown.num_gates(), start + 40);
         netlist::validate(&grown).unwrap();
         assert_eq!(grown.ff_count_shared(), c.ff_count_shared());
@@ -353,7 +408,7 @@ mod tests {
     fn reaches_depth_target() {
         // Braided depth costs ~6 gates per level; give it enough budget.
         let c = base();
-        let grown = grow(&c, c.num_gates() + 160, 20, 2);
+        let grown = grow(&c, c.num_gates() + 160, 20, 2).unwrap();
         assert!(grown.clock_period().unwrap() >= 20);
         netlist::validate(&grown).unwrap();
     }
@@ -361,29 +416,76 @@ mod tests {
     #[test]
     fn no_shrink_when_already_big() {
         let c = base();
-        let same = grow(&c, 1, 1, 3);
+        let same = grow(&c, 1, 1, 3).unwrap();
         assert_eq!(same.num_gates(), c.num_gates());
     }
 
     #[test]
     fn deterministic() {
         let c = base();
-        let a = grow(&c, c.num_gates() + 25, 8, 4);
-        let b = grow(&c, c.num_gates() + 25, 8, 4);
+        let a = grow(&c, c.num_gates() + 25, 8, 4).unwrap();
+        let b = grow(&c, c.num_gates() + 25, 8, 4).unwrap();
         assert_eq!(netlist::write_blif(&a), netlist::write_blif(&b));
     }
 
     #[test]
     fn stays_two_bounded() {
         let c = base();
-        let grown = grow(&c, c.num_gates() + 30, 6, 5);
+        let grown = grow(&c, c.num_gates() + 30, 6, 5).unwrap();
         assert!(grown.max_fanin() <= 2);
     }
 
     #[test]
     fn register_chains_preserved() {
         let c = base();
-        let grown = grow(&c, c.num_gates() + 50, 10, 6);
+        let grown = grow(&c, c.num_gates() + 50, 10, 6).unwrap();
         assert_eq!(grown.ff_count_total(), c.ff_count_total());
+    }
+
+    #[test]
+    fn rejects_edgeless_base() {
+        let mut c = Circuit::new("empty");
+        c.add_input("a").unwrap();
+        assert!(matches!(grow(&c, 10, 2, 1), Err(GrowError::NoEdges)));
+    }
+
+    #[test]
+    fn rejects_inputless_base() {
+        // A self-looping registered gate: edges exist but no PI to pair
+        // spliced gates with.
+        let mut c = Circuit::new("loop");
+        let g = c.add_gate("g", TruthTable::not()).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(g, g, vec![netlist::Bit::Zero]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        assert!(matches!(grow(&c, 10, 2, 1), Err(GrowError::NoInputs)));
+    }
+
+    #[test]
+    fn rejects_invalid_base() {
+        // An unconnected gate fails `netlist::validate`; grow must surface
+        // that as a typed error instead of panicking mid-splice.
+        let mut c = Circuit::new("broken");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("g", TruthTable::and(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![]).unwrap(); // missing second fanin
+        c.connect(g, o, vec![]).unwrap();
+        match grow(&c, 10, 2, 1) {
+            Err(GrowError::Invalid(_)) => {}
+            other => panic!("expected GrowError::Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grow_error_displays() {
+        assert!(GrowError::NoEdges.to_string().contains("no edges"));
+        assert!(GrowError::NoInputs
+            .to_string()
+            .contains("no primary inputs"));
+        let e = GrowError::from(netlist::NetlistError::UnconnectedGate("g".into()));
+        assert!(e.to_string().contains("unconnected"));
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 }

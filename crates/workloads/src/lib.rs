@@ -46,7 +46,7 @@ pub mod table1;
 
 pub use figures::{fig1_circuit, fig2_circuit, fig3_circuit, fig4_circuit};
 pub use fsm::{generate_fsm, Encoding, FsmSpec};
-pub use grow::grow;
+pub use grow::{grow, GrowError};
 pub use kiss::{parse_kiss2, synthesize_stg, KissError, Stg};
 pub use layered::{generate_layered, LayeredSpec};
 pub use table1::{

@@ -170,7 +170,7 @@ pub fn build_preset(p: &Preset) -> Circuit {
             registered_inputs: true,
             seed,
         });
-        grow(&base, p.paper.n, depth, seed)
+        grow(&base, p.paper.n, depth, seed).expect("table1 FSM bases are valid grow inputs")
     }
 }
 
