@@ -24,6 +24,9 @@ use engine::{JobOutcome, JobReport, JsonValue};
 /// Artifact schema identifier (bump on breaking changes).
 pub const SCHEMA: &str = "turbomap-bench/table1/v2";
 
+/// Schema of the large-workload ingestion artifact.
+pub const LARGE_SCHEMA: &str = "turbomap-bench/large/v1";
+
 fn secs(value: f64, canonical: bool) -> JsonValue {
     JsonValue::Float(if canonical { 0.0 } else { value })
 }
@@ -221,6 +224,54 @@ pub fn table1_json(
                 ("turbomap_stars", JsonValue::UInt(stars as u64)),
                 ("failures", JsonValue::Array(failures)),
                 ("geomean", geomean_json(&completed, canonical)),
+            ]),
+        ),
+    ])
+}
+
+/// Builds the `turbomap-bench/large/v1` ingestion artifact.
+///
+/// The structural fields (`file_bytes`, `models`, `gates`, `ffs`,
+/// `pis`, `pos`) are deterministic per preset; `benchdiff` compares
+/// them exactly, so *any* drift gates. `canonical` zeroes the timing
+/// fields (`parse_secs`, `wall_secs`) like the Table-1 artifact.
+pub fn large_json(rows: &[crate::large::IngestRow], canonical: bool) -> JsonValue {
+    JsonValue::object(vec![
+        ("schema", JsonValue::str(LARGE_SCHEMA)),
+        ("canonical", JsonValue::Bool(canonical)),
+        (
+            "circuits",
+            JsonValue::Array(
+                rows.iter()
+                    .map(|r| {
+                        JsonValue::object(vec![
+                            ("name", JsonValue::str(r.name.clone())),
+                            ("status", JsonValue::str("ok")),
+                            ("file_bytes", JsonValue::UInt(r.file_bytes)),
+                            ("models", JsonValue::UInt(r.models as u64)),
+                            ("gates", JsonValue::UInt(r.gates as u64)),
+                            ("ffs", JsonValue::UInt(r.ffs as u64)),
+                            ("pis", JsonValue::UInt(r.pis as u64)),
+                            ("pos", JsonValue::UInt(r.pos as u64)),
+                            ("parse_secs", secs(r.parse_secs, canonical)),
+                            ("wall_secs", secs(r.total_secs, canonical)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "summary",
+            JsonValue::object(vec![
+                ("total", JsonValue::UInt(rows.len() as u64)),
+                (
+                    "gates",
+                    JsonValue::UInt(rows.iter().map(|r| r.gates as u64).sum()),
+                ),
+                (
+                    "ffs",
+                    JsonValue::UInt(rows.iter().map(|r| r.ffs as u64).sum()),
+                ),
             ]),
         ),
     ])

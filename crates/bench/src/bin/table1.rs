@@ -5,7 +5,14 @@
 //!   table1 [--max-gates N] [--k K] [--no-verify] [--stats]
 //!          [--jobs N] [--sweep-workers N] [--no-warm-start]
 //!          [--timeout-secs S] [--json PATH] [--canonical]
-//!          [--trace-dir DIR]
+//!          [--trace-dir DIR] [--suite table1|large]
+//!
+//! `--suite large` runs the large-workload *ingestion* suite instead:
+//! each `workloads::large` preset is generated to a temp dir and
+//! ingested through the streaming BLIF front-end; `--json` then writes
+//! the `turbomap-bench/large/v1` artifact (also honouring
+//! `--canonical` and `--max-gates`, which caps the preset's flattened
+//! gate count).
 //!
 //! Circuits run as isolated jobs on the `engine` batch runner: `--jobs`
 //! picks the worker count (results are identical and identically ordered
@@ -33,6 +40,62 @@ use bench::{artifact, geomean, Row};
 use engine::{log, JsonValue};
 use std::time::Duration;
 
+/// The `--suite large` path: ingest every large preset (within the
+/// gate cap) and optionally write the `turbomap-bench/large/v1`
+/// artifact.
+fn run_large_suite_main(max_gates: Option<usize>, json_path: Option<&str>, canonical: bool) {
+    let dir = std::env::temp_dir().join("tmfrt_large_suite");
+    println!("Large-workload ingestion suite (streaming BLIF front-end)");
+    println!(
+        "{:<10} {:>12} {:>7} {:>9} {:>7} {:>5} {:>5} {:>9} {:>9}",
+        "preset", "file_bytes", "models", "gates", "FFs", "PIs", "POs", "parse_s", "total_s"
+    );
+    let rows = match bench::large::run_large_suite(max_gates, &dir) {
+        Ok(rows) => rows,
+        Err(e) => {
+            log::error(
+                "table1",
+                "large suite failed",
+                &[("error", JsonValue::str(e))],
+            );
+            std::process::exit(1);
+        }
+    };
+    for r in &rows {
+        println!(
+            "{:<10} {:>12} {:>7} {:>9} {:>7} {:>5} {:>5} {:>9.3} {:>9.3}",
+            r.name,
+            r.file_bytes,
+            r.models,
+            r.gates,
+            r.ffs,
+            r.pis,
+            r.pos,
+            r.parse_secs,
+            r.total_secs
+        );
+    }
+    if let Some(path) = json_path {
+        let doc = artifact::large_json(&rows, canonical);
+        if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+            log::error(
+                "table1",
+                "cannot write artifact",
+                &[
+                    ("path", JsonValue::str(path.to_string())),
+                    ("error", JsonValue::str(e.to_string())),
+                ],
+            );
+            std::process::exit(1);
+        }
+        println!("wrote {path} ({})", artifact::LARGE_SCHEMA);
+    }
+    if rows.is_empty() {
+        println!("no presets within the gate cap");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     log::init(false);
     let mut cfg = SuiteConfig::default();
@@ -40,9 +103,13 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut canonical = false;
     let mut trace_dir: Option<String> = None;
+    let mut suite = String::from("table1");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--suite" => {
+                suite = args.next().expect("--suite table1|large");
+            }
             "--max-gates" => {
                 cfg.max_gates = Some(
                     args.next()
@@ -87,6 +154,22 @@ fn main() {
                 );
                 std::process::exit(2);
             }
+        }
+    }
+
+    match suite.as_str() {
+        "table1" => {}
+        "large" => {
+            run_large_suite_main(cfg.max_gates, json_path.as_deref(), canonical);
+            return;
+        }
+        other => {
+            log::error(
+                "table1",
+                "unknown suite",
+                &[("suite", JsonValue::str(other.to_string()))],
+            );
+            std::process::exit(2);
         }
     }
 

@@ -1,11 +1,14 @@
-//! Bench-regression analysis: compare two `turbomap-bench/table1/v*`
-//! artifacts.
+//! Bench-regression analysis: compare two `turbomap-bench/*` artifacts
+//! of the same family (`table1/v*` mapping runs, or `large/v*`
+//! ingestion runs).
 //!
 //! The `benchdiff` binary reads a **baseline** artifact (typically the
-//! committed `BENCH_table1.json`) and a **candidate** artifact (a fresh
-//! run) and reports per-circuit deltas on the quality metrics (Φ, LUT
-//! count — deterministic, so any change is signal), wall time, and
-//! histogram quantiles (p50/p90/p99 of each recorded distribution).
+//! committed `BENCH_table1.json` or `BENCH_large.json`) and a
+//! **candidate** artifact (a fresh run) and reports per-circuit deltas
+//! on the quality metrics (Φ, LUT count for table1; file/model/gate/FF
+//! totals for large — deterministic, so any change is signal), wall
+//! time, and histogram quantiles (p50/p90/p99 of each recorded
+//! distribution).
 //!
 //! Regression policy:
 //!
@@ -93,6 +96,11 @@ const ALGORITHMS: [&str; 3] = ["flowmap_frt", "turbomap", "turbomap_frt"];
 /// Quality fields compared per algorithm (deterministic; up = worse).
 const QUALITY_FIELDS: [&str; 2] = ["phi", "luts"];
 
+/// Structural fields of a `turbomap-bench/large/*` ingestion row.
+/// Deterministic per preset, so *any* change — either direction — is a
+/// generator or front-end regression.
+const STRUCT_FIELDS: [&str; 6] = ["file_bytes", "models", "gates", "ffs", "pis", "pos"];
+
 fn circuit_map(doc: &JsonValue) -> Result<Vec<(String, &JsonValue)>, String> {
     let arr = doc
         .get("circuits")
@@ -109,15 +117,22 @@ fn circuit_map(doc: &JsonValue) -> Result<Vec<(String, &JsonValue)>, String> {
     Ok(out)
 }
 
-fn check_schema(doc: &JsonValue, which: &str) -> Result<(), String> {
+/// Known artifact families (the path segment between `turbomap-bench/`
+/// and the version).
+const FAMILIES: [&str; 2] = ["table1", "large"];
+
+/// Validates the schema and returns the artifact family.
+fn check_schema<'a>(doc: &'a JsonValue, which: &str) -> Result<&'a str, String> {
     let schema = doc
         .get("schema")
         .and_then(|s| s.as_str())
         .ok_or_else(|| format!("{which}: missing `schema` field"))?;
-    if !schema.starts_with("turbomap-bench/table1/") {
-        return Err(format!("{which}: unsupported schema `{schema}`"));
+    for family in FAMILIES {
+        if schema.starts_with(&format!("turbomap-bench/{family}/")) {
+            return Ok(family);
+        }
     }
-    Ok(())
+    Err(format!("{which}: unsupported schema `{schema}`"))
 }
 
 fn is_canonical(doc: &JsonValue) -> bool {
@@ -192,6 +207,21 @@ fn diff_circuit(
         }
         diff_hists(b, c, "histograms", alg, &mut notes);
     }
+    // Ingestion-row structural fields (large family; absent on table1
+    // rows). Exact match required in both directions.
+    for field in STRUCT_FIELDS {
+        let bv = base.get(field).and_then(|v| v.as_u64());
+        let cv = cand.get(field).and_then(|v| v.as_u64());
+        if let (Some(bv), Some(cv)) = (bv, cv) {
+            if bv != cv {
+                let line = format!("{field}: {bv} -> {cv}");
+                if opts.quality_gate {
+                    regressions.push(line.clone());
+                }
+                notes.push(line);
+            }
+        }
+    }
     diff_hists(base, cand, "job_histograms", "job", &mut notes);
 
     let bwall = base.get("wall_secs").and_then(as_f64);
@@ -231,8 +261,13 @@ pub fn diff_artifacts(
     cand: &JsonValue,
     opts: &DiffOptions,
 ) -> Result<DiffReport, String> {
-    check_schema(base, "baseline")?;
-    check_schema(cand, "candidate")?;
+    let base_family = check_schema(base, "baseline")?;
+    let cand_family = check_schema(cand, "candidate")?;
+    if base_family != cand_family {
+        return Err(format!(
+            "artifact families differ: baseline is `{base_family}`, candidate is `{cand_family}`"
+        ));
+    }
     let wall_comparable = !is_canonical(base) && !is_canonical(cand);
     let base_map = circuit_map(base)?;
     let cand_map = circuit_map(cand)?;
@@ -439,5 +474,55 @@ mod tests {
 
         let bogus = JsonValue::object(vec![("schema", JsonValue::str("other/v9"))]);
         assert!(diff_artifacts(&bogus, &base, &DiffOptions::default()).is_err());
+    }
+
+    fn large_artifact(gates: u64, bytes: u64, wall: f64) -> JsonValue {
+        JsonValue::object(vec![
+            ("schema", JsonValue::str("turbomap-bench/large/v1")),
+            ("canonical", JsonValue::Bool(false)),
+            (
+                "circuits",
+                JsonValue::Array(vec![JsonValue::object(vec![
+                    ("name", JsonValue::str("hier100k")),
+                    ("status", JsonValue::str("ok")),
+                    ("file_bytes", JsonValue::UInt(bytes)),
+                    ("models", JsonValue::UInt(6)),
+                    ("gates", JsonValue::UInt(gates)),
+                    ("ffs", JsonValue::UInt(768)),
+                    ("pis", JsonValue::UInt(32)),
+                    ("pos", JsonValue::UInt(32)),
+                    ("wall_secs", JsonValue::Float(wall)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn large_structural_drift_gates_both_directions() {
+        let base = large_artifact(99136, 509325, 1.0);
+        let report = diff_artifacts(&base, &base, &DiffOptions::default()).unwrap();
+        assert!(report.is_clean());
+        // Gate count *down* still gates: structural fields are exact.
+        let cand = large_artifact(99000, 509325, 1.0);
+        let report = diff_artifacts(&base, &cand, &DiffOptions::default()).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].contains("gates: 99136 -> 99000"));
+        // File size drift gates too.
+        let cand = large_artifact(99136, 509326, 1.0);
+        let report = diff_artifacts(&base, &cand, &DiffOptions::default()).unwrap();
+        assert!(!report.is_clean());
+        // Wall-time still uses the threshold, not exact match.
+        let cand = large_artifact(99136, 509325, 1.1);
+        let report = diff_artifacts(&base, &cand, &DiffOptions::default()).unwrap();
+        assert!(report.is_clean());
+        assert!(!report.circuits[0].notes.is_empty());
+    }
+
+    #[test]
+    fn family_mismatch_is_an_error() {
+        let t1 = artifact(3, 10, 1.0, false);
+        let lg = large_artifact(99136, 509325, 1.0);
+        let err = diff_artifacts(&t1, &lg, &DiffOptions::default()).unwrap_err();
+        assert!(err.contains("families differ"), "{err}");
     }
 }

@@ -1,0 +1,142 @@
+//! The large-workload ingestion suite: generate each `workloads::large`
+//! preset to disk, then time the streaming front-end parsing and
+//! flattening it.
+//!
+//! Unlike the Table-1 suite this measures the *front-end*, not the
+//! mappers: the interesting numbers are file size, model/gate/FF
+//! totals (deterministic for a preset — any drift is a generator or
+//! linker regression) and the parse/flatten wall times (reported, and
+//! zeroed in canonical artifacts like every other timing field).
+
+use std::time::Instant;
+
+/// One preset's ingestion measurement.
+#[derive(Debug, Clone)]
+pub struct IngestRow {
+    /// Preset name (`hier100k`, …).
+    pub name: String,
+    /// Size of the generated BLIF file in bytes.
+    pub file_bytes: u64,
+    /// Models in the parsed file (top + tile kinds + blackbox).
+    pub models: usize,
+    /// Flattened gate count.
+    pub gates: usize,
+    /// Flattened FF count (total, per-edge).
+    pub ffs: usize,
+    /// Primary inputs of the flattened circuit.
+    pub pis: usize,
+    /// Primary outputs of the flattened circuit.
+    pub pos: usize,
+    /// Seconds to stream-parse the file into the AST.
+    pub parse_secs: f64,
+    /// Seconds for parse + hierarchy flattening.
+    pub total_secs: f64,
+}
+
+/// Generates `spec` into `dir` and ingests it through the streaming
+/// front-end. The generated file is left in place (callers pass a temp
+/// dir; CI reuses the file for `blifcheck`).
+///
+/// # Errors
+///
+/// Returns a message on I/O, parse or link failures, and when the
+/// flattened totals disagree with the generator's closed-form counts
+/// (which would mean the generator and linker drifted apart).
+pub fn run_ingest_row(
+    spec: &workloads::LargeSpec,
+    dir: &std::path::Path,
+) -> Result<IngestRow, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating `{}`: {e}", dir.display()))?;
+    let path = dir.join(format!("{}.blif", spec.name));
+    let f =
+        std::fs::File::create(&path).map_err(|e| format!("creating `{}`: {e}", path.display()))?;
+    let mut w = std::io::BufWriter::new(f);
+    workloads::write_hier(spec, &mut w)
+        .map_err(|e| format!("writing `{}`: {e}", path.display()))?;
+    std::io::Write::flush(&mut w).map_err(|e| format!("flushing `{}`: {e}", path.display()))?;
+    drop(w);
+    let file_bytes = std::fs::metadata(&path)
+        .map_err(|e| format!("stat `{}`: {e}", path.display()))?
+        .len();
+
+    let start = Instant::now();
+    let file = blifio::parse_path(&path).map_err(|e| format!("parsing {}: {e}", spec.name))?;
+    let parse_secs = start.elapsed().as_secs_f64();
+    let circuit = blifio::flatten(&file, &blifio::LinkOptions::default())
+        .map_err(|e| format!("flattening {}: {e}", spec.name))?;
+    let total_secs = start.elapsed().as_secs_f64();
+
+    if circuit.num_gates() != spec.flat_gates() || circuit.ff_count_total() != spec.flat_ffs() {
+        return Err(format!(
+            "{}: flattened totals drifted from the generator: \
+             {} gates / {} FFs, expected {} / {}",
+            spec.name,
+            circuit.num_gates(),
+            circuit.ff_count_total(),
+            spec.flat_gates(),
+            spec.flat_ffs()
+        ));
+    }
+
+    Ok(IngestRow {
+        name: spec.name.clone(),
+        file_bytes,
+        models: file.models.len(),
+        gates: circuit.num_gates(),
+        ffs: circuit.ff_count_total(),
+        pis: circuit.inputs().len(),
+        pos: circuit.outputs().len(),
+        parse_secs,
+        total_secs,
+    })
+}
+
+/// Runs the whole large suite (presets with at most `max_gates` flat
+/// gates when given), in preset order.
+///
+/// # Errors
+///
+/// Returns the first failing preset's message.
+pub fn run_large_suite(
+    max_gates: Option<usize>,
+    dir: &std::path::Path,
+) -> Result<Vec<IngestRow>, String> {
+    workloads::large_presets()
+        .iter()
+        .filter(|s| max_gates.is_none_or(|cap| s.flat_gates() <= cap))
+        .map(|s| run_ingest_row(s, dir))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_row_on_small_spec() {
+        let spec = workloads::LargeSpec {
+            name: "bench_small".into(),
+            width: 4,
+            kinds: 2,
+            tiles: 3,
+            tile_gates: 16,
+            seed: 7,
+        };
+        let dir = std::env::temp_dir().join("tmfrt_bench_large");
+        let row = run_ingest_row(&spec, &dir).unwrap();
+        assert_eq!(row.gates, spec.flat_gates());
+        assert_eq!(row.ffs, spec.flat_ffs());
+        assert_eq!(row.models, 1 + spec.kinds + 1);
+        assert_eq!(row.pis, spec.width);
+        assert_eq!(row.pos, spec.width);
+        assert!(row.file_bytes > 0);
+        assert!(row.total_secs >= row.parse_secs);
+    }
+
+    #[test]
+    fn suite_respects_gate_cap() {
+        let dir = std::env::temp_dir().join("tmfrt_bench_large");
+        let rows = run_large_suite(Some(0), &dir).unwrap();
+        assert!(rows.is_empty());
+    }
+}

@@ -9,6 +9,7 @@
 pub mod artifact;
 pub mod batch;
 pub mod diff;
+pub mod large;
 
 use engine::telemetry::{self, Phase, Telemetry};
 use netlist::Circuit;

@@ -1,0 +1,383 @@
+//! Streaming logical-line scanner.
+//!
+//! Reads the input through a fixed-size chunk buffer (never the whole
+//! file), strips `#` comments, folds `\`-newline continuations — which
+//! may fall anywhere, including across chunk boundaries — and yields one
+//! *logical line* at a time as a reused token buffer. Every token
+//! remembers its original (line, column), so diagnostics stay precise
+//! through continuations; the physical source lines feeding the current
+//! logical line are retained (bounded) for caret rendering.
+
+use std::io::Read;
+
+/// Default chunk size for streaming reads.
+pub const DEFAULT_CHUNK: usize = 64 * 1024;
+
+/// Cap on the retained text of one physical line (diagnostics only).
+const SRC_LINE_CAP: usize = 240;
+
+/// Cap on retained physical lines per logical line (diagnostics only).
+const SRC_LINES_CAP: usize = 8;
+
+/// One token's position inside a [`LineBuf`].
+#[derive(Debug, Clone, Copy)]
+pub struct TokSpan {
+    start: u32,
+    len: u32,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A reusable logical-line buffer: token text plus per-token positions.
+#[derive(Debug, Default)]
+pub struct LineBuf {
+    text: String,
+    toks: Vec<TokSpan>,
+    src_lines: Vec<(u32, String)>,
+}
+
+impl LineBuf {
+    fn clear(&mut self) {
+        self.text.clear();
+        self.toks.clear();
+        self.src_lines.clear();
+    }
+
+    /// Number of tokens on the logical line.
+    pub fn len(&self) -> usize {
+        self.toks.len()
+    }
+
+    /// True when the line has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.toks.is_empty()
+    }
+
+    /// Text of token `i`.
+    pub fn tok(&self, i: usize) -> &str {
+        let t = self.toks[i];
+        &self.text[t.start as usize..(t.start + t.len) as usize]
+    }
+
+    /// (line, col) of token `i`.
+    pub fn pos(&self, i: usize) -> (usize, usize) {
+        let t = self.toks[i];
+        (t.line as usize, t.col as usize)
+    }
+
+    /// Source line of the first token (the logical line's anchor).
+    pub fn line(&self) -> usize {
+        self.toks.first().map_or(0, |t| t.line as usize)
+    }
+
+    /// The retained physical source line numbered `line`, if any.
+    pub fn source_line(&self, line: usize) -> Option<&str> {
+        self.src_lines
+            .iter()
+            .find(|(n, _)| *n as usize == line)
+            .map(|(_, s)| s.as_str())
+    }
+
+    /// A positioned diagnostic anchored at token `i`, with the source
+    /// excerpt attached when retained.
+    pub fn diag_at(&self, i: usize, message: impl Into<String>) -> crate::Diag {
+        let (line, col) = if i < self.toks.len() {
+            self.pos(i)
+        } else {
+            (self.line(), 0)
+        };
+        let d = crate::Diag::new(line, col, message);
+        match self.source_line(line) {
+            Some(src) => d.with_source(src),
+            None => d,
+        }
+    }
+
+    /// Joins the tokens with single spaces (used to hand embedded KISS
+    /// lines to the KISS parser).
+    pub fn joined(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.len() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.tok(i));
+        }
+        out
+    }
+}
+
+/// Streaming scanner over any `Read`.
+pub struct Scanner<R: Read> {
+    src: R,
+    chunk: Vec<u8>,
+    pos: usize,
+    len: usize,
+    eof: bool,
+    /// 1-based current line/column.
+    line: u32,
+    col: u32,
+    /// Raw text of the current physical line (capped, for diagnostics).
+    recent: String,
+    recent_line: u32,
+    /// Total bytes consumed (for progress/metrics).
+    consumed: u64,
+}
+
+impl<R: Read> Scanner<R> {
+    /// A scanner with the default chunk size.
+    pub fn new(src: R) -> Scanner<R> {
+        Scanner::with_chunk(src, DEFAULT_CHUNK)
+    }
+
+    /// A scanner with an explicit chunk size (tests use tiny chunks to
+    /// exercise tokens and continuations spanning buffer boundaries).
+    pub fn with_chunk(src: R, chunk: usize) -> Scanner<R> {
+        Scanner {
+            src,
+            chunk: vec![0; chunk.max(1)],
+            pos: 0,
+            len: 0,
+            eof: false,
+            line: 1,
+            col: 1,
+            recent: String::new(),
+            recent_line: 1,
+            consumed: 0,
+        }
+    }
+
+    /// Total bytes consumed so far.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        if self.pos < self.len || self.eof {
+            return Ok(());
+        }
+        let n = self.src.read(&mut self.chunk)?;
+        self.pos = 0;
+        self.len = n;
+        if n == 0 {
+            self.eof = true;
+        }
+        Ok(())
+    }
+
+    fn next_byte(&mut self) -> std::io::Result<Option<u8>> {
+        self.fill()?;
+        if self.pos >= self.len {
+            return Ok(None);
+        }
+        let b = self.chunk[self.pos];
+        self.pos += 1;
+        self.consumed += 1;
+        Ok(Some(b))
+    }
+
+    fn peek_byte(&mut self) -> std::io::Result<Option<u8>> {
+        self.fill()?;
+        Ok(if self.pos < self.len {
+            Some(self.chunk[self.pos])
+        } else {
+            None
+        })
+    }
+
+    /// Scans the next non-empty logical line into `out` (reusing its
+    /// buffers). Returns `false` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying reader.
+    pub fn next_line(&mut self, out: &mut LineBuf) -> std::io::Result<bool> {
+        out.clear();
+        let mut tok_open = false;
+        let mut in_comment = false;
+        loop {
+            let Some(b) = self.next_byte()? else {
+                // EOF: flush whatever is pending.
+                if !out.is_empty() {
+                    self.end_physical_line(out, true);
+                    return Ok(true);
+                }
+                return Ok(false);
+            };
+            match b {
+                b'\n' => {
+                    let had_content = !out.is_empty();
+                    self.end_physical_line(out, had_content);
+                    in_comment = false;
+                    tok_open = false;
+                    if had_content {
+                        return Ok(true);
+                    }
+                }
+                b'\r' => {}
+                _ if in_comment => {
+                    self.push_recent(b);
+                    self.col += 1;
+                }
+                b'#' => {
+                    self.push_recent(b);
+                    self.col += 1;
+                    in_comment = true;
+                    tok_open = false;
+                }
+                b'\\' => {
+                    self.push_recent(b);
+                    // `\` immediately before the newline is a continuation:
+                    // the newline is swallowed, the logical line goes on.
+                    // (A `\r` between them is tolerated.)
+                    let mut nl = matches!(self.peek_byte()?, Some(b'\n') | None);
+                    if matches!(self.peek_byte()?, Some(b'\r')) {
+                        // Consume the \r and look again.
+                        self.next_byte()?;
+                        nl = matches!(self.peek_byte()?, Some(b'\n') | None);
+                    }
+                    if nl {
+                        if self.next_byte()?.is_some() {
+                            self.end_physical_line(out, !out.is_empty());
+                        }
+                        tok_open = false;
+                    } else {
+                        // Literal backslash inside a name.
+                        self.extend_token(out, b, &mut tok_open);
+                        self.col += 1;
+                    }
+                }
+                b' ' | b'\t' => {
+                    self.push_recent(b);
+                    self.col += 1;
+                    tok_open = false;
+                }
+                _ => {
+                    self.push_recent(b);
+                    self.extend_token(out, b, &mut tok_open);
+                    self.col += 1;
+                }
+            }
+        }
+    }
+
+    fn extend_token(&mut self, out: &mut LineBuf, b: u8, tok_open: &mut bool) {
+        if !*tok_open {
+            out.toks.push(TokSpan {
+                start: out.text.len() as u32,
+                len: 0,
+                line: self.line,
+                col: self.col,
+            });
+            *tok_open = true;
+        }
+        out.text.push(b as char);
+        out.toks.last_mut().expect("token open").len += 1;
+    }
+
+    fn push_recent(&mut self, b: u8) {
+        if self.recent.len() < SRC_LINE_CAP {
+            self.recent.push(b as char);
+        }
+    }
+
+    /// Ends the current physical line: records its text for diagnostics
+    /// (when the logical line in progress has content) and advances the
+    /// position counters.
+    fn end_physical_line(&mut self, out: &mut LineBuf, record: bool) {
+        if record && out.src_lines.len() < SRC_LINES_CAP {
+            out.src_lines
+                .push((self.recent_line, std::mem::take(&mut self.recent)));
+        } else {
+            self.recent.clear();
+        }
+        self.line += 1;
+        self.col = 1;
+        self.recent_line = self.line;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(text: &str, chunk: usize) -> Vec<Vec<(String, usize, usize)>> {
+        let mut sc = Scanner::with_chunk(text.as_bytes(), chunk);
+        let mut lb = LineBuf::default();
+        let mut all = Vec::new();
+        while sc.next_line(&mut lb).unwrap() {
+            let mut row = Vec::new();
+            for i in 0..lb.len() {
+                let (l, c) = lb.pos(i);
+                row.push((lb.tok(i).to_string(), l, c));
+            }
+            all.push(row);
+        }
+        all
+    }
+
+    #[test]
+    fn tokens_and_positions() {
+        let got = lines(".model top\n.inputs a bb\n", 4096);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0][0], (".model".into(), 1, 1));
+        assert_eq!(got[0][1], ("top".into(), 1, 8));
+        assert_eq!(got[1][2], ("bb".into(), 2, 11));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let got = lines("# header\n\n.model m # trailing\n", 4096);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].len(), 2);
+    }
+
+    #[test]
+    fn continuation_joins_lines() {
+        let got = lines(".inputs a \\\nb c\n.outputs z\n", 4096);
+        assert_eq!(got.len(), 2);
+        let toks: Vec<&str> = got[0].iter().map(|(t, _, _)| t.as_str()).collect();
+        assert_eq!(toks, [".inputs", "a", "b", "c"]);
+        // `b` keeps its real position on line 2.
+        assert_eq!(got[0][2].1, 2);
+        assert_eq!(got[0][2].2, 1);
+    }
+
+    #[test]
+    fn continuation_spans_chunk_boundaries() {
+        // Exercise every chunk size down to one byte: the continuation
+        // backslash+newline and multi-byte tokens straddle boundaries.
+        let text = ".names alpha \\\r\nbeta gamma\n# c\n.latch p q 0\n";
+        let want = lines(text, 4096);
+        for chunk in 1..16 {
+            assert_eq!(lines(text, chunk), want, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn backslash_inside_name_is_literal() {
+        let got = lines(".names a\\b z\n", 4096);
+        assert_eq!(got[0][1].0, "a\\b");
+    }
+
+    #[test]
+    fn eof_without_newline_flushes() {
+        let got = lines(".end", 3);
+        assert_eq!(got[0][0].0, ".end");
+    }
+
+    #[test]
+    fn diag_carries_source_excerpt() {
+        let mut sc = Scanner::new(".model m\n.latch a b zz\n".as_bytes());
+        let mut lb = LineBuf::default();
+        sc.next_line(&mut lb).unwrap();
+        sc.next_line(&mut lb).unwrap();
+        let d = lb.diag_at(3, "bad latch init `zz`");
+        let r = d.render();
+        assert!(r.contains("line 2, col 12"), "{r}");
+        assert!(r.contains(".latch a b zz"), "{r}");
+        assert!(r.lines().last().unwrap().trim_end().ends_with('^'), "{r}");
+    }
+}

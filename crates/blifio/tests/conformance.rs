@@ -1,0 +1,248 @@
+//! Conformance and acceptance tests for the streaming front-end.
+//!
+//! * The old `netlist::blif` reader is the oracle on the flat subset:
+//!   both readers must produce structurally identical circuits (and the
+//!   new writer byte-identical text).
+//! * The hierarchical acceptance test checks that a multi-model file
+//!   with `.subckt`s, yosys annotations, `.conn` and an embedded KISS
+//!   FSM flattens into the same circuit as a flattened-by-hand
+//!   equivalent built directly against the `netlist` API.
+//! * The large-workload test checks `flatten ∘ parse ∘ write_hier`
+//!   against `workloads::large::build_flat`.
+
+use blifio::{flatten, parse_reader, parse_str, structural_diff, LinkOptions, ParseOptions};
+use netlist::{Circuit, NodeId, TruthTable};
+use std::collections::HashMap;
+use workloads::Encoding;
+
+const FLAT_SOURCES: &[&str] = &[
+    // Counter with a feedback latch.
+    ".model counter\n.inputs en\n.outputs q\n.names en state q\n01 1\n10 1\n.latch q state 0\n.end\n",
+    // Latch chain, off-set cubes, don't-cares, constants.
+    ".model mix\n.inputs a b c\n.outputs z y k\n.names b2 c z\n1- 1\n-1 1\n.latch a b1 0\n.latch b1 b2 1\n.names a b y\n11 0\n.names k\n1\n.end\n",
+    // PO name collision with a gate, PO fed straight from a latched PI.
+    ".model col\n.inputs a\n.outputs a z\n.latch a z 3\n.end\n",
+    // Continuations and comments.
+    "# hdr\n.model cont\n.inputs a \\\nb\n.outputs z\n.names a b z # and\n11 1\n.end\n",
+];
+
+#[test]
+fn flat_subset_matches_oracle() {
+    for src in FLAT_SOURCES {
+        let oracle = netlist::parse_blif(src).unwrap_or_else(|e| panic!("oracle on {src}: {e}"));
+        let ours = blifio::read_circuit_str(src).unwrap_or_else(|e| panic!("blifio on {src}: {e}"));
+        assert_eq!(oracle.name(), ours.name());
+        if let Some(d) = structural_diff(&oracle, &ours) {
+            panic!("structural mismatch on {src}: {d}");
+        }
+        assert!(netlist::random_equiv(&oracle, &ours, 64, 11)
+            .unwrap()
+            .is_equivalent());
+        // The new writer serialises identically to the old one.
+        assert_eq!(blifio::write_circuit(&ours), netlist::write_blif(&oracle));
+    }
+}
+
+#[test]
+fn generated_circuits_roundtrip_through_both_writers() {
+    let bbtas = workloads::presets()
+        .into_iter()
+        .find(|p| p.name == "bbtas")
+        .unwrap();
+    let circuits = vec![
+        workloads::fig1_circuit(true),
+        workloads::fig3_circuit(),
+        workloads::build_preset(&bbtas),
+    ];
+    for c in circuits {
+        let text = netlist::write_blif(&c);
+        let oracle = netlist::parse_blif(&text).unwrap();
+        let ours = blifio::read_circuit_str(&text).unwrap();
+        if let Some(d) = structural_diff(&oracle, &ours) {
+            panic!("{}: {d}", c.name());
+        }
+    }
+}
+
+#[test]
+fn tiny_chunks_change_nothing() {
+    let src = FLAT_SOURCES.join("");
+    let whole = blifio::write_file(&parse_str(&src).unwrap());
+    for chunk in [1usize, 2, 3, 7, 64] {
+        let f = parse_reader(src.as_bytes(), &ParseOptions { chunk }).unwrap();
+        assert_eq!(blifio::write_file(&f), whole, "chunk={chunk}");
+    }
+}
+
+/// Copies every gate of `f` into `dst`, mapping `f`'s PIs through
+/// `input_map`; returns the node map (two passes, so feedback cycles
+/// copy correctly).
+fn inline(
+    dst: &mut Circuit,
+    f: &Circuit,
+    input_map: &HashMap<NodeId, NodeId>,
+) -> HashMap<NodeId, NodeId> {
+    let mut map = input_map.clone();
+    for (k, v) in f.gate_ids().enumerate() {
+        let g = dst
+            .add_gate(format!("inl{k}"), f.node(v).function().unwrap().clone())
+            .unwrap();
+        map.insert(v, g);
+    }
+    for v in f.gate_ids() {
+        for &e in f.node(v).fanin() {
+            let src = map[&f.edge(e).from()];
+            dst.connect(src, map[&v], f.edge(e).ffs().to_vec()).unwrap();
+        }
+    }
+    map
+}
+
+const KISS_TOGGLE: &str = "\
+.i 1
+.o 1
+.s 2
+.r OFF
+1 OFF ON  1
+0 OFF OFF 0
+- ON  OFF 0
+";
+
+#[test]
+fn hierarchical_yosys_kiss_acceptance() {
+    let src = format!(
+        "\
+.model acc_top
+.inputs a b
+.outputs z q
+.attr top 1
+.param WIDTH 2
+.subckt leafand p=a q=b o=t
+.conn t tc
+.subckt fsm i0=tc o0=fq
+.names fq z
+1 1
+.names t q
+1 1
+.end
+.model leafand
+.inputs p q
+.outputs o
+.cname u_and
+.names p q o
+11 1
+.end
+.model fsm
+.inputs i0
+.outputs o0
+.start_kiss
+{KISS_TOGGLE}.end_kiss
+.end
+"
+    );
+    let flattened = blifio::read_circuit_str(&src).unwrap();
+
+    // Flattened-by-hand equivalent, built directly on the netlist API.
+    let stg = workloads::parse_kiss2(KISS_TOGGLE).unwrap();
+    let f = workloads::synthesize_stg(&stg, Encoding::Binary, "f").unwrap();
+    let mut exp = Circuit::new("acc_top");
+    let a = exp.add_input("a").unwrap();
+    let b = exp.add_input("b").unwrap();
+    let t = exp.add_gate("t", TruthTable::and(2)).unwrap();
+    exp.connect(a, t, vec![]).unwrap();
+    exp.connect(b, t, vec![]).unwrap();
+    let tc = exp.add_gate("tc", TruthTable::buf()).unwrap();
+    exp.connect(t, tc, vec![]).unwrap();
+    let mut input_map = HashMap::new();
+    input_map.insert(f.inputs()[0], tc);
+    let map = inline(&mut exp, &f, &input_map);
+    // The lowered aux model buffers each FSM output (`.names … out0`),
+    // so the hand-flattened form has that buffer too.
+    let fsm_po = f.outputs()[0];
+    let fe = f.node(fsm_po).fanin()[0];
+    let fq = exp.add_gate("fq", TruthTable::buf()).unwrap();
+    exp.connect(map[&f.edge(fe).from()], fq, f.edge(fe).ffs().to_vec())
+        .unwrap();
+    let zg = exp.add_gate("z$g", TruthTable::buf()).unwrap();
+    exp.connect(fq, zg, vec![]).unwrap();
+    let qg = exp.add_gate("q$g", TruthTable::buf()).unwrap();
+    exp.connect(t, qg, vec![]).unwrap();
+    let z = exp.add_output("z").unwrap();
+    exp.connect(zg, z, vec![]).unwrap();
+    let q = exp.add_output("q").unwrap();
+    exp.connect(qg, q, vec![]).unwrap();
+
+    if let Some(d) = structural_diff(&exp, &flattened) {
+        panic!("hand-flattened vs linked: {d}");
+    }
+    assert!(netlist::random_equiv(&exp, &flattened, 128, 23)
+        .unwrap()
+        .is_equivalent());
+}
+
+#[test]
+fn onehot_encoding_changes_register_count() {
+    let src =
+        format!(".model m\n.inputs i\n.outputs o\n.start_kiss\n{KISS_TOGGLE}.end_kiss\n.end\n");
+    let f = parse_str(&src).unwrap();
+    let bin = flatten(&f, &LinkOptions::default()).unwrap();
+    let oh = flatten(
+        &f,
+        &LinkOptions {
+            encoding: Encoding::OneHot,
+            ..LinkOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(bin.ff_count_total(), 1);
+    assert_eq!(oh.ff_count_total(), 2);
+}
+
+#[test]
+fn large_workload_flattens_to_reference() {
+    let spec = workloads::LargeSpec {
+        name: "conf".into(),
+        width: 6,
+        kinds: 3,
+        tiles: 5,
+        tile_gates: 40,
+        seed: 99,
+    };
+    let text = workloads::hier_to_string(&spec);
+    let linked = blifio::read_circuit_str(&text).unwrap();
+    let reference = workloads::build_flat(&spec).unwrap();
+    assert_eq!(linked.num_gates(), spec.flat_gates());
+    assert_eq!(linked.ff_count_total(), spec.flat_ffs());
+    if let Some(d) = structural_diff(&reference, &linked) {
+        panic!("large reference vs linked: {d}");
+    }
+    assert!(netlist::random_equiv(&reference, &linked, 32, 7)
+        .unwrap()
+        .is_equivalent());
+    // Streaming with a small chunk is identical.
+    let f = parse_reader(text.as_bytes(), &ParseOptions { chunk: 13 }).unwrap();
+    let linked2 = flatten(&f, &LinkOptions::default()).unwrap();
+    assert!(structural_diff(&linked, &linked2).is_none());
+}
+
+#[test]
+fn model_counts_report_hierarchy() {
+    let spec = workloads::LargeSpec {
+        name: "cnt".into(),
+        width: 3,
+        kinds: 2,
+        tiles: 4,
+        tile_gates: 8,
+        seed: 5,
+    };
+    let f = parse_str(&workloads::hier_to_string(&spec)).unwrap();
+    let counts = f.model_counts();
+    assert_eq!(counts.len(), 1 + spec.kinds + 1); // top + tiles + blackbox
+    assert_eq!(counts[0].name, "cnt");
+    assert_eq!(counts[0].subckts, spec.tiles);
+    // Top gates: width `.conn` buffers + width PO buffers.
+    assert_eq!(counts[0].gates, 2 * spec.width);
+    assert_eq!(counts[1].gates, spec.tile_gates + spec.width);
+    assert_eq!(counts[1].latches, spec.width);
+    assert!(counts.last().unwrap().blackbox);
+}

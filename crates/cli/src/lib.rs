@@ -179,9 +179,12 @@ USAGE: tmfrt [map] <input> [-o out.blif] [-a ALGO] [-k K] [--pushback] [--verify
              [--onehot] [--trace-out t.json] [-q]
        tmfrt batch <dir> [--jobs N] [--timeout-secs S] [-o OUTDIR] …  (see `tmfrt batch --help`)
        tmfrt fuzz [--seed A..=B] [--cases N] [--jobs N] …  (see `tmfrt fuzz --help`)
+       tmfrt stats <input> [--onehot]  (see `tmfrt stats --help`)
 
-  <input>      circuit: a .blif file, a .kiss2 file, `-` (BLIF on stdin),
-               or gen:<name> for a generated Table-1 benchmark (e.g. gen:sand)
+  <input>      circuit: a .blif file (flat or hierarchical — multi-model
+               files are flattened), a .kiss2 file, `-` (BLIF on stdin),
+               or gen:<name> for a generated benchmark (a Table-1 preset
+               like gen:sand, or a large ingest preset like gen:hier100k)
   -a ALGO      flowmap-frt | turbomap-frt (default) | turbomap |
                retime-forward | retime-general
   -k K         LUT input bound (default 5; ignored by retime-*)
@@ -208,20 +211,42 @@ Results go to stdout (or -o); progress and errors go to stderr.";
 /// Returns a human-readable message on I/O, parse or synthesis errors.
 pub fn load_circuit(args: &Args) -> Result<Circuit, String> {
     if let Some(name) = args.input.strip_prefix("gen:") {
-        let preset = workloads::presets()
-            .into_iter()
-            .find(|p| p.name == name)
-            .ok_or_else(|| {
-                format!(
-                    "unknown preset `{name}`; available: {}",
-                    workloads::presets()
-                        .iter()
-                        .map(|p| p.name)
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                )
-            })?;
-        return Ok(workloads::build_preset(&preset));
+        if let Some(preset) = workloads::presets().into_iter().find(|p| p.name == name) {
+            return Ok(workloads::build_preset(&preset));
+        }
+        if let Some(spec) = workloads::large_preset(name) {
+            // Route the generated hierarchy through the streaming
+            // front-end, so `gen:hier*` exercises the same ingest path
+            // as a file on disk.
+            return blifio::read_circuit_str(&workloads::hier_to_string(&spec))
+                .map_err(|e| e.to_string());
+        }
+        return Err(format!(
+            "unknown preset `{name}`; available: {}",
+            workloads::presets()
+                .iter()
+                .map(|p| p.name)
+                .map(String::from)
+                .chain(workloads::large_presets().iter().map(|s| s.name.clone()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    let enc = if args.onehot {
+        workloads::Encoding::OneHot
+    } else {
+        workloads::Encoding::Binary
+    };
+    let link = blifio::LinkOptions {
+        encoding: enc,
+        ..blifio::LinkOptions::default()
+    };
+    // Stream straight from the file unless the extension or a 4 KiB
+    // header probe says KISS2; hierarchical, multi-model and
+    // yosys-extended BLIF all flatten here without the text ever being
+    // held whole.
+    if args.input != "-" && !looks_like_kiss(&args.input, "") && !probe_kiss(&args.input)? {
+        return blifio::read_circuit_path_opts(&args.input, &link).map_err(|e| e.to_string());
     }
     let text = if args.input == "-" {
         use std::io::Read;
@@ -234,21 +259,145 @@ pub fn load_circuit(args: &Args) -> Result<Circuit, String> {
         std::fs::read_to_string(&args.input)
             .map_err(|e| format!("reading `{}`: {e}", args.input))?
     };
-    if args.input.ends_with(".kiss2")
-        || args.input.ends_with(".kiss")
-        || text.contains("\n.s ")
-        || text.starts_with(".i ") && text.contains(".r ")
-    {
+    if looks_like_kiss(&args.input, &text) {
         let stg = workloads::parse_kiss2(&text).map_err(|e| e.to_string())?;
-        let enc = if args.onehot {
-            workloads::Encoding::OneHot
-        } else {
-            workloads::Encoding::Binary
-        };
         workloads::synthesize_stg(&stg, enc, "kiss2").map_err(|e| e.to_string())
     } else {
-        netlist::parse_blif(&text).map_err(|e| e.to_string())
+        blifio::read_circuit_str_opts(&text, &link).map_err(|e| e.to_string())
     }
+}
+
+/// KISS2 detection: by extension, or by the `.i`/`.s`/`.r` header shape
+/// when the content is available.
+fn looks_like_kiss(path: &str, text: &str) -> bool {
+    path.ends_with(".kiss2")
+        || path.ends_with(".kiss")
+        || text.contains("\n.s ")
+        || text.starts_with(".i ") && text.contains(".r ")
+}
+
+/// Checks the first 4 KiB of a file for the KISS2 header shape without
+/// reading the whole file (large BLIF inputs stay streamed).
+fn probe_kiss(path: &str) -> Result<bool, String> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    let mut head = [0u8; 4096];
+    let n = f
+        .read(&mut head)
+        .map_err(|e| format!("reading `{path}`: {e}"))?;
+    let text = String::from_utf8_lossy(&head[..n]);
+    Ok(looks_like_kiss("", &text))
+}
+
+/// Parsed `tmfrt stats` command line.
+#[derive(Debug, Clone)]
+pub struct StatsArgs {
+    /// Input path, `-` for stdin, or `gen:<preset>`.
+    pub input: String,
+    /// One-hot encoding for embedded KISS FSMs.
+    pub onehot: bool,
+}
+
+impl StatsArgs {
+    /// Parses raw arguments (after the `stats` word).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on malformed input.
+    pub fn parse(raw: &[String]) -> Result<StatsArgs, String> {
+        let mut args = StatsArgs {
+            input: String::new(),
+            onehot: false,
+        };
+        for a in raw {
+            match a.as_str() {
+                "--onehot" => args.onehot = true,
+                "-h" | "--help" => return Err(STATS_USAGE.to_string()),
+                other if args.input.is_empty() && !other.starts_with('-') => {
+                    args.input = other.to_string();
+                }
+                other => return Err(format!("unexpected argument `{other}`\n{STATS_USAGE}")),
+            }
+        }
+        if args.input.is_empty() {
+            return Err(STATS_USAGE.to_string());
+        }
+        Ok(args)
+    }
+}
+
+/// Usage text for `tmfrt stats`.
+pub const STATS_USAGE: &str = "\
+tmfrt stats — ingestion report: per-model counts and post-flatten totals
+
+USAGE: tmfrt stats <input> [--onehot]
+
+  <input>    a .blif file (flat or hierarchical), a .kiss2 file, `-`
+             (BLIF on stdin), or gen:<preset>
+  --onehot   one-hot state encoding for embedded KISS FSMs";
+
+/// Runs `tmfrt stats`: for BLIF inputs, a per-model table (PI/PO, gates,
+/// latches, subckts, KISS blocks) followed by the flattened circuit's
+/// totals; for KISS2 and generated inputs, just the circuit totals.
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O or parse errors.
+pub fn run_stats(args: &StatsArgs) -> Result<String, String> {
+    let enc = if args.onehot {
+        workloads::Encoding::OneHot
+    } else {
+        workloads::Encoding::Binary
+    };
+    let link = blifio::LinkOptions {
+        encoding: enc,
+        ..blifio::LinkOptions::default()
+    };
+    let circuit_only = |c: &Circuit| -> Result<String, String> {
+        let stats = netlist::CircuitStats::of(c).map_err(|e| e.to_string())?;
+        Ok(format!("flat:   {stats}\n"))
+    };
+    if let Some(name) = args.input.strip_prefix("gen:") {
+        if let Some(preset) = workloads::presets().into_iter().find(|p| p.name == name) {
+            return circuit_only(&workloads::build_preset(&preset));
+        }
+        if let Some(spec) = workloads::large_preset(name) {
+            let file =
+                blifio::parse_str(&workloads::hier_to_string(&spec)).map_err(|e| e.to_string())?;
+            return render_file_stats(&file, &link);
+        }
+        return Err(format!("unknown preset `{name}`"));
+    }
+    if args.input != "-" && (looks_like_kiss(&args.input, "") || probe_kiss(&args.input)?) {
+        let text = std::fs::read_to_string(&args.input)
+            .map_err(|e| format!("reading `{}`: {e}", args.input))?;
+        let stg = workloads::parse_kiss2(&text).map_err(|e| e.to_string())?;
+        let c = workloads::synthesize_stg(&stg, enc, "kiss2").map_err(|e| e.to_string())?;
+        return circuit_only(&c);
+    }
+    let file = if args.input == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        blifio::parse_str(&buf).map_err(|e| e.to_string())?
+    } else {
+        blifio::parse_path(&args.input).map_err(|e| e.to_string())?
+    };
+    render_file_stats(&file, &link)
+}
+
+/// The per-model table plus post-flatten totals for a parsed BLIF file.
+fn render_file_stats(
+    file: &blifio::BlifFile,
+    link: &blifio::LinkOptions,
+) -> Result<String, String> {
+    let mut out = netlist::stats::render_model_table(&file.model_counts());
+    let flat = blifio::flatten(file, link).map_err(|e| e.to_string())?;
+    let stats = netlist::CircuitStats::of(&flat).map_err(|e| e.to_string())?;
+    write!(out, "\nflat:   {stats}\n").ok();
+    Ok(out)
 }
 
 /// The result of one CLI run.
@@ -510,6 +659,63 @@ mod tests {
         assert!(out.report.contains("pack: removed"));
         assert!(out.report.contains("strash: merged"));
         assert!(out.report.contains("verify: equivalent"));
+    }
+
+    const HIER: &str = "\
+.model top
+.inputs a b
+.outputs z
+.subckt and2m x=a y=b o=z
+.end
+.model and2m
+.inputs x y
+.outputs o
+.names x y o
+11 1
+.end
+";
+
+    #[test]
+    fn loads_hierarchical_blif() {
+        let dir = std::env::temp_dir().join("tmfrt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hier.blif");
+        std::fs::write(&path, HIER).unwrap();
+        let args = Args::parse(&argv(&format!("{} --verify 32", path.display()))).unwrap();
+        let c = load_circuit(&args).unwrap();
+        assert_eq!(c.name(), "top");
+        assert_eq!(c.num_gates(), 1);
+        let out = run(&args, &c).unwrap();
+        assert!(out.report.contains("verify: equivalent"));
+    }
+
+    #[test]
+    fn stats_reports_models_and_flat_totals() {
+        let dir = std::env::temp_dir().join("tmfrt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hier_stats.blif");
+        std::fs::write(&path, HIER).unwrap();
+        let args = StatsArgs::parse(&argv(&path.display().to_string())).unwrap();
+        let report = run_stats(&args).unwrap();
+        assert!(report.contains("top"), "{report}");
+        assert!(report.contains("and2m"), "{report}");
+        assert!(report.contains("flat:"), "{report}");
+    }
+
+    #[test]
+    fn stats_parses_flags() {
+        let a = StatsArgs::parse(&argv("x.blif --onehot")).unwrap();
+        assert!(a.onehot);
+        assert!(StatsArgs::parse(&argv("")).is_err());
+        assert!(StatsArgs::parse(&argv("x.blif --bogus")).is_err());
+    }
+
+    #[test]
+    fn unknown_preset_lists_large_suite() {
+        let args = Args::parse(&argv("gen:nosuch")).unwrap();
+        let err = load_circuit(&args).unwrap_err();
+        assert!(err.contains("hier100k"), "{err}");
+        assert!(err.contains("sand"), "{err}");
     }
 
     #[test]

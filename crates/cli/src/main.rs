@@ -9,7 +9,7 @@ use engine::JsonValue;
 use tmfrt_cli::batch::{run_batch_dir, BatchArgs};
 use tmfrt_cli::fuzz::{run_fuzz, FuzzArgs};
 use tmfrt_cli::serve::{run_serve, ServeArgs};
-use tmfrt_cli::{load_circuit, run, Args};
+use tmfrt_cli::{load_circuit, run, run_stats, Args, StatsArgs};
 
 /// Usage errors go to stderr as plain text (they are the interactive
 /// surface of the tool, not events), then exit 2.
@@ -36,6 +36,10 @@ fn main() {
         }
         Some("fuzz") => {
             run_fuzz_main(&raw[1..]);
+            return;
+        }
+        Some("stats") => {
+            run_stats_main(&raw[1..]);
             return;
         }
         _ => {}
@@ -197,6 +201,19 @@ fn run_fuzz_main(raw: &[String]) {
     let report = run_fuzz(&args);
     if !report.clean() {
         std::process::exit(1);
+    }
+}
+
+/// The `tmfrt stats` subcommand: ingestion report to stdout.
+fn run_stats_main(raw: &[String]) {
+    let args = match StatsArgs::parse(raw) {
+        Ok(a) => a,
+        Err(msg) => usage_error(&msg),
+    };
+    log::init(false);
+    match run_stats(&args) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => fatal("stats failed", &msg),
     }
 }
 

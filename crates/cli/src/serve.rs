@@ -645,7 +645,7 @@ fn execute_job(
     let mut run_args = run_args.clone();
     let caught = catch_unwind(AssertUnwindSafe(|| {
         let circuit = match &sub.blif {
-            Some(text) => netlist::parse_blif(text).map_err(|e| e.to_string())?,
+            Some(text) => blifio::read_circuit_str(text).map_err(|e| e.to_string())?,
             None => {
                 run_args.input = sub.source.clone().unwrap_or_default();
                 load_circuit(&run_args)?

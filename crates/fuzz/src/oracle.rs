@@ -20,6 +20,15 @@
 //! 4. **Determinism** — TurboMap-frt must produce byte-identical BLIF for
 //!    every `sweep_workers` setting.
 //!
+//! Before the mappers run, a **front-end round-trip** check
+//! ([`CheckKind::RoundTrip`]) writes the case with
+//! `blifio::write_circuit` and re-reads it: the streaming reader and
+//! the old `netlist::blif` reader must agree structurally on the
+//! written bytes, and the re-read circuit must be sequentially
+//! equivalent to the source with its interface and register totals
+//! intact — making every fuzz case a differential test of the BLIF
+//! front-end too.
+//!
 //! Mapper panics are caught ([`std::panic::catch_unwind`]) and reported
 //! as [`CheckKind::MapperPanic`] verdicts so a panicking case can still
 //! be shrunk and archived. Cancellation (batch deadline) is recognized
@@ -75,6 +84,10 @@ pub enum CheckKind {
     MapperPanic,
     /// A mapped result failed structural validation or the K bound.
     StructuralInvalid,
+    /// The BLIF front-end failed to round-trip the case: writing it
+    /// with `blifio::write_circuit` and re-reading with the streaming
+    /// reader did not reproduce a structurally identical circuit.
+    RoundTrip,
 }
 
 impl CheckKind {
@@ -88,6 +101,7 @@ impl CheckKind {
             CheckKind::MapperError => "mapper_error",
             CheckKind::MapperPanic => "mapper_panic",
             CheckKind::StructuralInvalid => "structural_invalid",
+            CheckKind::RoundTrip => "round_trip",
         }
     }
 }
@@ -252,6 +266,58 @@ pub fn judge_mapped(
     violations
 }
 
+/// The round-trip judgement behind [`CheckKind::RoundTrip`], exposed
+/// for focused tests: writes `source` with `blifio::write_circuit`,
+/// re-reads with both front-ends, and checks (a) the streaming reader
+/// and the old reader produce structurally identical circuits, (b) the
+/// re-read circuit is sequentially equivalent to the source, (c) the
+/// interface and register totals survive. Returns the first failure's
+/// description, `None` when the case round-trips.
+pub fn round_trip_violation(source: &Circuit, cfg: &OracleConfig) -> Option<String> {
+    let text = blifio::write_circuit(source);
+    let reread = match blifio::read_circuit_str(&text) {
+        Ok(c) => c,
+        Err(e) => return Some(format!("re-parse of written BLIF failed: {e}")),
+    };
+    let oracle = match netlist::parse_blif(&text) {
+        Ok(c) => c,
+        Err(e) => return Some(format!("old reader rejected the written BLIF: {e}")),
+    };
+    if let Some(d) = blifio::structural_diff(&oracle, &reread) {
+        return Some(format!(
+            "streaming reader disagrees with the old reader: {d}"
+        ));
+    }
+    if source.inputs().len() != reread.inputs().len()
+        || source.outputs().len() != reread.outputs().len()
+        || source.ff_count_total() != reread.ff_count_total()
+    {
+        return Some(format!(
+            "interface drifted: PI {}->{}, PO {}->{}, FF {}->{}",
+            source.inputs().len(),
+            reread.inputs().len(),
+            source.outputs().len(),
+            reread.outputs().len(),
+            source.ff_count_total(),
+            reread.ff_count_total()
+        ));
+    }
+    match random_equiv_mode(
+        source,
+        &reread,
+        cfg.equiv_vectors,
+        cfg.equiv_seed,
+        EquivMode::Conformance,
+    ) {
+        Ok(EquivResult::Equivalent) => None,
+        Ok(EquivResult::Different(ce)) => Some(format!(
+            "re-read circuit diverged at output `{}`, cycle {}",
+            ce.output, ce.cycle
+        )),
+        Err(e) => Some(format!("round-trip equivalence check failed to run: {e}")),
+    }
+}
+
 /// Judges one case. `source` must pass [`netlist::validate`] and be
 /// sharing-consistent (the generator guarantees both; the shrinker
 /// re-checks both on every candidate) — a source that already carries a
@@ -263,6 +329,31 @@ pub fn run_oracle(source: &Circuit, cfg: &OracleConfig) -> OracleOutcome {
     }
     let mut violations = Vec::new();
     let mut stats = CaseStats::default();
+
+    // Check 0: BLIF round-trip. Write the case with the new writer and
+    // re-read it with the streaming reader. The writer materialises PO
+    // buffers, so the re-read circuit is *behaviourally* — not node-
+    // for-node — identical to the source; the structural-equality claim
+    // is against the old reader on the same bytes (the two front-ends
+    // must agree on every generated case). Cheap, so it runs first.
+    match catch_unwind(AssertUnwindSafe(|| round_trip_violation(source, cfg))) {
+        Ok(Some(detail)) => violations.push(Violation {
+            kind: CheckKind::RoundTrip,
+            flow: "blifio",
+            detail,
+        }),
+        Ok(None) => {}
+        Err(_) => {
+            if engine::cancel::cancelled() {
+                return OracleOutcome::Cancelled;
+            }
+            violations.push(Violation {
+                kind: CheckKind::RoundTrip,
+                flow: "blifio",
+                detail: "panic while round-tripping the case".to_string(),
+            });
+        }
+    }
 
     // FlowMap-frt needs a K-bounded input; `prepare` is the shared
     // validate + prune + decompose pipeline the TurboMap drivers use.
@@ -526,8 +617,30 @@ mod tests {
             (CheckKind::MapperError, "mapper_error"),
             (CheckKind::MapperPanic, "mapper_panic"),
             (CheckKind::StructuralInvalid, "structural_invalid"),
+            (CheckKind::RoundTrip, "round_trip"),
         ] {
             assert_eq!(kind.name(), name);
+        }
+    }
+
+    #[test]
+    fn generated_cases_round_trip_through_the_front_end() {
+        // The same judgement as the oracle's check 0, over a wider seed
+        // range than the full-oracle test can afford.
+        let gen_cfg = GenConfig {
+            k: 4,
+            max_gates: 60,
+            max_mutations: 8,
+        };
+        let cfg = OracleConfig {
+            equiv_vectors: 32,
+            ..OracleConfig::default()
+        };
+        for seed in 0..32 {
+            let c = generate_case(seed, &gen_cfg);
+            if let Some(detail) = round_trip_violation(&c, &cfg) {
+                panic!("seed {seed}: {detail}");
+            }
         }
     }
 }

@@ -784,6 +784,44 @@ mod tests {
     }
 
     #[test]
+    fn latch_all_arities() {
+        // .latch input output [type control] [init] — each legal arity.
+        let build = |latch: &str| {
+            let src = format!(".model l\n.inputs a\n.outputs z\n.names q z\n1 1\n{latch}\n.end\n");
+            parse_blif(&src).map(|c| {
+                let g = c.find("z$g").or_else(|| c.find("z")).unwrap();
+                let e = c.node(g).fanin()[0];
+                c.edge(e).ffs().to_vec()
+            })
+        };
+        // 2 tokens: no init → X.
+        assert_eq!(build(".latch a q").unwrap(), vec![Bit::X]);
+        // 3 tokens: explicit init.
+        assert_eq!(build(".latch a q 0").unwrap(), vec![Bit::Zero]);
+        assert_eq!(build(".latch a q 1").unwrap(), vec![Bit::One]);
+        assert_eq!(build(".latch a q 2").unwrap(), vec![Bit::X]);
+        assert_eq!(build(".latch a q 3").unwrap(), vec![Bit::X]);
+        // 4 tokens: type + control, no init → X.
+        assert_eq!(build(".latch a q re clk").unwrap(), vec![Bit::X]);
+        // 5 tokens: type + control + init.
+        assert_eq!(build(".latch a q fe clk 1").unwrap(), vec![Bit::One]);
+        assert_eq!(build(".latch a q as NIL 0").unwrap(), vec![Bit::Zero]);
+        // Errors: bad init digit, too few/many arguments.
+        assert!(matches!(
+            build(".latch a q 7"),
+            Err(NetlistError::Parse { line: 6, .. })
+        ));
+        assert!(matches!(
+            build(".latch a"),
+            Err(NetlistError::Parse { line: 6, .. })
+        ));
+        assert!(matches!(
+            build(".latch a q re clk 1 extra"),
+            Err(NetlistError::Parse { line: 6, .. })
+        ));
+    }
+
+    #[test]
     fn continuation_lines() {
         let src = ".model c\n.inputs a \\\nb\n.outputs z\n.names a b z\n11 1\n.end\n";
         let c = parse_blif(src).unwrap();

@@ -71,7 +71,7 @@ pub use equiv::{
 pub use error::NetlistError;
 pub use prune::prune_dead;
 pub use sim::Simulator;
-pub use stats::CircuitStats;
+pub use stats::{CircuitStats, ModelCounts};
 pub use strash::{strash, StrashReport};
 pub use truth::{TruthTable, MAX_INPUTS};
 pub use validate::{check_k_bounded, validate};

@@ -64,6 +64,57 @@ impl std::fmt::Display for CircuitStats {
     }
 }
 
+/// Pre-flatten counts for one `.model` of a (possibly hierarchical)
+/// BLIF file, as reported by `tmfrt stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelCounts {
+    /// Model name.
+    pub name: String,
+    /// Declared `.inputs`.
+    pub inputs: usize,
+    /// Declared `.outputs`.
+    pub outputs: usize,
+    /// Logic blocks (`.names`, `.gate`, `.conn` buffers).
+    pub gates: usize,
+    /// Latches (`.latch`, `.mlatch`).
+    pub latches: usize,
+    /// Child instantiations (`.subckt`).
+    pub subckts: usize,
+    /// Embedded KISS FSM blocks.
+    pub kiss_blocks: usize,
+    /// Declared `.blackbox`.
+    pub blackbox: bool,
+}
+
+/// Renders a per-model counts table (aligned, deterministic), one line
+/// per model.
+pub fn render_model_table(models: &[ModelCounts]) -> String {
+    let name_w = models
+        .iter()
+        .map(|m| m.name.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    let mut out = format!(
+        "{:name_w$}  {:>6} {:>6} {:>8} {:>8} {:>7} {:>5}\n",
+        "model", "PI", "PO", "gates", "latches", "subckts", "kiss"
+    );
+    for m in models {
+        out.push_str(&format!(
+            "{:name_w$}  {:>6} {:>6} {:>8} {:>8} {:>7} {:>5}{}\n",
+            m.name,
+            m.inputs,
+            m.outputs,
+            m.gates,
+            m.latches,
+            m.subckts,
+            m.kiss_blocks,
+            if m.blackbox { "  [blackbox]" } else { "" }
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +136,35 @@ mod tests {
         assert_eq!(s.inputs, 1);
         assert_eq!(s.outputs, 1);
         assert!(s.to_string().contains("N=1"));
+    }
+
+    #[test]
+    fn model_table_renders_rows() {
+        let rows = vec![
+            ModelCounts {
+                name: "top".into(),
+                inputs: 2,
+                outputs: 1,
+                gates: 3,
+                latches: 1,
+                subckts: 2,
+                kiss_blocks: 0,
+                blackbox: false,
+            },
+            ModelCounts {
+                name: "ram".into(),
+                inputs: 8,
+                outputs: 8,
+                gates: 0,
+                latches: 0,
+                subckts: 0,
+                kiss_blocks: 0,
+                blackbox: true,
+            },
+        ];
+        let t = render_model_table(&rows);
+        assert!(t.contains("top"), "{t}");
+        assert!(t.contains("[blackbox]"), "{t}");
+        assert_eq!(t.lines().count(), 3);
     }
 }

@@ -41,6 +41,7 @@ pub mod figures;
 pub mod fsm;
 pub mod grow;
 pub mod kiss;
+pub mod large;
 pub mod layered;
 pub mod table1;
 
@@ -48,6 +49,10 @@ pub use figures::{fig1_circuit, fig2_circuit, fig3_circuit, fig4_circuit};
 pub use fsm::{generate_fsm, Encoding, FsmSpec};
 pub use grow::{grow, GrowError};
 pub use kiss::{parse_kiss2, synthesize_stg, KissError, Stg};
+pub use large::{
+    build_flat, hier_to_string, large_preset, large_presets, tile_plan, write_hier, LargeSpec,
+    TilePlan,
+};
 pub use layered::{generate_layered, LayeredSpec};
 pub use table1::{
     build_preset, presets, table1_suite, table1_suite_small, PaperResult, PaperRow, Preset,
