@@ -1,31 +1,38 @@
 //! The versioned `BENCH_table1.json` artifact.
 //!
-//! Schema `turbomap-bench/table1/v2` — see DESIGN.md for the
+//! Schema `turbomap-bench/table1/v3` — see DESIGN.md for the
 //! field-by-field description. Objects render with insertion-ordered
 //! keys via [`engine::JsonValue`], so the artifact is byte-deterministic
 //! for a given suite result. The `canonical` flag zeroes every timing
 //! field (wall seconds, cpu seconds, phase timers, span-duration
-//! histograms) while keeping the deterministic algorithmic counters and
-//! value histograms; two runs that differ only in scheduling (`--jobs 1`
-//! vs `--jobs 8`) — or in whether tracing was enabled — produce
-//! **byte-identical** canonical artifacts.
+//! histograms) and **omits** the memory breakdowns (heap behaviour is
+//! scheduling- and allocator-dependent) while keeping the deterministic
+//! algorithmic counters and value histograms; two runs that differ only
+//! in scheduling (`--jobs 1` vs `--jobs 8`) — or in whether tracing or
+//! memory accounting was enabled — produce **byte-identical** canonical
+//! artifacts.
 //!
-//! `v1` compatibility: `v2` only *adds* the optional `histograms` /
-//! `job_histograms` objects (omitted when empty) next to the existing
-//! `counters` / `job_counters`; every `v1` field keeps its name, type
-//! and position, so `v1` consumers can read `v2` artifacts by ignoring
-//! the new keys and checking the schema prefix `turbomap-bench/table1/`.
+//! Version compatibility is strictly additive: `v2` added the optional
+//! `histograms` / `job_histograms` objects to `v1`, and `v3` adds the
+//! optional `mem_phases` (per algorithm), `job_mem_phases` and `job_mem`
+//! objects — per-phase wall + peak-heap + alloc-count breakdowns keyed
+//! by the span tracer's phase names, omitted when empty or canonical.
+//! Every earlier field keeps its name, type and position, so old
+//! consumers read new artifacts by ignoring the new keys and checking
+//! the schema prefix `turbomap-bench/table1/`.
 
 use crate::{geomean, Measured, Row};
 use engine::hist::{Histogram, Metric, HIST_NAMES, NUM_HISTS};
+use engine::mem::{MemStats, MEM_PHASE_NAMES, NUM_MEM_PHASES};
 use engine::telemetry::{Telemetry, COUNTER_NAMES, NUM_COUNTERS, PHASE_NAMES};
 use engine::{JobOutcome, JobReport, JsonValue};
 
 /// Artifact schema identifier (bump on breaking changes).
-pub const SCHEMA: &str = "turbomap-bench/table1/v2";
+pub const SCHEMA: &str = "turbomap-bench/table1/v3";
 
-/// Schema of the large-workload ingestion artifact.
-pub const LARGE_SCHEMA: &str = "turbomap-bench/large/v1";
+/// Schema of the large-workload ingestion artifact (`v2` added the
+/// optional `peak_rss_kib` field, zeroed in canonical artifacts).
+pub const LARGE_SCHEMA: &str = "turbomap-bench/large/v2";
 
 fn secs(value: f64, canonical: bool) -> JsonValue {
     JsonValue::Float(if canonical { 0.0 } else { value })
@@ -93,6 +100,52 @@ fn hists_json(t: &Telemetry, canonical: bool) -> Option<JsonValue> {
     }
 }
 
+/// The `v3` per-phase memory breakdown: for each phase that recorded
+/// anything, wall seconds inside its scopes plus the heap deltas. `None`
+/// when canonical (heap numbers are not scheduling-deterministic) or
+/// when accounting never recorded (gate off → field omitted, keeping
+/// accounting-on/off artifacts identical in canonical mode).
+fn mem_phases_json(mem: &MemStats, canonical: bool) -> Option<JsonValue> {
+    if canonical {
+        return None;
+    }
+    let pairs: Vec<(String, JsonValue)> = (0..NUM_MEM_PHASES)
+        .filter(|&i| !mem.phases[i].is_empty())
+        .map(|i| {
+            let p = &mem.phases[i];
+            (
+                MEM_PHASE_NAMES[i].to_string(),
+                JsonValue::object(vec![
+                    ("wall_secs", JsonValue::Float(p.wall_nanos as f64 / 1e9)),
+                    ("peak_heap_bytes", JsonValue::UInt(p.peak_bytes)),
+                    ("allocs", JsonValue::UInt(p.allocs)),
+                    ("alloc_bytes", JsonValue::UInt(p.alloc_bytes)),
+                ]),
+            )
+        })
+        .collect();
+    if pairs.is_empty() {
+        None
+    } else {
+        Some(JsonValue::Object(pairs))
+    }
+}
+
+/// The `v3` job-level allocation ledger; `None` under the same rules as
+/// [`mem_phases_json`].
+fn job_mem_json(mem: &MemStats, canonical: bool) -> Option<JsonValue> {
+    if canonical || mem.is_empty() {
+        return None;
+    }
+    Some(JsonValue::object(vec![
+        ("peak_heap_bytes", JsonValue::UInt(mem.peak_bytes)),
+        ("allocs", JsonValue::UInt(mem.allocs)),
+        ("frees", JsonValue::UInt(mem.frees)),
+        ("alloc_bytes", JsonValue::UInt(mem.alloc_bytes)),
+        ("free_bytes", JsonValue::UInt(mem.free_bytes)),
+    ]))
+}
+
 fn measured_json(m: &Measured, canonical: bool) -> JsonValue {
     let mut pairs = vec![
         ("phi", JsonValue::UInt(m.phi)),
@@ -106,6 +159,9 @@ fn measured_json(m: &Measured, canonical: bool) -> JsonValue {
     ];
     if let Some(h) = hists_json(&m.telemetry, canonical) {
         pairs.push(("histograms", h));
+    }
+    if let Some(mp) = mem_phases_json(&m.telemetry.mem, canonical) {
+        pairs.push(("mem_phases", mp));
     }
     JsonValue::object(pairs)
 }
@@ -153,6 +209,12 @@ fn circuit_json(report: &JobReport<Row>, canonical: bool) -> JsonValue {
     pairs.push(("job_counters", counters_json(&report.telemetry)));
     if let Some(h) = hists_json(&report.telemetry, canonical) {
         pairs.push(("job_histograms", h));
+    }
+    if let Some(mp) = mem_phases_json(&report.telemetry.mem, canonical) {
+        pairs.push(("job_mem_phases", mp));
+    }
+    if let Some(jm) = job_mem_json(&report.telemetry.mem, canonical) {
+        pairs.push(("job_mem", jm));
     }
     JsonValue::object(pairs)
 }
@@ -255,6 +317,10 @@ pub fn large_json(rows: &[crate::large::IngestRow], canonical: bool) -> JsonValu
                             ("pos", JsonValue::UInt(r.pos as u64)),
                             ("parse_secs", secs(r.parse_secs, canonical)),
                             ("wall_secs", secs(r.total_secs, canonical)),
+                            (
+                                "peak_rss_kib",
+                                JsonValue::UInt(if canonical { 0 } else { r.peak_rss_kib }),
+                            ),
                         ])
                     })
                     .collect(),
@@ -292,6 +358,17 @@ mod tests {
         }
         // A timing histogram that canonical artifacts must drop.
         t.hists[Metric::SpanNanos as usize].record(1_500);
+        // Memory accounting that canonical artifacts must omit.
+        t.mem.allocs = 11;
+        t.mem.alloc_bytes = 2_222;
+        t.mem.peak_bytes = 1_111;
+        t.mem.phases[engine::mem::MemPhase::LabelSweep as usize] = engine::mem::MemPhaseStats {
+            wall_nanos: 700_000_000,
+            allocs: 9,
+            frees: 8,
+            alloc_bytes: 2_000,
+            peak_bytes: 999,
+        };
         Measured {
             phi,
             luts: 10,
@@ -326,7 +403,7 @@ mod tests {
     fn canonical_artifact_has_no_timing() {
         let reports = vec![fake_report("a")];
         let text = table1_json(&reports, 5, 3008, true).render_pretty();
-        assert!(text.contains("\"schema\": \"turbomap-bench/table1/v2\""));
+        assert!(text.contains("\"schema\": \"turbomap-bench/table1/v3\""));
         assert!(text.contains("\"cpu_secs\": 0.0"));
         assert!(!text.contains("1.5"), "timing leaked: {text}");
         // Counters survive canonicalisation.
@@ -334,6 +411,28 @@ mod tests {
         // Value histograms survive; the span-duration histogram does not.
         assert!(text.contains("\"cut_size\""));
         assert!(!text.contains("\"span_nanos\""), "timing hist leaked");
+        // Memory breakdowns are omitted wholesale in canonical mode, so
+        // accounting-on and accounting-off runs stay byte-identical.
+        assert!(!text.contains("mem_phases"), "mem leaked: {text}");
+        assert!(!text.contains("job_mem"), "mem leaked: {text}");
+    }
+
+    #[test]
+    fn non_canonical_artifact_carries_mem_breakdowns() {
+        let mut reports = vec![fake_report("a")];
+        reports[0].telemetry.mem = fake_measured(5).telemetry.mem;
+        let text = table1_json(&reports, 5, 3008, false).render();
+        // Per-algorithm breakdown keyed by the tracer's phase names.
+        assert!(text.contains(
+            "\"mem_phases\":{\"frtcheck_sweep\":{\"wall_secs\":0.7,\
+             \"peak_heap_bytes\":999,\"allocs\":9,\"alloc_bytes\":2000}}"
+        ));
+        // Job-level breakdown plus the allocation ledger.
+        assert!(text.contains("\"job_mem_phases\""));
+        assert!(text.contains(
+            "\"job_mem\":{\"peak_heap_bytes\":1111,\"allocs\":11,\"frees\":0,\
+             \"alloc_bytes\":2222,\"free_bytes\":0}"
+        ));
     }
 
     #[test]

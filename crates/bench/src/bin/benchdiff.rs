@@ -3,14 +3,19 @@
 //!
 //! Usage:
 //!   benchdiff <baseline.json> <candidate.json>
-//!             [--wall-threshold-pct P] [--no-quality-gate]
+//!             [--wall-threshold-pct P] [--mem-threshold-pct M]
+//!             [--no-quality-gate]
 //!
 //! Prints a byte-deterministic per-circuit delta report (Φ, LUTs, wall
-//! time, histogram p50/p90/p99) to stdout. Exit status: 0 when the
-//! candidate passes, 1 on regressions (quality changes, or wall time
-//! more than P percent over baseline — default 25), 2 on usage or
-//! parse errors. Wall-time gating is skipped automatically when either
-//! artifact is canonical (its timing fields are zeroed by design).
+//! time, peak memory, histogram p50/p90/p99) to stdout. Exit status: 0
+//! when the candidate passes, 1 on regressions (quality changes, wall
+//! time more than P percent over baseline — default 25 — or, with
+//! `--mem-threshold-pct`, per-job peak memory more than M percent over
+//! baseline), 2 on usage or parse errors. When a wall or memory gate
+//! trips, the report names the phase whose wall/peak grew the most
+//! (from the schema-v3 `mem_phases` breakdowns). Wall and memory
+//! gating are skipped automatically when either artifact is canonical
+//! (timing zeroed, memory omitted by design).
 
 use bench::diff::{diff_artifacts, render_report, DiffOptions};
 use engine::log;
@@ -19,7 +24,7 @@ use engine::JsonValue;
 fn usage() -> ! {
     eprintln!(
         "usage: benchdiff <baseline.json> <candidate.json> \
-         [--wall-threshold-pct P] [--no-quality-gate]"
+         [--wall-threshold-pct P] [--mem-threshold-pct M] [--no-quality-gate]"
     );
     std::process::exit(2);
 }
@@ -65,6 +70,13 @@ fn main() {
                     None => usage(),
                 };
                 opts.wall_threshold = pct / 100.0;
+            }
+            "--mem-threshold-pct" => {
+                let pct: f64 = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(p) => p,
+                    None => usage(),
+                };
+                opts.mem_threshold = Some(pct / 100.0);
             }
             "--no-quality-gate" => opts.quality_gate = false,
             "-h" | "--help" => usage(),

@@ -10,16 +10,17 @@
 //! `--suite large` runs the large-workload *ingestion* suite instead:
 //! each `workloads::large` preset is generated to a temp dir and
 //! ingested through the streaming BLIF front-end; `--json` then writes
-//! the `turbomap-bench/large/v1` artifact (also honouring
+//! the `turbomap-bench/large/v2` artifact (also honouring
 //! `--canonical` and `--max-gates`, which caps the preset's flattened
 //! gate count).
 //!
 //! Circuits run as isolated jobs on the `engine` batch runner: `--jobs`
 //! picks the worker count (results are identical and identically ordered
 //! for any value), `--timeout-secs` arms a per-circuit soft deadline, and
-//! `--json` writes the versioned `turbomap-bench/table1/v2` artifact
-//! (`--canonical` zeroes its timing fields so reruns are byte-identical,
-//! even with tracing toggled). `--trace-dir` enables span tracing and
+//! `--json` writes the versioned `turbomap-bench/table1/v3` artifact
+//! (`--canonical` zeroes its timing fields and omits its heap-accounting
+//! fields so reruns are byte-identical, even with tracing or memory
+//! accounting toggled). `--trace-dir` enables span tracing and
 //! writes one Chrome-trace JSON per circuit (`DIR/<name>.trace.json`,
 //! loadable in Perfetto / `chrome://tracing`).
 //! A panicking or deadline-exceeded circuit is reported and skipped; the
@@ -40,8 +41,14 @@ use bench::{artifact, geomean, Row};
 use engine::{log, JsonValue};
 use std::time::Duration;
 
+/// Heap accounting for the schema-v3 `mem_phases` / `job_mem`
+/// breakdowns: the counting wrapper always delegates to the system
+/// allocator, and counting itself is off until `mem::set_enabled`.
+#[global_allocator]
+static ALLOC: engine::mem::CountingAlloc = engine::mem::CountingAlloc::new();
+
 /// The `--suite large` path: ingest every large preset (within the
-/// gate cap) and optionally write the `turbomap-bench/large/v1`
+/// gate cap) and optionally write the `turbomap-bench/large/v2`
 /// artifact.
 fn run_large_suite_main(max_gates: Option<usize>, json_path: Option<&str>, canonical: bool) {
     let dir = std::env::temp_dir().join("tmfrt_large_suite");
@@ -98,6 +105,7 @@ fn run_large_suite_main(max_gates: Option<usize>, json_path: Option<&str>, canon
 
 fn main() {
     log::init(false);
+    engine::mem::set_enabled(true);
     let mut cfg = SuiteConfig::default();
     let mut stats = false;
     let mut json_path: Option<String> = None;

@@ -19,8 +19,20 @@
 //!   threshold is a regression, *unless* either artifact is canonical
 //!   (canonical artifacts zero all timing, so wall deltas are
 //!   meaningless there);
+//! * with [`DiffOptions::mem_threshold`] set, a **peak-memory** increase
+//!   beyond that fraction gates too — per-job peak heap for table1 rows
+//!   (`job_mem.peak_heap_bytes`, schema v3), peak RSS for large rows —
+//!   again skipped when either artifact is canonical (canonical
+//!   artifacts omit memory, which is allocator-dependent);
 //! * histogram quantile shifts are reported but never gate — they are
 //!   scheduling-sensitive distributions, not acceptance criteria.
+//!
+//! When a wall or memory gate trips, the offending **phase** is named:
+//! the diff scans the v3 per-phase breakdowns (`job_mem_phases`, falling
+//! back to the per-algorithm `mem_phases` and to the v2 wall-only
+//! `job_phases`) and appends `attributed to phase \`<name>\`` with the
+//! phase's own before/after numbers to the regression line, so CI logs
+//! point at the subsystem, not just the circuit.
 //!
 //! The rendered report is byte-deterministic for a given pair of
 //! artifacts: circuits sort by name, floats render through the same
@@ -37,6 +49,10 @@ pub struct DiffOptions {
     /// Gate on quality (Φ/LUTs/status) changes. On by default; turning
     /// it off limits gating to wall time.
     pub quality_gate: bool,
+    /// Allowed fractional peak-memory increase per circuit before the
+    /// diff counts a regression (`Some(0.25)` = +25%). `None` (the
+    /// default) disables the memory gate entirely.
+    pub mem_threshold: Option<f64>,
 }
 
 impl Default for DiffOptions {
@@ -44,6 +60,7 @@ impl Default for DiffOptions {
         DiffOptions {
             wall_threshold: 0.25,
             quality_gate: true,
+            mem_threshold: None,
         }
     }
 }
@@ -68,6 +85,9 @@ pub struct DiffReport {
     pub regressions: Vec<String>,
     /// True when wall-time gating was skipped (canonical artifact).
     pub wall_skipped: bool,
+    /// True when the memory gate was requested but skipped (canonical
+    /// artifact: memory breakdowns omitted).
+    pub mem_skipped: bool,
 }
 
 impl DiffReport {
@@ -162,6 +182,107 @@ fn diff_hists(base: &JsonValue, cand: &JsonValue, key: &str, scope: &str, notes:
     }
 }
 
+fn add_phase(out: &mut Vec<(String, f64, u64)>, name: &str, wall: f64, peak: u64) {
+    if let Some(e) = out.iter_mut().find(|(n, _, _)| n == name) {
+        e.1 += wall;
+        e.2 = e.2.max(peak);
+    } else {
+        out.push((name.to_string(), wall, peak));
+    }
+}
+
+fn collect_mem_phases(obj: &JsonValue, out: &mut Vec<(String, f64, u64)>) {
+    let JsonValue::Object(pairs) = obj else {
+        return;
+    };
+    for (name, p) in pairs {
+        let wall = p.get("wall_secs").and_then(as_f64).unwrap_or(0.0);
+        let peak = p
+            .get("peak_heap_bytes")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        add_phase(out, name, wall, peak);
+    }
+}
+
+/// Per-phase `(name, wall_secs, peak_heap_bytes)` profile of a circuit
+/// row. Prefers the v3 job-level `job_mem_phases`, falls back to the
+/// per-algorithm `mem_phases` (walls summed, peaks max'd — peaks are
+/// high-water marks, not flows), and finally to the v2 wall-only
+/// `job_phases`. Sorted by name so attribution is deterministic.
+fn phase_profile(row: &JsonValue) -> Vec<(String, f64, u64)> {
+    let mut out = Vec::new();
+    if let Some(jmp) = row.get("job_mem_phases") {
+        collect_mem_phases(jmp, &mut out);
+    } else {
+        for alg in ALGORITHMS {
+            if let Some(mp) = row.get(alg).and_then(|a| a.get("mem_phases")) {
+                collect_mem_phases(mp, &mut out);
+            }
+        }
+    }
+    if out.is_empty() {
+        if let Some(JsonValue::Object(pairs)) = row.get("job_phases") {
+            for (name, v) in pairs {
+                if let Some(w) = as_f64(v) {
+                    if w > 0.0 {
+                        add_phase(&mut out, name, w, 0);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Names the phase whose wall time (or, with `by_peak`, peak heap) grew
+/// the most between the two rows, with its own before/after numbers.
+/// `None` when no phase grew or no breakdown exists on the candidate.
+fn attribute(base: &JsonValue, cand: &JsonValue, by_peak: bool) -> Option<String> {
+    let bp = phase_profile(base);
+    let cp = phase_profile(cand);
+    let mut best: Option<(f64, String)> = None;
+    for (name, cw, cpk) in &cp {
+        let (bw, bpk) = bp
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, w, p)| (*w, *p))
+            .unwrap_or((0.0, 0));
+        let delta = if by_peak {
+            *cpk as f64 - bpk as f64
+        } else {
+            cw - bw
+        };
+        if delta <= 0.0 {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(d, _)| delta > *d) {
+            let line = if by_peak {
+                format!("`{name}` (peak heap {bpk} -> {cpk} bytes)")
+            } else {
+                format!("`{name}` (wall {} -> {})", fmt_secs(bw), fmt_secs(*cw))
+            };
+            best = Some((delta, line));
+        }
+    }
+    best.map(|(_, l)| l)
+}
+
+/// Per-job peak memory of a circuit row in bytes: the v3 heap ledger
+/// for table1 rows, peak RSS for large ingestion rows.
+fn row_peak_bytes(row: &JsonValue) -> Option<u64> {
+    row.get("job_mem")
+        .and_then(|m| m.get("peak_heap_bytes"))
+        .and_then(|v| v.as_u64())
+        .or_else(|| {
+            row.get("peak_rss_kib")
+                .and_then(|v| v.as_u64())
+                .filter(|&k| k > 0)
+                .map(|k| k * 1024)
+        })
+}
+
 fn diff_circuit(
     name: &str,
     base: &JsonValue,
@@ -230,16 +351,44 @@ fn diff_circuit(
         if wall_comparable && bw > 0.0 {
             let ratio = cw / bw;
             if (ratio - 1.0).abs() > 1e-9 {
-                let line = format!(
+                let mut line = format!(
                     "wall: {} -> {} ({:+.1}%)",
                     fmt_secs(bw),
                     fmt_secs(cw),
                     (ratio - 1.0) * 100.0
                 );
                 if ratio > 1.0 + opts.wall_threshold {
+                    if let Some(attr) = attribute(base, cand, false) {
+                        line = format!("{line}; attributed to phase {attr}");
+                    }
                     regressions.push(line.clone());
                 }
                 notes.push(line);
+            }
+        }
+    }
+
+    if let Some(mem_threshold) = opts.mem_threshold {
+        // wall_comparable doubles as the memory-comparability condition:
+        // both gates need two non-canonical artifacts.
+        if let (true, Some(bp), Some(cp)) =
+            (wall_comparable, row_peak_bytes(base), row_peak_bytes(cand))
+        {
+            if bp > 0 {
+                let ratio = cp as f64 / bp as f64;
+                if (ratio - 1.0).abs() > 1e-9 {
+                    let mut line = format!(
+                        "mem: peak {bp} -> {cp} bytes ({:+.1}%)",
+                        (ratio - 1.0) * 100.0
+                    );
+                    if ratio > 1.0 + mem_threshold {
+                        if let Some(attr) = attribute(base, cand, true) {
+                            line = format!("{line}; attributed to phase {attr}");
+                        }
+                        regressions.push(line.clone());
+                    }
+                    notes.push(line);
+                }
             }
         }
     }
@@ -312,6 +461,7 @@ pub fn diff_artifacts(
         circuits,
         regressions,
         wall_skipped: !wall_comparable,
+        mem_skipped: opts.mem_threshold.is_some() && !wall_comparable,
     })
 }
 
@@ -331,6 +481,9 @@ pub fn render_report(report: &DiffReport) -> String {
     ));
     if report.wall_skipped {
         out.push_str("wall-time gate skipped: canonical artifact (timing zeroed)\n");
+    }
+    if report.mem_skipped {
+        out.push_str("memory gate skipped: canonical artifact (memory omitted)\n");
     }
     for c in &changed {
         out.push_str(&format!("--- {}\n", c.name));
@@ -516,6 +669,183 @@ mod tests {
         let report = diff_artifacts(&base, &cand, &DiffOptions::default()).unwrap();
         assert!(report.is_clean());
         assert!(!report.circuits[0].notes.is_empty());
+    }
+
+    /// A v3-shaped artifact: one circuit with a job-level memory ledger
+    /// and a two-phase breakdown (`frtcheck_sweep` = the LabelUpdate
+    /// sweeps, `min_cut`).
+    fn mem_artifact(wall: f64, sweep_wall: f64, peak: u64, sweep_peak: u64) -> JsonValue {
+        let phase = |wall: f64, peak: u64, allocs: u64| {
+            JsonValue::object(vec![
+                ("wall_secs", JsonValue::Float(wall)),
+                ("peak_heap_bytes", JsonValue::UInt(peak)),
+                ("allocs", JsonValue::UInt(allocs)),
+                ("alloc_bytes", JsonValue::UInt(peak * 2)),
+            ])
+        };
+        JsonValue::object(vec![
+            ("schema", JsonValue::str("turbomap-bench/table1/v3")),
+            ("canonical", JsonValue::Bool(false)),
+            (
+                "circuits",
+                JsonValue::Array(vec![JsonValue::object(vec![
+                    ("name", JsonValue::str("s27")),
+                    ("status", JsonValue::str("ok")),
+                    ("wall_secs", JsonValue::Float(wall)),
+                    (
+                        "job_mem_phases",
+                        JsonValue::object(vec![
+                            ("frtcheck_sweep", phase(sweep_wall, sweep_peak, 50)),
+                            ("min_cut", phase(0.2, 4_000, 10)),
+                        ]),
+                    ),
+                    (
+                        "job_mem",
+                        JsonValue::object(vec![
+                            ("peak_heap_bytes", JsonValue::UInt(peak)),
+                            ("allocs", JsonValue::UInt(60)),
+                            ("frees", JsonValue::UInt(60)),
+                            ("alloc_bytes", JsonValue::UInt(peak * 3)),
+                            ("free_bytes", JsonValue::UInt(peak * 3)),
+                        ]),
+                    ),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn wall_regression_names_the_inflated_phase() {
+        // The acceptance scenario: the LabelUpdate sweep's wall doubles
+        // (0.7s -> 1.4s), dragging the job from 1.0s to 1.7s. The gate
+        // must not just flag the circuit — it must name `frtcheck_sweep`.
+        let base = mem_artifact(1.0, 0.7, 10_000, 8_000);
+        let cand = mem_artifact(1.7, 1.4, 10_000, 8_000);
+        let report = diff_artifacts(&base, &cand, &DiffOptions::default()).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        let r = &report.regressions[0];
+        assert!(
+            r.contains("attributed to phase `frtcheck_sweep` (wall 0.7000s -> 1.4000s)"),
+            "{r}"
+        );
+        assert!(render_report(&report).contains("frtcheck_sweep"));
+    }
+
+    #[test]
+    fn wall_attribution_falls_back_to_v2_job_phases() {
+        // No v3 memory objects at all — a v2 baseline still attributes
+        // through the wall-only `job_phases` object.
+        let v2 = |wall: f64, sweep: f64| {
+            JsonValue::object(vec![
+                ("schema", JsonValue::str("turbomap-bench/table1/v2")),
+                ("canonical", JsonValue::Bool(false)),
+                (
+                    "circuits",
+                    JsonValue::Array(vec![JsonValue::object(vec![
+                        ("name", JsonValue::str("s27")),
+                        ("status", JsonValue::str("ok")),
+                        ("wall_secs", JsonValue::Float(wall)),
+                        (
+                            "job_phases",
+                            JsonValue::object(vec![
+                                ("frtcheck_sweep", JsonValue::Float(sweep)),
+                                ("min_cut", JsonValue::Float(0.1)),
+                            ]),
+                        ),
+                    ])]),
+                ),
+            ])
+        };
+        let report = diff_artifacts(&v2(1.0, 0.6), &v2(1.6, 1.2), &DiffOptions::default()).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        assert!(
+            report.regressions[0].contains("attributed to phase `frtcheck_sweep`"),
+            "{:?}",
+            report.regressions
+        );
+    }
+
+    #[test]
+    fn mem_gate_fires_past_threshold_and_names_the_phase() {
+        let base = mem_artifact(1.0, 0.7, 10_000, 8_000);
+        let bloated = mem_artifact(1.0, 0.7, 20_000, 18_000);
+        // Off by default: peak doubling is note-worthy only when asked.
+        let report = diff_artifacts(&base, &bloated, &DiffOptions::default()).unwrap();
+        assert!(report.is_clean());
+        // With the gate on, +100% > 25% fails and names the phase whose
+        // peak grew.
+        let opts = DiffOptions {
+            mem_threshold: Some(0.25),
+            ..DiffOptions::default()
+        };
+        let report = diff_artifacts(&base, &bloated, &opts).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        let r = &report.regressions[0];
+        assert!(
+            r.contains("mem: peak 10000 -> 20000 bytes (+100.0%)"),
+            "{r}"
+        );
+        assert!(
+            r.contains("attributed to phase `frtcheck_sweep` (peak heap 8000 -> 18000 bytes)"),
+            "{r}"
+        );
+        // Within threshold: reported but not gated.
+        let ok = mem_artifact(1.0, 0.7, 11_000, 8_800);
+        let report = diff_artifacts(&base, &ok, &opts).unwrap();
+        assert!(report.is_clean());
+        assert!(report.circuits[0]
+            .notes
+            .iter()
+            .any(|n| n.starts_with("mem: peak")));
+    }
+
+    #[test]
+    fn mem_gate_skipped_on_canonical_artifacts() {
+        let base = artifact(3, 10, 0.0, true);
+        let opts = DiffOptions {
+            mem_threshold: Some(0.25),
+            ..DiffOptions::default()
+        };
+        let report = diff_artifacts(&base, &base, &opts).unwrap();
+        assert!(report.is_clean());
+        assert!(report.mem_skipped);
+        assert!(render_report(&report).contains("memory gate skipped"));
+        // Not flagged as skipped when the gate was never requested.
+        let report = diff_artifacts(&base, &base, &DiffOptions::default()).unwrap();
+        assert!(!report.mem_skipped);
+    }
+
+    #[test]
+    fn mem_gate_uses_peak_rss_on_large_rows() {
+        let with_rss = |kib: u64| {
+            let mut a = large_artifact(99136, 509325, 1.0);
+            if let JsonValue::Object(pairs) = &mut a {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "circuits" {
+                        if let JsonValue::Array(rows) = v {
+                            if let JsonValue::Object(row) = &mut rows[0] {
+                                row.push(("peak_rss_kib".into(), JsonValue::UInt(kib)));
+                            }
+                        }
+                    }
+                }
+            }
+            a
+        };
+        let opts = DiffOptions {
+            mem_threshold: Some(0.25),
+            ..DiffOptions::default()
+        };
+        let report = diff_artifacts(&with_rss(1000), &with_rss(2000), &opts).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        assert!(
+            report.regressions[0].contains("mem: peak 1024000 -> 2048000 bytes"),
+            "{:?}",
+            report.regressions
+        );
+        // A zero probe (unavailable) never gates.
+        let report = diff_artifacts(&with_rss(0), &with_rss(2000), &opts).unwrap();
+        assert!(report.is_clean());
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct IngestRow {
     pub parse_secs: f64,
     /// Seconds for parse + hierarchy flattening.
     pub total_secs: f64,
+    /// Process peak RSS (`VmHWM`) in KiB after the ingest, 0 when the
+    /// probe is unavailable. Zeroed in canonical artifacts like every
+    /// other environment-dependent measurement.
+    pub peak_rss_kib: u64,
 }
 
 /// Generates `spec` into `dir` and ingests it through the streaming
@@ -88,6 +92,7 @@ pub fn run_ingest_row(
         pos: circuit.outputs().len(),
         parse_secs,
         total_secs,
+        peak_rss_kib: engine::mem::peak_rss_kib().unwrap_or(0),
     })
 }
 

@@ -108,6 +108,7 @@ pub fn try_run_row_opts(
     let check = |mapped: &Circuit, seed: u64| -> bool {
         let _t = telemetry::time_phase(Phase::Verify);
         let _s = engine::trace::span1("verify", "vectors", VERIFY_VECTORS as u64);
+        let _mem = engine::mem::scope(engine::mem::MemPhase::Verify);
         verify
             && netlist::random_equiv(c, mapped, VERIFY_VECTORS, seed)
                 .map(|r| r.is_equivalent())

@@ -1,9 +1,12 @@
-//! `--jobs`-independence and tracing-independence: a suite run's
-//! results (Φ / LUT / FF per circuit, ordering, counters, value
-//! histograms) must not depend on the worker count or on whether span
-//! tracing was enabled. The canonical artifact — timing fields zeroed —
-//! must therefore be **byte-identical** between a 1-worker and an
-//! 8-worker run, and between a traced and an untraced run.
+//! `--jobs`-independence, tracing-independence and memory-accounting
+//! independence: a suite run's results (Φ / LUT / FF per circuit,
+//! ordering, counters, value histograms) must not depend on the worker
+//! count, on whether span tracing was enabled, or on whether heap
+//! accounting was enabled. The canonical artifact — timing fields
+//! zeroed, memory breakdowns omitted — must therefore be
+//! **byte-identical** between a 1-worker and an 8-worker run, between a
+//! traced and an untraced run, and between accounting-on and
+//! accounting-off runs.
 
 use bench::artifact::table1_json;
 use bench::batch::{run_table1_suite, SuiteConfig};
@@ -26,7 +29,7 @@ fn canonical_artifact_identical_for_jobs_1_and_8() {
     assert_eq!(a, b, "--jobs 1 and --jobs 8 artifacts differ");
 
     // The artifact carries real algorithmic work, not just zeros.
-    assert!(a.contains("\"schema\": \"turbomap-bench/table1/v2\""));
+    assert!(a.contains("\"schema\": \"turbomap-bench/table1/v3\""));
     let sweeps_nonzero = one.iter().any(|r| {
         r.outcome
             .completed()
@@ -73,5 +76,49 @@ fn canonical_artifact_identical_with_tracing_on_and_off() {
     assert_eq!(
         off_text, on_text,
         "canonical artifact differs with tracing enabled"
+    );
+}
+
+#[test]
+fn canonical_artifact_identical_with_mem_accounting_on_and_off() {
+    // Heap accounting is observation-only, and heap numbers are
+    // allocator- and scheduling-dependent besides — so canonical
+    // artifacts *omit* the memory objects entirely rather than zeroing
+    // them. Byte-identity across the accounting gate proves both points.
+    let cfg = SuiteConfig {
+        verify: false,
+        jobs: 2,
+        max_gates: Some(40),
+        ..SuiteConfig::default()
+    };
+
+    engine::mem::set_enabled(false);
+    let off = run_table1_suite(&cfg);
+    let off_text = table1_json(&off, cfg.k, VERIFY_VECTORS, true).render_pretty();
+
+    engine::mem::set_enabled(true);
+    let on = run_table1_suite(&cfg);
+    engine::mem::set_enabled(false);
+    let on_text = table1_json(&on, cfg.k, VERIFY_VECTORS, true).render_pretty();
+
+    // The accounting run actually attributed phase work (the MemScopes
+    // record wall time even without an installed counting allocator),
+    // so the comparison is real.
+    assert!(
+        on.iter().any(|r| {
+            r.outcome
+                .completed()
+                .map(|row| !row.turbomap_frt.telemetry.mem.is_empty())
+                .unwrap_or(false)
+        }),
+        "accounting was enabled but no memory phases were recorded"
+    );
+    assert_eq!(
+        off_text, on_text,
+        "canonical artifact differs with memory accounting enabled"
+    );
+    assert!(
+        !on_text.contains("mem_phases") && !on_text.contains("job_mem"),
+        "canonical artifact must omit memory breakdowns"
     );
 }

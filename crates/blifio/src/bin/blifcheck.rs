@@ -7,14 +7,21 @@
 //!   grows without the netlist growing: an ingest whose peak RSS tracks
 //!   the netlist (not the file) is unaffected by the padding.
 //! * `ingest FILE [--max-secs S] [--max-rss-mb M]` — parse + flatten the
-//!   file, then report wall time, circuit totals and the process's peak
-//!   RSS (`VmHWM` from `/proc/self/status`). Exceeding either budget
-//!   exits 1, so CI can gate on it directly.
+//!   file, then report wall time, circuit totals, the process's peak
+//!   RSS (`VmHWM` via [`engine::mem::peak_rss_kib`]) and the heap
+//!   ledger from the counting allocator. Exceeding either budget exits
+//!   1, so CI can gate on it directly.
 //!
 //! Output is `key=value` lines on stdout, one per metric.
 
+use engine::mem::peak_rss_kib;
 use std::io::Write as _;
 use std::time::Instant;
+
+/// Heap accounting for the `heap_*` ingest metrics; counting starts in
+/// `main` and the wrapper always delegates to the system allocator.
+#[global_allocator]
+static ALLOC: engine::mem::CountingAlloc = engine::mem::CountingAlloc::new();
 
 fn usage() -> ! {
     eprintln!(
@@ -41,19 +48,6 @@ USAGE: blifcheck gen <preset> -o FILE [--pad-mb N]
 fn fail(msg: &str) -> ! {
     eprintln!("blifcheck: {msg}");
     std::process::exit(1);
-}
-
-/// Peak resident set size in KiB from `/proc/self/status` (`VmHWM`);
-/// `None` off Linux or when the field is absent.
-fn peak_rss_kib() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb = rest.trim().trim_end_matches("kB").trim();
-            return kb.parse().ok();
-        }
-    }
-    None
 }
 
 fn take_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
@@ -136,6 +130,10 @@ fn run_ingest(mut args: Vec<String>) {
     println!("total_secs={total_secs:.3}");
     println!("rss_before_kib={rss_before}");
     println!("peak_rss_kib={peak_kib}");
+    let heap = engine::mem::global_stats();
+    println!("heap_peak_bytes={}", heap.peak_bytes);
+    println!("heap_allocs={}", heap.allocs);
+    println!("heap_alloc_bytes={}", heap.alloc_bytes);
 
     if let Some(budget) = max_secs {
         if total_secs > budget {
@@ -155,6 +153,7 @@ fn run_ingest(mut args: Vec<String>) {
 }
 
 fn main() {
+    engine::mem::set_enabled(true);
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
         usage();

@@ -7,6 +7,7 @@
 pub mod batch;
 pub mod fuzz;
 pub mod metrics;
+pub mod profile;
 pub mod serve;
 
 use netlist::Circuit;

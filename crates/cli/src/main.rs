@@ -8,8 +8,15 @@ use engine::log;
 use engine::JsonValue;
 use tmfrt_cli::batch::{run_batch_dir, BatchArgs};
 use tmfrt_cli::fuzz::{run_fuzz, FuzzArgs};
+use tmfrt_cli::profile::{run_profile, ProfileArgs};
 use tmfrt_cli::serve::{run_serve, ServeArgs};
 use tmfrt_cli::{load_circuit, run, run_stats, Args, StatsArgs};
+
+/// Heap accounting for `/metrics`, per-job live counters and the v3
+/// artifact breakdowns. The wrapper always delegates to the system
+/// allocator; counting is off until `engine::mem::set_enabled`.
+#[global_allocator]
+static ALLOC: engine::mem::CountingAlloc = engine::mem::CountingAlloc::new();
 
 /// Usage errors go to stderr as plain text (they are the interactive
 /// surface of the tool, not events), then exit 2.
@@ -24,6 +31,7 @@ fn fatal(context: &str, msg: &str) -> ! {
 }
 
 fn main() {
+    engine::mem::set_enabled(true);
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match raw.first().map(String::as_str) {
         Some("batch") => {
@@ -40,6 +48,10 @@ fn main() {
         }
         Some("stats") => {
             run_stats_main(&raw[1..]);
+            return;
+        }
+        Some("profile") => {
+            run_profile_main(&raw[1..]);
             return;
         }
         _ => {}
@@ -214,6 +226,21 @@ fn run_stats_main(raw: &[String]) {
     match run_stats(&args) {
         Ok(report) => print!("{report}"),
         Err(msg) => fatal("stats failed", &msg),
+    }
+}
+
+/// The `tmfrt profile` subcommand: trace analysis report to stdout,
+/// diagnostics to stderr. Exits 2 on usage errors, 1 on unreadable or
+/// malformed traces.
+fn run_profile_main(raw: &[String]) {
+    let args = match ProfileArgs::parse(raw) {
+        Ok(a) => a,
+        Err(msg) => usage_error(&msg),
+    };
+    log::init(args.quiet);
+    match run_profile(&args) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => fatal("profile failed", &msg),
     }
 }
 

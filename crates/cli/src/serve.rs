@@ -5,12 +5,16 @@
 //! several sources) enqueues each circuit on a long-lived
 //! [`engine::Pool`], exactly as `tmfrt batch` does — panic-isolated,
 //! deadline-bounded through [`engine::CancelToken`]s, with per-job
-//! telemetry. While a job runs, its counters and current phase are
-//! readable by other threads through the
+//! telemetry. While a job runs, its counters, current phase and
+//! heap-accounting peaks are readable by other threads through the
 //! [`engine::telemetry::LiveTelemetry`] mirror, so `GET /jobs/<id>`
-//! shows counters-so-far, `GET /metrics` folds running jobs into the
-//! Prometheus exposition, and `GET /events` streams job-lifecycle and
-//! phase-transition events as Server-Sent Events.
+//! shows counters- and peak-heap-so-far, `GET /metrics` folds running
+//! jobs into the Prometheus exposition (including the process-wide
+//! allocator gauges from [`engine::mem`]), and `GET /events` streams
+//! job-lifecycle and phase-transition events as Server-Sent Events.
+//! With `--trace`, every job also records its spans, and
+//! `GET /jobs/<id>/trace` serves the finished job's Chrome-trace JSON
+//! (loadable in Perfetto, analyzable offline with `tmfrt profile`).
 //!
 //! Shutdown is graceful and cooperative: `POST /shutdown` (or tripping
 //! the handle's token programmatically) stops the accept loop, cancels
@@ -35,13 +39,16 @@ pub const SERVE_USAGE: &str = "\
 tmfrt serve — live mapping service with /metrics, /jobs and SSE events
 
 USAGE: tmfrt serve [--addr HOST:PORT] [--jobs N] [--timeout-secs S]
-                   [-a ALGO] [-k K] [--verify N] [--pack] [--strash]
-                   [--pushback] [--sweep-workers N] [--no-warm-start] [-q]
+                   [--trace] [-a ALGO] [-k K] [--verify N] [--pack]
+                   [--strash] [--pushback] [--sweep-workers N]
+                   [--no-warm-start] [-q]
 
   --addr A          listen address (default 127.0.0.1:7878; port 0 picks
                     an ephemeral port, reported in the startup log line)
   --jobs N          mapping worker threads (default 2)
   --timeout-secs S  default per-job soft deadline
+  --trace           record spans per job; GET /jobs/<id>/trace serves the
+                    finished job's Chrome-trace JSON
   remaining flags   default flow options for submitted jobs (overridable
                     per request via query parameters)
 
@@ -51,8 +58,10 @@ ENDPOINTS
                     JSON manifest
                     {\"jobs\":[{\"name\":…,\"source\":\"gen:…|path\"|\"blif\":…}]}
   GET  /jobs        all jobs (id, state, status, wall)
-  GET  /jobs/<id>   one job: phase timers and counters-so-far while
-                    running, final telemetry and report when done
+  GET  /jobs/<id>   one job: phase timers, counters- and peak-heap-so-far
+                    while running, final telemetry and report when done
+  GET  /jobs/<id>/trace  the job's Chrome-trace JSON (requires --trace
+                    and a finished job; 404 otherwise)
   GET  /metrics     Prometheus text exposition (live + finished jobs)
   GET  /events      Server-Sent Events: job lifecycle + phase transitions
   GET  /healthz     liveness   GET /readyz  readiness
@@ -70,6 +79,8 @@ pub struct ServeArgs {
     pub jobs: usize,
     /// Default per-job soft deadline.
     pub timeout: Option<Duration>,
+    /// Record spans per job and serve them on `/jobs/<id>/trace`.
+    pub trace: bool,
     /// Default flow options for submitted jobs.
     pub run: Args,
     /// Quiet: raises the log filter to `error` (unless `TMFRT_LOG` is
@@ -88,6 +99,7 @@ impl ServeArgs {
             addr: "127.0.0.1:7878".to_string(),
             jobs: 2,
             timeout: None,
+            trace: false,
             run: Args::parse(&["placeholder".to_string()]).expect("placeholder args parse"),
             quiet: false,
         };
@@ -114,6 +126,7 @@ impl ServeArgs {
                         .ok_or_else(|| "--timeout-secs needs a number".to_string())?;
                     out.timeout = Some(Duration::from_secs(s));
                 }
+                "--trace" => out.trace = true,
                 "-a" | "--algorithm" => {
                     out.run.algorithm = it
                         .next()
@@ -191,6 +204,8 @@ struct JobRecord {
     token: CancelToken,
     live: Arc<LiveTelemetry>,
     final_telemetry: Option<Telemetry>,
+    /// Spans harvested from the job thread (`--trace` runs only).
+    trace: Option<trace::TraceBuffer>,
     /// Last phase index published to the event stream (monitor state).
     last_phase: Option<&'static str>,
 }
@@ -292,6 +307,9 @@ pub fn start(args: &ServeArgs) -> Result<ServeHandle, String> {
         defaults: args.clone(),
         epoch: Instant::now(),
     });
+    if args.trace {
+        trace::set_enabled(true);
+    }
     log::info(
         "tmfrt::serve",
         "listening",
@@ -416,6 +434,13 @@ fn route(state: &Arc<ServeState>, req: Request) -> Response {
         },
         ("GET", "/jobs") => Response::json(200, &jobs_index(state)),
         ("POST", "/jobs") => submit_jobs(state, &req),
+        ("GET", path) if path.starts_with("/jobs/") && path.ends_with("/trace") => {
+            let id = &path["/jobs/".len()..path.len() - "/trace".len()];
+            match id.parse() {
+                Ok(id) => job_trace(state, id),
+                Err(_) => Response::bad_request("job id must be a number"),
+            }
+        }
         ("GET", path) if path.starts_with("/jobs/") => match path["/jobs/".len()..].parse() {
             Ok(id) => match job_detail(state, id) {
                 Some(v) => Response::json(200, &v),
@@ -535,6 +560,7 @@ fn submit_jobs(state: &Arc<ServeState>, req: &Request) -> Response {
             token: token.clone(),
             live: Arc::clone(&live),
             final_telemetry: None,
+            trace: None,
             last_phase: None,
         };
         state.jobs.lock().expect("jobs poisoned").push(record);
@@ -657,6 +683,7 @@ fn execute_job(
     drop(mirror_guard);
     drop(log_guard);
     let final_telemetry = telemetry::take();
+    let trace_buffer = trace::take_if_enabled();
     drop(guard);
 
     let deadline_hit = token.reason() == Some(CancelReason::Deadline);
@@ -683,6 +710,7 @@ fn execute_job(
         job.report = report;
         job.wall = Some(wall);
         job.final_telemetry = Some(final_telemetry);
+        job.trace = trace_buffer;
     }
     state.push_event(
         "job",
@@ -744,10 +772,38 @@ fn telemetry_json(
         ("counters", JsonValue::object(counters)),
         ("phase_micros", JsonValue::object(phases)),
     ];
+    if !t.mem.is_empty() {
+        pairs.push((
+            "mem",
+            JsonValue::object(vec![
+                ("peak_heap_bytes", JsonValue::UInt(t.mem.peak_bytes)),
+                ("allocs", JsonValue::UInt(t.mem.allocs)),
+                ("alloc_bytes", JsonValue::UInt(t.mem.alloc_bytes)),
+            ]),
+        ));
+    }
     if let Some(phase) = current_phase {
         pairs.push(("phase", JsonValue::str(phase)));
     }
     pairs
+}
+
+/// `GET /jobs/<id>/trace`: the finished job's Chrome-trace document.
+fn job_trace(state: &ServeState, id: u64) -> Response {
+    let jobs = state.jobs.lock().expect("jobs poisoned");
+    let Some(j) = jobs.iter().find(|j| j.id == id) else {
+        return Response::not_found();
+    };
+    match &j.trace {
+        Some(buffer) => {
+            let doc = trace::chrome_trace(buffer, &j.name);
+            Response::json(200, &doc)
+        }
+        None => Response::text(
+            404,
+            "no trace recorded: start the server with --trace and wait for the job to finish\n",
+        ),
+    }
 }
 
 fn job_detail(state: &ServeState, id: u64) -> Option<JsonValue> {
@@ -777,6 +833,11 @@ fn job_detail(state: &ServeState, id: u64) -> Option<JsonValue> {
     }
     if let Some(limit) = j.limit {
         pairs.push(("timeout_secs", JsonValue::UInt(limit.as_secs())));
+    }
+    // Process-wide high-water RSS at the time of the query — context for
+    // the per-job heap peaks below (the kernel counter is per-process).
+    if let Some(kib) = engine::mem::peak_rss_kib() {
+        pairs.push(("process_peak_rss_kib", JsonValue::UInt(kib)));
     }
     // Telemetry: the final snapshot once done, counters-so-far through
     // the live mirror while running.
@@ -847,6 +908,36 @@ fn render_metrics(state: &ServeState) -> String {
         "Total wall-clock seconds spent by finished jobs.",
     );
     w.sample("tmfrt_job_wall_seconds", &[], wall_total);
+    // Process-wide allocator ledger (live when the counting allocator is
+    // installed and enabled; zeros otherwise) and the kernel RSS probes.
+    let g = engine::mem::global_stats();
+    w.family(
+        "tmfrt_process_heap_live_bytes",
+        engine::prom::MetricKind::Gauge,
+        "Live heap bytes across the whole process (counting allocator).",
+    );
+    w.sample_u64("tmfrt_process_heap_live_bytes", &[], g.live_bytes);
+    w.family(
+        "tmfrt_process_heap_peak_bytes",
+        engine::prom::MetricKind::Gauge,
+        "Peak live heap bytes across the whole process (counting allocator).",
+    );
+    w.sample_u64("tmfrt_process_heap_peak_bytes", &[], g.peak_bytes);
+    w.family(
+        "tmfrt_process_rss_kib",
+        engine::prom::MetricKind::Gauge,
+        "Resident set size in KiB (current and VmHWM peak).",
+    );
+    w.sample_u64(
+        "tmfrt_process_rss_kib",
+        &[("kind", "current")],
+        engine::mem::current_rss_kib().unwrap_or(0),
+    );
+    w.sample_u64(
+        "tmfrt_process_rss_kib",
+        &[("kind", "peak")],
+        engine::mem::peak_rss_kib().unwrap_or(0),
+    );
     engine::prom::write_telemetry_families(&mut w, &agg);
     w.finish()
 }

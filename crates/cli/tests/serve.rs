@@ -246,6 +246,60 @@ fn serve_end_to_end() {
 }
 
 #[test]
+fn serve_trace_endpoint_and_mem_metrics() {
+    let args = ServeArgs::parse(&argv("--addr 127.0.0.1:0 --jobs 1 --trace")).unwrap();
+    let handle = start(&args).expect("serve starts");
+    let addr = handle.addr;
+
+    let blif = std::fs::read_to_string(data_blif()).unwrap();
+    let (status, body) = post(addr, "/jobs?name=traced", "text/plain", &blif);
+    assert_eq!(status, 202, "{body}");
+    let id = JsonValue::parse(&body)
+        .unwrap()
+        .get("accepted")
+        .and_then(|a| a.as_array())
+        .and_then(|a| a[0].get("id").and_then(|i| i.as_u64()))
+        .unwrap();
+    let done = wait_done(addr, id, Duration::from_secs(60));
+    assert_eq!(done.get("status").and_then(|s| s.as_str()), Some("ok"));
+    // The job detail carries the process peak-RSS context (Linux).
+    if engine::mem::peak_rss_kib().is_some() {
+        assert!(done.get("process_peak_rss_kib").is_some(), "{done:?}");
+    }
+
+    // The finished job's trace is a well-formed Chrome-trace document:
+    // the offline analyzer must accept it and see the mapper's spans.
+    let (status, body) = get(addr, &format!("/jobs/{id}/trace"));
+    assert_eq!(status, 200, "{body}");
+    let doc = JsonValue::parse(&body).expect("trace body is JSON");
+    let mut profile = engine::profile::Profile::new();
+    profile.add_trace(&doc).expect("trace is well-formed");
+    assert!(
+        profile.spans.contains_key("phi_search"),
+        "no phi_search span in {:?}",
+        profile.spans.keys().collect::<Vec<_>>()
+    );
+
+    // Unknown job and bad ids on the trace route.
+    assert_eq!(get(addr, "/jobs/9999/trace").0, 404);
+    assert_eq!(get(addr, "/jobs/abc/trace").0, 400);
+
+    // /metrics validates with the process-wide allocator gauges present.
+    let (status, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    engine::prom::validate_exposition(&text).expect("metrics must validate");
+    assert!(text.contains("tmfrt_process_heap_live_bytes"), "{text}");
+    assert!(text.contains("tmfrt_process_heap_peak_bytes"), "{text}");
+    assert!(
+        text.contains("tmfrt_process_rss_kib{kind=\"peak\"}"),
+        "{text}"
+    );
+    assert!(text.contains("tmfrt_mem_allocs_total"), "{text}");
+
+    handle.shutdown();
+}
+
+#[test]
 fn serve_rejects_malformed_body_framing() {
     let args = ServeArgs::parse(&argv("--addr 127.0.0.1:0 --jobs 1")).unwrap();
     let handle = start(&args).expect("serve starts");

@@ -61,6 +61,78 @@ fn map_trace_out_passes_tracecheck() {
 }
 
 #[test]
+fn profile_report_is_stdout_only() {
+    let dir = scratch("profile");
+    let trace = dir.join("p.trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_tmfrt"))
+        .arg("map")
+        .arg(data_blif())
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("-q")
+        .output()
+        .expect("tmfrt runs");
+    assert!(
+        out.status.success(),
+        "tmfrt failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // `tmfrt profile` keeps the stream discipline: the report is stdout,
+    // -q silences every diagnostic.
+    let prof = Command::new(env!("CARGO_BIN_EXE_tmfrt"))
+        .arg("profile")
+        .arg(&trace)
+        .arg("-q")
+        .output()
+        .expect("tmfrt profile runs");
+    assert!(
+        prof.status.success(),
+        "profile failed: {}",
+        String::from_utf8_lossy(&prof.stderr)
+    );
+    assert!(
+        prof.stderr.is_empty(),
+        "quiet profile wrote to stderr: {}",
+        String::from_utf8_lossy(&prof.stderr)
+    );
+    let report = String::from_utf8_lossy(&prof.stdout);
+    assert!(report.contains("phi_search"), "{report}");
+    assert!(report.contains("self"), "{report}");
+
+    // Self-diff is a clean baseline: no net regression to report.
+    let diff = Command::new(env!("CARGO_BIN_EXE_tmfrt"))
+        .args(["profile", "--diff"])
+        .arg(&trace)
+        .arg(&trace)
+        .arg("-q")
+        .output()
+        .expect("tmfrt profile --diff runs");
+    assert!(
+        diff.status.success(),
+        "diff failed: {}",
+        String::from_utf8_lossy(&diff.stderr)
+    );
+    assert!(diff.stderr.is_empty(), "quiet diff wrote to stderr");
+    assert!(String::from_utf8_lossy(&diff.stdout).contains("phi_search"));
+}
+
+#[test]
+fn profile_rejects_malformed_trace() {
+    let dir = scratch("profile_bad");
+    let bad = dir.join("bad.trace.json");
+    // An orphan E event: structurally JSON, semantically not a trace.
+    std::fs::write(&bad, "{\"traceEvents\": [{\"ph\": \"E\", \"ts\": 5}]}").unwrap();
+    let prof = Command::new(env!("CARGO_BIN_EXE_tmfrt"))
+        .arg("profile")
+        .arg(&bad)
+        .output()
+        .expect("tmfrt profile runs");
+    assert!(!prof.status.success(), "malformed trace must fail");
+    assert!(prof.stdout.is_empty(), "no report on failure");
+}
+
+#[test]
 fn tracecheck_rejects_garbage() {
     let dir = scratch("garbage");
     let bad = dir.join("bad.json");

@@ -21,6 +21,13 @@
 //! * [`trace`] — span/event tracing into bounded per-thread ring
 //!   buffers with Chrome-trace/Perfetto JSON export; zero-cost when
 //!   disabled (one atomic branch per record site),
+//! * [`mem`] — heap accounting: a counting `GlobalAlloc` wrapper the
+//!   binaries install, per-phase [`mem::MemScope`]s feeding
+//!   [`telemetry`], and the `VmHWM` peak-RSS probe; gated like [`trace`]
+//!   (one atomic load per allocation when off),
+//! * [`profile`] — offline Chrome-trace analysis for `tmfrt profile`:
+//!   self/total span aggregation, folded-stack export, and A/B
+//!   differentials with phase attribution,
 //! * [`prom`] — a Prometheus text-exposition writer and validator for
 //!   batch-level metrics summaries,
 //! * [`http`] — a dependency-free HTTP/1.1 server (thread-per-connection
@@ -51,7 +58,9 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is
+// `mem`'s `GlobalAlloc` wrapper, which opts back in locally.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
@@ -60,7 +69,9 @@ pub mod hist;
 pub mod http;
 pub mod json;
 pub mod log;
+pub mod mem;
 pub mod pool;
+pub mod profile;
 pub mod prom;
 pub mod rng;
 pub mod telemetry;
@@ -70,6 +81,7 @@ pub use batch::{run_batch, BatchOptions, JobOutcome, JobReport, JobSpec};
 pub use cancel::CancelToken;
 pub use hist::{Histogram, Metric};
 pub use json::JsonValue;
+pub use mem::{CountingAlloc, MemPhase, MemScope, MemStats};
 pub use pool::{scoped_workers, Pool};
 pub use prom::PromWriter;
 pub use rng::Rng64;

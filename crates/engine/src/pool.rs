@@ -274,6 +274,49 @@ mod tests {
     }
 
     #[test]
+    fn scoped_workers_merge_memory_accounting() {
+        use crate::mem::{self, MemPhase};
+        use crate::telemetry;
+        // Workers attribute allocations to phases on their own threads;
+        // after the scope, the caller's telemetry holds the exact sums
+        // (and the max of the per-thread peaks).
+        let _gate = mem::TEST_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        mem::set_enabled(true);
+        telemetry::reset();
+        let stop = AtomicBool::new(false);
+        scoped_workers(
+            2,
+            |i| {
+                let _s = mem::scope(MemPhase::LabelSweep);
+                // Worker 0 books 1000 bytes in 1 event, worker 1 books
+                // 2000 in 2: distinct shapes so the merge is checkable.
+                for _ in 0..=i {
+                    mem::on_alloc(1000);
+                }
+                for _ in 0..=i {
+                    mem::on_dealloc(1000);
+                }
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            },
+            || {
+                stop.store(true, Ordering::Release);
+            },
+        );
+        mem::set_enabled(false);
+        let t = telemetry::take();
+        let sweep = t.mem.phase(MemPhase::LabelSweep);
+        assert_eq!(sweep.allocs, 3, "1 + 2 events from the two workers");
+        assert_eq!(sweep.alloc_bytes, 3000);
+        assert_eq!(sweep.frees, 3);
+        // Peak merges as a max across threads: worker 1 held 2000 live.
+        assert_eq!(sweep.peak_bytes, 2000);
+        assert_eq!(t.mem.allocs, 3, "job ledger covers worker threads");
+        assert_eq!(t.mem.peak_bytes, 2000);
+    }
+
+    #[test]
     fn scoped_workers_zero_runs_main_alone() {
         let r = scoped_workers(0, |_| panic!("no workers expected"), || 7);
         assert_eq!(r, 7);

@@ -11,6 +11,7 @@
 
 use crate::batch::JobReport;
 use crate::hist::HIST_NAMES;
+use crate::mem::MEM_PHASE_NAMES;
 use crate::telemetry::{Telemetry, COUNTER_NAMES, PHASE_NAMES};
 use std::fmt::Write as _;
 
@@ -147,6 +148,73 @@ pub fn write_telemetry_families(w: &mut PromWriter, agg: &Telemetry) {
     );
     for (i, counter) in COUNTER_NAMES.iter().enumerate() {
         w.sample_u64("tmfrt_events", &[("counter", counter)], agg.counters[i]);
+    }
+
+    // Memory accounting (engine::mem). The aggregate families are
+    // always present — zeros when the gate is off — so dashboards can
+    // rely on them; per-phase families appear once any scope recorded.
+    w.family(
+        "tmfrt_mem_allocs_total",
+        MetricKind::Counter,
+        "Heap allocation events recorded by the counting allocator.",
+    );
+    w.sample_u64("tmfrt_mem_allocs_total", &[], agg.mem.allocs);
+    w.family(
+        "tmfrt_mem_frees_total",
+        MetricKind::Counter,
+        "Heap free events recorded by the counting allocator.",
+    );
+    w.sample_u64("tmfrt_mem_frees_total", &[], agg.mem.frees);
+    w.family(
+        "tmfrt_mem_alloc_bytes_total",
+        MetricKind::Counter,
+        "Heap bytes allocated, summed over all jobs.",
+    );
+    w.sample_u64("tmfrt_mem_alloc_bytes_total", &[], agg.mem.alloc_bytes);
+    w.family(
+        "tmfrt_mem_peak_heap_bytes",
+        MetricKind::Gauge,
+        "Largest per-thread heap high-water mark across jobs.",
+    );
+    w.sample_u64("tmfrt_mem_peak_heap_bytes", &[], agg.mem.peak_bytes);
+
+    if agg.mem.phases.iter().any(|p| !p.is_empty()) {
+        w.family(
+            "tmfrt_mem_phase_seconds",
+            MetricKind::Counter,
+            "Wall seconds inside memory scopes, per phase (inclusive).",
+        );
+        for (i, phase) in MEM_PHASE_NAMES.iter().enumerate() {
+            w.sample(
+                "tmfrt_mem_phase_seconds",
+                &[("phase", phase)],
+                agg.mem.phases[i].wall_nanos as f64 / 1e9,
+            );
+        }
+        w.family(
+            "tmfrt_mem_phase_allocs_total",
+            MetricKind::Counter,
+            "Allocation events inside memory scopes, per phase.",
+        );
+        for (i, phase) in MEM_PHASE_NAMES.iter().enumerate() {
+            w.sample_u64(
+                "tmfrt_mem_phase_allocs_total",
+                &[("phase", phase)],
+                agg.mem.phases[i].allocs,
+            );
+        }
+        w.family(
+            "tmfrt_mem_phase_peak_bytes",
+            MetricKind::Gauge,
+            "Largest within-scope heap growth, per phase.",
+        );
+        for (i, phase) in MEM_PHASE_NAMES.iter().enumerate() {
+            w.sample_u64(
+                "tmfrt_mem_phase_peak_bytes",
+                &[("phase", phase)],
+                agg.mem.phases[i].peak_bytes,
+            );
+        }
     }
 
     // One gauge family per non-empty histogram: quantile samples plus
@@ -415,6 +483,41 @@ mod tests {
         let empty = render_job_metrics::<()>(&[]);
         validate_exposition(&empty).expect("empty exposition must validate");
         assert!(empty.contains("tmfrt_jobs{status=\"ok\"} 0\n"));
+    }
+
+    #[test]
+    fn mem_families_expose_and_validate() {
+        use crate::mem::{MemPhase, MemPhaseStats};
+        let mut agg = Telemetry::default();
+        agg.mem.allocs = 42;
+        agg.mem.frees = 40;
+        agg.mem.alloc_bytes = 4096;
+        agg.mem.peak_bytes = 2048;
+        agg.mem.phases[MemPhase::LabelSweep as usize] = MemPhaseStats {
+            wall_nanos: 1_500_000_000,
+            allocs: 30,
+            frees: 28,
+            alloc_bytes: 3000,
+            peak_bytes: 1024,
+        };
+        let mut w = PromWriter::new();
+        write_telemetry_families(&mut w, &agg);
+        let text = w.finish();
+        validate_exposition(&text).expect("mem families must validate");
+        assert!(text.contains("tmfrt_mem_allocs_total 42\n"));
+        assert!(text.contains("tmfrt_mem_peak_heap_bytes 2048\n"));
+        assert!(text.contains("tmfrt_mem_phase_seconds{phase=\"frtcheck_sweep\"} 1.5\n"));
+        assert!(text.contains("tmfrt_mem_phase_allocs_total{phase=\"frtcheck_sweep\"} 30\n"));
+        assert!(text.contains("tmfrt_mem_phase_peak_bytes{phase=\"frtcheck_sweep\"} 1024\n"));
+
+        // With no scope activity the per-phase families stay out, but
+        // the aggregate families are always present (zeros included).
+        let mut w = PromWriter::new();
+        write_telemetry_families(&mut w, &Telemetry::default());
+        let text = w.finish();
+        validate_exposition(&text).expect("zeroed exposition must validate");
+        assert!(text.contains("tmfrt_mem_allocs_total 0\n"));
+        assert!(!text.contains("tmfrt_mem_phase_seconds"));
     }
 
     #[test]

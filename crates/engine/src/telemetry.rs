@@ -13,6 +13,7 @@
 //! four stages: label / search / generate / verify.
 
 use crate::hist::{Histogram, Metric, NUM_HISTS};
+use crate::mem::{self, MemPhase, MemPhaseStats, MemStats};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -116,6 +117,10 @@ pub struct Telemetry {
     /// Streaming distribution histograms, indexed by
     /// `hist::Metric as usize`.
     pub hists: [Histogram; NUM_HISTS],
+    /// Memory accounting: per-phase attributions from
+    /// [`mem::MemScope`]s plus the job's allocation ledger. All zeros
+    /// unless [`mem::set_enabled`] turned accounting on.
+    pub mem: MemStats,
 }
 
 impl Telemetry {
@@ -150,6 +155,7 @@ impl Telemetry {
         for i in 0..NUM_HISTS {
             self.hists[i].merge(&other.hists[i]);
         }
+        self.mem.merge(&other.mem);
     }
 
     /// This snapshot minus an earlier one (saturating).
@@ -164,6 +170,7 @@ impl Telemetry {
         for i in 0..NUM_HISTS {
             out.hists[i] = self.hists[i].since(&earlier.hists[i]);
         }
+        out.mem = self.mem.since(&earlier.mem);
         out
     }
 }
@@ -185,6 +192,12 @@ pub struct LiveTelemetry {
     phase_nanos: [AtomicU64; NUM_PHASES],
     /// `Phase as usize`, or `NUM_PHASES` when no phase timer is open.
     current_phase: AtomicUsize,
+    /// Heap high-water so far (bytes), max-merged from closing
+    /// [`mem::MemScope`]s on the mirrored threads.
+    mem_peak_bytes: AtomicU64,
+    /// Allocation events so far inside memory scopes on the mirrored
+    /// threads.
+    mem_allocs: AtomicU64,
 }
 
 impl LiveTelemetry {
@@ -205,7 +218,15 @@ impl LiveTelemetry {
         for i in 0..NUM_PHASES {
             t.phase_nanos[i] = self.phase_nanos[i].load(Ordering::Relaxed);
         }
+        t.mem.peak_bytes = self.mem_peak_bytes.load(Ordering::Relaxed);
+        t.mem.allocs = self.mem_allocs.load(Ordering::Relaxed);
         t
+    }
+
+    /// Heap high-water mark mirrored so far, in bytes (zero when memory
+    /// accounting is off).
+    pub fn mem_peak_bytes(&self) -> u64 {
+        self.mem_peak_bytes.load(Ordering::Relaxed)
     }
 
     /// The phase whose timer is currently open on the mirrored job, if
@@ -220,6 +241,12 @@ impl LiveTelemetry {
 
     fn add_phase(&self, p: Phase, nanos: u64) {
         self.phase_nanos[p as usize].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    fn note_mem(&self, allocs: u64, thread_peak: u64) {
+        self.mem_allocs.fetch_add(allocs, Ordering::Relaxed);
+        self.mem_peak_bytes
+            .fetch_max(thread_peak, Ordering::Relaxed);
     }
 
     /// Marks `p` open, returning the previous marker for restoration.
@@ -242,6 +269,11 @@ thread_local! {
     static HISTS: RefCell<[Histogram; NUM_HISTS]> =
         const { RefCell::new([Histogram::zeroed(); NUM_HISTS]) };
     static MIRROR: RefCell<Option<Arc<LiveTelemetry>>> = const { RefCell::new(None) };
+    /// Memory telemetry accumulated on this thread: phase attributions
+    /// from closing [`mem::MemScope`]s plus worker snapshots folded in
+    /// by [`merge_local`]. The job-thread allocator ledger
+    /// ([`mem::job_delta`]) is added at [`snapshot`] time, not here.
+    static MEM_ACC: Cell<MemStats> = const { Cell::new(MemStats::new()) };
 }
 
 /// The `Arc<LiveTelemetry>` mirror currently installed on this thread, if
@@ -272,6 +304,24 @@ pub fn merge_local(t: &Telemetry) {
             hists[i].merge(&t.hists[i]);
         }
     });
+    MEM_ACC.with(|m| {
+        let mut acc = m.get();
+        acc.merge(&t.mem);
+        m.set(acc);
+    });
+}
+
+/// Accumulates one closing [`mem::MemScope`]'s attribution into the
+/// current thread's telemetry and, when a mirror is installed, its
+/// live aggregates (`thread_peak` is the thread heap high-water for the
+/// mirror's max-merge). Called by `mem`, not user code.
+pub(crate) fn mem_phase_add(phase: MemPhase, stats: &MemPhaseStats, thread_peak: u64) {
+    MEM_ACC.with(|m| {
+        let mut acc = m.get();
+        acc.phases[phase as usize].merge(stats);
+        m.set(acc);
+    });
+    with_mirror(|live| live.note_mem(stats.allocs, thread_peak));
 }
 
 /// Installs `live` as the current thread's telemetry mirror for the
@@ -338,6 +388,15 @@ pub fn snapshot() -> Telemetry {
         }
     });
     HISTS.with(|hs| t.hists = *hs.borrow());
+    t.mem = MEM_ACC.with(|m| m.get());
+    // Fold in this thread's allocator ledger since the last job mark —
+    // scoped workers contribute theirs through merge_local instead.
+    let (delta, peak) = mem::job_delta();
+    t.mem.allocs = t.mem.allocs.wrapping_add(delta.allocs);
+    t.mem.frees = t.mem.frees.wrapping_add(delta.frees);
+    t.mem.alloc_bytes = t.mem.alloc_bytes.wrapping_add(delta.alloc_bytes);
+    t.mem.free_bytes = t.mem.free_bytes.wrapping_add(delta.free_bytes);
+    t.mem.peak_bytes = t.mem.peak_bytes.max(peak);
     t
 }
 
@@ -347,6 +406,8 @@ pub fn take() -> Telemetry {
     COUNTERS.with(|cs| cs.iter().for_each(|c| c.set(0)));
     PHASES.with(|ps| ps.iter().for_each(|p| p.set(0)));
     HISTS.with(|hs| *hs.borrow_mut() = [Histogram::zeroed(); NUM_HISTS]);
+    MEM_ACC.with(|m| m.set(MemStats::new()));
+    mem::job_mark();
     t
 }
 

@@ -62,6 +62,7 @@ impl<'a> Simulator<'a> {
         let c = self.circuit;
         assert_eq!(inputs.len(), c.inputs().len(), "PI vector length mismatch");
         let _span = engine::trace::span1("sim_step", "nodes", self.order.len() as u64);
+        let _mem = engine::mem::scope(engine::mem::MemPhase::Sim);
         for (&pi, &v) in c.inputs().iter().zip(inputs) {
             self.values[pi.index()] = v;
         }

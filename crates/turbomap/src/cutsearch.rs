@@ -95,6 +95,7 @@ pub fn find_cut_with(
             Some(("weight_bound", weight_bound)),
         ],
     );
+    let _mem = engine::mem::scope(engine::mem::MemPhase::MinCut);
     // Effective leaf: a declared leaf, or weight above the current bound.
     let effective_leaf = |i: usize| exp.is_leaf[i] || exp.nodes[i].weight > weight_bound;
     let value = |i: usize| {

@@ -71,6 +71,7 @@ impl ExpandedCircuit {
             "expand",
             [Some(("node", v.index() as u64)), Some(("bound", bound))],
         );
+        let _mem = engine::mem::scope(engine::mem::MemPhase::Expand);
         let mut index: HashMap<ExpNode, u32> = HashMap::new();
         let mut nodes: Vec<ExpNode> = Vec::new();
         let mut fanins: Vec<Vec<u32>> = Vec::new();

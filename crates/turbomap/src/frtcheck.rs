@@ -311,6 +311,7 @@ impl<'a> FrtContext<'a> {
             iterations += 1;
             engine::telemetry::count(engine::telemetry::Counter::FrtSweeps, 1);
             let _sweep = engine::trace::span1("frtcheck_sweep", "n", iterations as u64);
+            let _mem = engine::mem::scope(engine::mem::MemPhase::LabelSweep);
             let mut changed = false;
             for level in &self.levels {
                 // Phase 1: collect this level's dirty nodes. The flags

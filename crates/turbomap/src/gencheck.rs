@@ -123,6 +123,7 @@ impl<'a> GeneralContext<'a> {
             iterations += 1;
             engine::telemetry::count(engine::telemetry::Counter::FrtSweeps, 1);
             let _sweep = engine::trace::span1("frtcheck_sweep", "n", iterations as u64);
+            let _mem = engine::mem::scope(engine::mem::MemPhase::LabelSweep);
             let mut changed = false;
             for &v in &self.order {
                 let node = c.node(v);
