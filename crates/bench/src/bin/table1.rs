@@ -5,7 +5,7 @@
 //!   table1 [--max-gates N] [--k K] [--no-verify] [--stats]
 //!          [--jobs N] [--sweep-workers N] [--no-warm-start]
 //!          [--timeout-secs S] [--json PATH] [--canonical]
-//!          [--trace-dir DIR] [--suite table1|large]
+//!          [--trace-dir DIR] [--report-dir DIR] [--suite table1|large]
 //!
 //! `--suite large` runs the large-workload *ingestion* suite instead:
 //! each `workloads::large` preset is generated to a temp dir and
@@ -22,7 +22,13 @@
 //! fields so reruns are byte-identical, even with tracing or memory
 //! accounting toggled). `--trace-dir` enables span tracing and
 //! writes one Chrome-trace JSON per circuit (`DIR/<name>.trace.json`,
-//! loadable in Perfetto / `chrome://tracing`).
+//! loadable in Perfetto / `chrome://tracing`). `--report-dir` runs a
+//! post-suite certificate pass: every circuit is re-mapped through
+//! `report::explain`, the `turbomap-report/v1` document is replayed
+//! through the independent checker, and `DIR/<name>.report.json` is
+//! written — the process exits nonzero if any witness fails to verify.
+//! The pass runs after the measured rows, so the canonical artifact is
+//! byte-identical with or without it.
 //! A panicking or deadline-exceeded circuit is reported and skipped; the
 //! remaining rows still print and the process exits nonzero naming it.
 //!
@@ -111,6 +117,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut canonical = false;
     let mut trace_dir: Option<String> = None;
+    let mut report_dir: Option<String> = None;
     let mut suite = String::from("table1");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -153,6 +160,9 @@ fn main() {
             "--canonical" => canonical = true,
             "--trace-dir" => {
                 trace_dir = Some(args.next().expect("--trace-dir DIR"));
+            }
+            "--report-dir" => {
+                report_dir = Some(args.next().expect("--report-dir DIR"));
             }
             other => {
                 log::error(
@@ -336,6 +346,55 @@ fn main() {
     if rows.is_empty() {
         println!("no circuits completed");
         std::process::exit(1);
+    }
+
+    // The certificate pass runs on fresh mappings *after* the measured
+    // rows and the artifact, so it cannot perturb either.
+    if let Some(dir) = &report_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            log::error(
+                "table1",
+                "cannot create report dir",
+                &[
+                    ("path", JsonValue::str(dir.clone())),
+                    ("error", JsonValue::str(e.to_string())),
+                ],
+            );
+            std::process::exit(1);
+        }
+        let mut unverified = Vec::new();
+        for (name, outcome) in bench::batch::explain_suite(&cfg) {
+            match outcome {
+                Ok(doc) => {
+                    let path = format!("{dir}/{name}.report.json");
+                    if let Err(e) = std::fs::write(&path, doc) {
+                        log::error(
+                            "table1",
+                            "cannot write report",
+                            &[
+                                ("path", JsonValue::str(path.clone())),
+                                ("error", JsonValue::str(e.to_string())),
+                            ],
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    println!("report: {name}: CERTIFICATE FAILED — {e}");
+                    unverified.push(name);
+                }
+            }
+        }
+        if unverified.is_empty() {
+            println!("report: all certificates verified ({dir}/<name>.report.json)");
+        } else {
+            log::error(
+                "table1",
+                "certificates failed to verify",
+                &[("names", JsonValue::str(unverified.join(", ")))],
+            );
+            std::process::exit(1);
+        }
     }
 
     // Geometric means (over completed rows) and the paper's % comparison.

@@ -81,6 +81,8 @@ impl BatchArgs {
                 sweep_workers: 1,
                 no_warm_start: false,
                 trace_out: None,
+                report: None,
+                report_inline: false,
                 quiet: false,
             },
         };

@@ -18,7 +18,8 @@ tmfrt fuzz — differential fuzzing of the mapping/retiming flows
 USAGE: tmfrt fuzz [--seed N | --seed A..=B] [--cases N] [--jobs N]
                   [--timeout-secs S] [-k K] [--max-gates N]
                   [--max-mutations N] [--equiv-vectors N] [--equiv-seed N]
-                  [--corpus DIR] [--no-shrink] [--shrink-budget N] [-q]
+                  [--corpus DIR] [--no-shrink] [--shrink-budget N]
+                  [--certificates] [-q]
 
   --seed N | A..=B  campaign seed, or an inclusive seed range; each seed
                     contributes --cases cases (default 1)
@@ -33,6 +34,9 @@ USAGE: tmfrt fuzz [--seed N | --seed A..=B] [--cases N] [--jobs N]
   --corpus DIR      repro directory for failing cases (default fuzz/corpus)
   --no-shrink       archive failing cases unminimized
   --shrink-budget N oracle evaluations the shrinker may spend (default 160)
+  --certificates    per case, extract a turbomap-report/v1 Φ-optimality
+                    certificate and replay it through the independent
+                    checker (CheckKind certificate_check)
   -q, --quiet       suppress progress logs (the summary still prints)
 
 Every case is a pure function of (seed, config): a repro manifest's
@@ -134,6 +138,7 @@ impl FuzzArgs {
                     ));
                 }
                 "--no-shrink" => out.campaign.shrink = false,
+                "--certificates" => out.campaign.certificates = true,
                 "--shrink-budget" => out.campaign.shrink_budget = num(&mut it, "--shrink-budget")?,
                 "-q" | "--quiet" => out.quiet = true,
                 "-h" | "--help" => return Err(FUZZ_USAGE.to_string()),
@@ -190,6 +195,7 @@ mod tests {
         assert_eq!(a.campaign.cases_per_seed, 100);
         assert_eq!(a.campaign.k, 4);
         assert!(a.campaign.shrink);
+        assert!(!a.campaign.certificates);
         assert_eq!(
             a.campaign.corpus_dir.as_deref(),
             Some(std::path::Path::new("fuzz/corpus"))
@@ -218,7 +224,8 @@ mod tests {
         let a = FuzzArgs::parse(&argv(
             "--seed 2..=3 --cases 10 --jobs 4 --timeout-secs 30 -k 5 \
              --max-gates 80 --max-mutations 6 --equiv-vectors 32 \
-             --equiv-seed 99 --corpus /tmp/c --no-shrink --shrink-budget 40 -q",
+             --equiv-seed 99 --corpus /tmp/c --no-shrink --shrink-budget 40 \
+             --certificates -q",
         ))
         .unwrap();
         assert_eq!(a.campaign.seeds, vec![2, 3]);
@@ -236,6 +243,7 @@ mod tests {
         );
         assert!(!a.campaign.shrink);
         assert_eq!(a.campaign.shrink_budget, 40);
+        assert!(a.campaign.certificates);
         assert!(a.quiet);
     }
 

@@ -74,6 +74,13 @@ pub struct Args {
     pub no_warm_start: bool,
     /// Write a Chrome-trace JSON of the run's spans to this path.
     pub trace_out: Option<String>,
+    /// Write a `turbomap-report/v1` JSON (Φ-optimality certificate +
+    /// timing attribution) to this path. Only for `turbomap-frt`.
+    pub report: Option<String>,
+    /// Generate the report without writing a file and hand the JSON
+    /// back in [`RunOutcome::report_json`]. Not a CLI flag — set
+    /// programmatically (`tmfrt serve` uses it for `report=1` jobs).
+    pub report_inline: bool,
     /// Suppress the progress report on stderr (results and errors still
     /// print: circuit on stdout, errors on stderr).
     pub quiet: bool,
@@ -99,6 +106,8 @@ impl Args {
             sweep_workers: 1,
             no_warm_start: false,
             trace_out: None,
+            report: None,
+            report_inline: false,
             quiet: false,
         };
         // `tmfrt map <input> …` is an explicit alias for the default
@@ -157,6 +166,13 @@ impl Args {
                             .clone(),
                     );
                 }
+                "--report" => {
+                    args.report = Some(
+                        it.next()
+                            .ok_or_else(|| "--report needs a path".to_string())?
+                            .clone(),
+                    );
+                }
                 "-q" | "--quiet" => args.quiet = true,
                 "-h" | "--help" => return Err(USAGE.to_string()),
                 other if args.input.is_empty() && !other.starts_with('-') => {
@@ -177,7 +193,8 @@ pub const USAGE: &str = "\
 tmfrt — FPGA mapping with forward retiming (Cong & Wu, DAC'98 reproduction)
 
 USAGE: tmfrt [map] <input> [-o out.blif] [-a ALGO] [-k K] [--pushback] [--verify N]
-             [--onehot] [--trace-out t.json] [-q]
+             [--onehot] [--trace-out t.json] [--report r.json] [-q]
+       tmfrt explain <input> [-k K] [--json] [--check] …  (see `tmfrt explain --help`)
        tmfrt batch <dir> [--jobs N] [--timeout-secs S] [-o OUTDIR] …  (see `tmfrt batch --help`)
        tmfrt fuzz [--seed A..=B] [--cases N] [--jobs N] …  (see `tmfrt fuzz --help`)
        tmfrt stats <input> [--onehot]  (see `tmfrt stats --help`)
@@ -201,6 +218,8 @@ USAGE: tmfrt [map] <input> [-o out.blif] [-a ALGO] [-k K] [--pushback] [--verify
                cold-start every Φ probe (A/B switch; results unchanged)
   --trace-out  write a Chrome-trace JSON of the run's spans (open in
                Perfetto or chrome://tracing)
+  --report     write a turbomap-report/v1 JSON (Φ-optimality certificate
+               plus timing attribution; turbomap-frt only)
   -q, --quiet  suppress the progress report on stderr
 
 Results go to stdout (or -o); progress and errors go to stderr.";
@@ -211,7 +230,18 @@ Results go to stdout (or -o); progress and errors go to stderr.";
 ///
 /// Returns a human-readable message on I/O, parse or synthesis errors.
 pub fn load_circuit(args: &Args) -> Result<Circuit, String> {
-    if let Some(name) = args.input.strip_prefix("gen:") {
+    load_input(&args.input, args.onehot)
+}
+
+/// Loads a circuit from an input specification (path, `-`, or
+/// `gen:<preset>`) — the shared front door of `map`, `explain` and
+/// `stats`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O, parse or synthesis errors.
+pub fn load_input(input: &str, onehot: bool) -> Result<Circuit, String> {
+    if let Some(name) = input.strip_prefix("gen:") {
         if let Some(preset) = workloads::presets().into_iter().find(|p| p.name == name) {
             return Ok(workloads::build_preset(&preset));
         }
@@ -233,7 +263,7 @@ pub fn load_circuit(args: &Args) -> Result<Circuit, String> {
                 .join(", ")
         ));
     }
-    let enc = if args.onehot {
+    let enc = if onehot {
         workloads::Encoding::OneHot
     } else {
         workloads::Encoding::Binary
@@ -246,10 +276,10 @@ pub fn load_circuit(args: &Args) -> Result<Circuit, String> {
     // header probe says KISS2; hierarchical, multi-model and
     // yosys-extended BLIF all flatten here without the text ever being
     // held whole.
-    if args.input != "-" && !looks_like_kiss(&args.input, "") && !probe_kiss(&args.input)? {
-        return blifio::read_circuit_path_opts(&args.input, &link).map_err(|e| e.to_string());
+    if input != "-" && !looks_like_kiss(input, "") && !probe_kiss(input)? {
+        return blifio::read_circuit_path_opts(input, &link).map_err(|e| e.to_string());
     }
-    let text = if args.input == "-" {
+    let text = if input == "-" {
         use std::io::Read;
         let mut buf = String::new();
         std::io::stdin()
@@ -257,10 +287,9 @@ pub fn load_circuit(args: &Args) -> Result<Circuit, String> {
             .map_err(|e| format!("reading stdin: {e}"))?;
         buf
     } else {
-        std::fs::read_to_string(&args.input)
-            .map_err(|e| format!("reading `{}`: {e}", args.input))?
+        std::fs::read_to_string(input).map_err(|e| format!("reading `{}`: {e}", input))?
     };
-    if looks_like_kiss(&args.input, &text) {
+    if looks_like_kiss(input, &text) {
         let stg = workloads::parse_kiss2(&text).map_err(|e| e.to_string())?;
         workloads::synthesize_stg(&stg, enc, "kiss2").map_err(|e| e.to_string())
     } else {
@@ -401,6 +430,171 @@ fn render_file_stats(
     Ok(out)
 }
 
+/// Parsed `tmfrt explain` command line.
+#[derive(Debug, Clone)]
+pub struct ExplainArgs {
+    /// Input path, `-` for stdin, or `gen:<preset>`.
+    pub input: String,
+    /// LUT input bound.
+    pub k: usize,
+    /// One-hot encoding for KISS2 inputs.
+    pub onehot: bool,
+    /// Print the `turbomap-report/v1` JSON instead of the table.
+    pub json: bool,
+    /// Run the independent certificate checker on the rendered report
+    /// and fail unless the Φ−1 witness verifies.
+    pub check: bool,
+    /// Also write the report JSON to this path.
+    pub out: Option<String>,
+    /// Sweep parallelism (1 = serial, 0 = auto); report bytes are
+    /// identical for every setting.
+    pub sweep_workers: usize,
+}
+
+impl ExplainArgs {
+    /// Parses raw arguments (after the `explain` word).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on malformed input.
+    pub fn parse(raw: &[String]) -> Result<ExplainArgs, String> {
+        let mut args = ExplainArgs {
+            input: String::new(),
+            k: 5,
+            onehot: false,
+            json: false,
+            check: false,
+            out: None,
+            sweep_workers: 1,
+        };
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "-k" => {
+                    args.k = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "-k needs a number ≥ 2".to_string())?;
+                    if args.k < 2 {
+                        return Err("-k must be at least 2".into());
+                    }
+                }
+                "--onehot" => args.onehot = true,
+                "--json" => args.json = true,
+                "--check" => args.check = true,
+                "-o" | "--output" => {
+                    args.out = Some(
+                        it.next()
+                            .ok_or_else(|| "--output needs a path".to_string())?
+                            .clone(),
+                    );
+                }
+                "--sweep-workers" => {
+                    args.sweep_workers = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "--sweep-workers needs a count (0 = auto)".to_string())?;
+                }
+                "-h" | "--help" => return Err(EXPLAIN_USAGE.to_string()),
+                other if args.input.is_empty() && !other.starts_with('-') => {
+                    args.input = other.to_string();
+                }
+                other => return Err(format!("unexpected argument `{other}`\n{EXPLAIN_USAGE}")),
+            }
+        }
+        if args.input.is_empty() {
+            return Err(EXPLAIN_USAGE.to_string());
+        }
+        Ok(args)
+    }
+}
+
+/// Usage text for `tmfrt explain`.
+pub const EXPLAIN_USAGE: &str = "\
+tmfrt explain — why is Φ optimal? certificate + timing attribution
+
+Maps the circuit with turbomap-frt, then reports (a) a replayable
+derivation witness that period Φ−1 has no simple FRT mapping solution
+and (b) per-LUT depth/slack, the critical path, label pairs and the
+retiming summary.
+
+USAGE: tmfrt explain <input> [-k K] [--json] [--check] [-o r.json]
+                     [--onehot] [--sweep-workers N]
+
+  <input>    a .blif file, a .kiss2 file, `-` (BLIF on stdin), or
+             gen:<preset>
+  -k K       LUT input bound (default 5)
+  --json     print the turbomap-report/v1 JSON instead of the table
+  --check    replay the rendered report through the independent checker
+             (own frt/cone/max-flow arithmetic); exit non-zero unless
+             the Φ−1 witness verifies
+  -o PATH    also write the report JSON to PATH
+  --onehot   one-hot state encoding for KISS2 inputs
+  --sweep-workers N
+             label-sweep threads (default 1, 0 = all cores); the report
+             bytes are identical for every setting";
+
+/// Runs `tmfrt explain`: maps, assembles the report, optionally verifies
+/// it with the independent checker, and renders table or JSON.
+///
+/// # Errors
+///
+/// Returns a human-readable message on load/mapping errors, and a
+/// `certificate check FAILED: …` message when `--check` does not verify.
+pub fn run_explain(args: &ExplainArgs) -> Result<String, String> {
+    let circuit = load_input(&args.input, args.onehot)?;
+    let mut opts = turbomap::Options::with_k(args.k);
+    opts.sweep_workers = args.sweep_workers;
+    let explained = report::explain(&circuit, opts).map_err(|e| e.to_string())?;
+    let json = explained.to_json().render_pretty();
+    let mut check_line = None;
+    if args.check {
+        // Verify the *rendered* bytes: parse back, then replay with the
+        // checker's own arithmetic, so the round trip is covered too.
+        let parsed = engine::JsonValue::parse(&json)
+            .map_err(|e| format!("certificate check FAILED: report does not re-parse: {e}"))?;
+        let summary = report::verify(&parsed, &circuit, &explained.result.circuit)
+            .map_err(|e| format!("certificate check FAILED: {e}"))?;
+        match summary.witness {
+            report::WitnessVerdict::Verified {
+                steps,
+                ref terminal_node,
+                terminal_value,
+            } => {
+                check_line = Some(format!(
+                    "checker: witness VERIFIED — {steps} steps replay; {terminal_node} \
+                     reaches l^s = {terminal_value} > {}; {} node timings re-derived{}",
+                    explained.report.witness.phi_tested,
+                    summary.nodes_checked,
+                    if summary.cycle_checked {
+                        "; critical cycle re-verified"
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            report::WitnessVerdict::Unavailable { reason } => {
+                return Err(format!(
+                    "certificate check FAILED: no verifiable witness ({reason})"
+                ));
+            }
+        }
+    }
+    if let Some(path) = &args.out {
+        std::fs::write(path, &json).map_err(|e| format!("writing `{path}`: {e}"))?;
+    }
+    if args.json {
+        Ok(json)
+    } else {
+        let mut out = explained.report.render_table();
+        if let Some(line) = check_line {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
 /// The result of one CLI run.
 #[derive(Debug)]
 pub struct RunOutcome {
@@ -408,6 +602,9 @@ pub struct RunOutcome {
     pub circuit: Circuit,
     /// Human-readable summary lines.
     pub report: String,
+    /// The rendered `turbomap-report/v1` document, when requested via
+    /// [`Args::report`] or [`Args::report_inline`].
+    pub report_json: Option<String>,
     /// True when the initial state was lost (general retiming only).
     pub star: bool,
 }
@@ -418,7 +615,11 @@ pub struct RunOutcome {
 ///
 /// Returns a human-readable message on algorithm failures.
 pub fn run(args: &Args, input: &Circuit) -> Result<RunOutcome, String> {
+    if (args.report.is_some() || args.report_inline) && args.algorithm != Algorithm::TurboMapFrt {
+        return Err("--report is only available with -a turbomap-frt".into());
+    }
     let mut report = String::new();
+    let mut report_json: Option<String> = None;
     let stats = netlist::CircuitStats::of(input).map_err(|e| e.to_string())?;
     writeln!(report, "input:  {stats}").ok();
 
@@ -451,14 +652,34 @@ pub fn run(args: &Args, input: &Circuit) -> Result<RunOutcome, String> {
             let mut opts = turbomap::Options::with_k(args.k);
             opts.sweep_workers = args.sweep_workers;
             opts.warm_start = !args.no_warm_start;
-            let r = turbomap::turbomap_frt(&source, opts).map_err(|e| e.to_string())?;
-            writeln!(
-                report,
-                "turbomap-frt: Φ = {}, {} LUTs, {} FFs (initial state guaranteed)",
-                r.period, r.luts, r.ffs
-            )
-            .ok();
-            (r.circuit, false)
+            if args.report.is_some() || args.report_inline {
+                // The report pipeline wraps the same mapping run, so the
+                // circuit comes out of `explain` rather than mapping twice.
+                let explained = report::explain(&source, opts).map_err(|e| e.to_string())?;
+                let doc = explained.to_json().render_pretty();
+                if let Some(path) = &args.report {
+                    std::fs::write(path, &doc).map_err(|e| format!("writing `{path}`: {e}"))?;
+                    writeln!(report, "report: wrote {path}").ok();
+                }
+                report_json = Some(doc);
+                let r = explained.result;
+                writeln!(
+                    report,
+                    "turbomap-frt: Φ = {}, {} LUTs, {} FFs (initial state guaranteed)",
+                    r.period, r.luts, r.ffs
+                )
+                .ok();
+                (r.circuit, false)
+            } else {
+                let r = turbomap::turbomap_frt(&source, opts).map_err(|e| e.to_string())?;
+                writeln!(
+                    report,
+                    "turbomap-frt: Φ = {}, {} LUTs, {} FFs (initial state guaranteed)",
+                    r.period, r.luts, r.ffs
+                )
+                .ok();
+                (r.circuit, false)
+            }
         }
         Algorithm::TurboMap => {
             let r = turbomap::turbomap_general(&source, turbomap::Options::with_k(args.k))
@@ -534,6 +755,7 @@ pub fn run(args: &Args, input: &Circuit) -> Result<RunOutcome, String> {
     Ok(RunOutcome {
         circuit,
         report,
+        report_json,
         star,
     })
 }

@@ -10,7 +10,7 @@ use tmfrt_cli::batch::{run_batch_dir, BatchArgs};
 use tmfrt_cli::fuzz::{run_fuzz, FuzzArgs};
 use tmfrt_cli::profile::{run_profile, ProfileArgs};
 use tmfrt_cli::serve::{run_serve, ServeArgs};
-use tmfrt_cli::{load_circuit, run, run_stats, Args, StatsArgs};
+use tmfrt_cli::{load_circuit, run, run_explain, run_stats, Args, ExplainArgs, StatsArgs};
 
 /// Heap accounting for `/metrics`, per-job live counters and the v3
 /// artifact breakdowns. The wrapper always delegates to the system
@@ -48,6 +48,10 @@ fn main() {
         }
         Some("stats") => {
             run_stats_main(&raw[1..]);
+            return;
+        }
+        Some("explain") => {
+            run_explain_main(&raw[1..]);
             return;
         }
         Some("profile") => {
@@ -226,6 +230,21 @@ fn run_stats_main(raw: &[String]) {
     match run_stats(&args) {
         Ok(report) => print!("{report}"),
         Err(msg) => fatal("stats failed", &msg),
+    }
+}
+
+/// The `tmfrt explain` subcommand: Φ-optimality certificate and timing
+/// attribution to stdout. Exits 2 on usage errors, 1 on mapping errors
+/// or when `--check` fails to verify the certificate.
+fn run_explain_main(raw: &[String]) {
+    let args = match ExplainArgs::parse(raw) {
+        Ok(a) => a,
+        Err(msg) => usage_error(&msg),
+    };
+    log::init(false);
+    match run_explain(&args) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => fatal("explain failed", &msg),
     }
 }
 

@@ -27,7 +27,7 @@
 use crate::{load_circuit, run, Args};
 use engine::cancel::{self, CancelReason};
 use engine::http::{Request, Response, Server, ServerConfig};
-use engine::telemetry::{self, LiveTelemetry, Telemetry, COUNTER_NAMES, PHASE_NAMES};
+use engine::telemetry::{self, Counter, LiveTelemetry, Telemetry, COUNTER_NAMES, PHASE_NAMES};
 use engine::{log, trace, CancelToken, JsonValue, Pool, PromWriter};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,12 +54,16 @@ USAGE: tmfrt serve [--addr HOST:PORT] [--jobs N] [--timeout-secs S]
 
 ENDPOINTS
   POST /jobs        submit a BLIF body (?name=&algorithm=&k=&verify=&
-                    sweep_workers=&timeout_secs= override defaults) or a
-                    JSON manifest
+                    sweep_workers=&timeout_secs=&report=1 override
+                    defaults) or a JSON manifest
                     {\"jobs\":[{\"name\":…,\"source\":\"gen:…|path\"|\"blif\":…}]}
+                    report=1 (turbomap-frt only) also records a
+                    turbomap-report/v1 certificate per job
   GET  /jobs        all jobs (id, state, status, wall)
   GET  /jobs/<id>   one job: phase timers, counters- and peak-heap-so-far
                     while running, final telemetry and report when done
+  GET  /jobs/<id>/report  the job's turbomap-report/v1 JSON (requires a
+                    finished report=1 job; 404 otherwise)
   GET  /jobs/<id>/trace  the job's Chrome-trace JSON (requires --trace
                     and a finished job; 404 otherwise)
   GET  /metrics     Prometheus text exposition (live + finished jobs)
@@ -197,6 +201,9 @@ struct JobRecord {
     error: Option<String>,
     /// The run's human-readable report (ok outcomes).
     report: Option<String>,
+    /// The run's rendered `turbomap-report/v1` document (`report=1`
+    /// submissions, ok outcomes). Served on `GET /jobs/<id>/report`.
+    report_json: Option<String>,
     started: Option<Instant>,
     wall: Option<Duration>,
     deadline: Option<Instant>,
@@ -441,6 +448,13 @@ fn route(state: &Arc<ServeState>, req: Request) -> Response {
                 Err(_) => Response::bad_request("job id must be a number"),
             }
         }
+        ("GET", path) if path.starts_with("/jobs/") && path.ends_with("/report") => {
+            let id = &path["/jobs/".len()..path.len() - "/report".len()];
+            match id.parse() {
+                Ok(id) => job_report(state, id),
+                Err(_) => Response::bad_request("job id must be a number"),
+            }
+        }
         ("GET", path) if path.starts_with("/jobs/") => match path["/jobs/".len()..].parse() {
             Ok(id) => match job_detail(state, id) {
                 Some(v) => Response::json(200, &v),
@@ -509,6 +523,18 @@ fn submit_jobs(state: &Arc<ServeState>, req: &Request) -> Response {
             Err(_) => return Response::bad_request("sweep_workers must be a count (0 = auto)"),
         }
     }
+    if let Some(r) = req.query_param("report") {
+        match r {
+            "1" | "true" => {
+                if run_args.algorithm != crate::Algorithm::TurboMapFrt {
+                    return Response::bad_request("report=1 is only available with turbomap-frt");
+                }
+                run_args.report_inline = true;
+            }
+            "0" | "false" => run_args.report_inline = false,
+            _ => return Response::bad_request("report must be 0 or 1"),
+        }
+    }
     let mut limit = state.defaults.timeout;
     if let Some(t) = req.query_param("timeout_secs") {
         match t.parse::<u64>() {
@@ -553,6 +579,7 @@ fn submit_jobs(state: &Arc<ServeState>, req: &Request) -> Response {
             status: None,
             error: None,
             report: None,
+            report_json: None,
             started: None,
             wall: None,
             deadline: None,
@@ -687,18 +714,19 @@ fn execute_job(
     drop(guard);
 
     let deadline_hit = token.reason() == Some(CancelReason::Deadline);
-    let (status, error, report): (&'static str, Option<String>, Option<String>) = match caught {
-        Ok(Ok(outcome)) => ("ok", None, Some(outcome.report)),
-        Ok(Err(_)) if deadline_hit => ("deadline", Some("deadline exceeded".into()), None),
-        Ok(Err(e)) => ("failed", Some(e), None),
-        Err(_) if deadline_hit => ("deadline", Some("deadline exceeded".into()), None),
+    type Outcome = (&'static str, Option<String>, Option<String>, Option<String>);
+    let (status, error, report, report_json): Outcome = match caught {
+        Ok(Ok(outcome)) => ("ok", None, Some(outcome.report), outcome.report_json),
+        Ok(Err(_)) if deadline_hit => ("deadline", Some("deadline exceeded".into()), None, None),
+        Ok(Err(e)) => ("failed", Some(e), None, None),
+        Err(_) if deadline_hit => ("deadline", Some("deadline exceeded".into()), None, None),
         Err(payload) => {
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".into());
-            ("panicked", Some(msg), None)
+            ("panicked", Some(msg), None, None)
         }
     };
     {
@@ -708,6 +736,7 @@ fn execute_job(
         job.status = Some(status);
         job.error = error.clone();
         job.report = report;
+        job.report_json = report_json;
         job.wall = Some(wall);
         job.final_telemetry = Some(final_telemetry);
         job.trace = trace_buffer;
@@ -806,6 +835,28 @@ fn job_trace(state: &ServeState, id: u64) -> Response {
     }
 }
 
+/// `GET /jobs/<id>/report`: the finished job's `turbomap-report/v1`
+/// certificate + attribution document.
+fn job_report(state: &ServeState, id: u64) -> Response {
+    let jobs = state.jobs.lock().expect("jobs poisoned");
+    let Some(j) = jobs.iter().find(|j| j.id == id) else {
+        return Response::not_found();
+    };
+    match &j.report_json {
+        Some(doc) => Response {
+            status: 200,
+            content_type: "application/json".into(),
+            headers: Vec::new(),
+            body: engine::http::Body::Bytes(doc.clone().into_bytes()),
+        },
+        None => Response::text(
+            404,
+            "no report recorded: submit with ?report=1 (turbomap-frt) and wait for the job to \
+             finish\n",
+        ),
+    }
+}
+
 fn job_detail(state: &ServeState, id: u64) -> Option<JsonValue> {
     let jobs = state.jobs.lock().expect("jobs poisoned");
     let j = jobs.iter().find(|j| j.id == id)?;
@@ -823,6 +874,9 @@ fn job_detail(state: &ServeState, id: u64) -> Option<JsonValue> {
     if let Some(report) = &j.report {
         pairs.push(("report", JsonValue::str(report.clone())));
     }
+    if j.report_json.is_some() {
+        pairs.push(("report_available", JsonValue::Bool(true)));
+    }
     if let Some(wall) = j.wall {
         pairs.push(("wall_micros", JsonValue::UInt(wall.as_micros() as u64)));
     } else if let Some(started) = j.started {
@@ -839,13 +893,34 @@ fn job_detail(state: &ServeState, id: u64) -> Option<JsonValue> {
     if let Some(kib) = engine::mem::peak_rss_kib() {
         pairs.push(("process_peak_rss_kib", JsonValue::UInt(kib)));
     }
+    // Dropped trace events are an explicit top-level field: a non-zero
+    // value means `/jobs/<id>/trace` is incomplete.
+    if let Some(buffer) = &j.trace {
+        pairs.push(("trace_dropped_events", JsonValue::UInt(buffer.dropped)));
+    }
     // Telemetry: the final snapshot once done, counters-so-far through
-    // the live mirror while running.
+    // the live mirror while running. The two headline efficiency
+    // counters also surface as explicit fields so dashboards need not
+    // dig through the counters object.
+    let headline = |pairs: &mut Vec<(&'static str, JsonValue)>, t: &Telemetry| {
+        pairs.push((
+            "sweeps_saved",
+            JsonValue::UInt(t.counters[Counter::SweepsSaved as usize]),
+        ));
+        pairs.push((
+            "frt_capped",
+            JsonValue::UInt(t.counters[Counter::FrtCapped as usize]),
+        ));
+    };
     match (&j.final_telemetry, j.state) {
-        (Some(t), _) => pairs.extend(telemetry_json(t, None)),
+        (Some(t), _) => {
+            headline(&mut pairs, t);
+            pairs.extend(telemetry_json(t, None));
+        }
         (None, JobState::Running) => {
             let live = j.live.snapshot();
             let phase = j.live.current_phase().map(|p| PHASE_NAMES[p as usize]);
+            headline(&mut pairs, &live);
             pairs.extend(telemetry_json(&live, phase));
         }
         _ => {}
@@ -862,8 +937,12 @@ fn render_metrics(state: &ServeState) -> String {
     let mut queued = 0u64;
     let mut running = 0u64;
     let mut wall_total = 0.0f64;
+    let mut trace_dropped = 0u64;
     let mut agg = Telemetry::default();
     for j in jobs.iter() {
+        if let Some(buffer) = &j.trace {
+            trace_dropped += buffer.dropped;
+        }
         match j.state {
             JobState::Queued => queued += 1,
             JobState::Running => agg.merge(&j.live.snapshot()),
@@ -908,6 +987,35 @@ fn render_metrics(state: &ServeState) -> String {
         "Total wall-clock seconds spent by finished jobs.",
     );
     w.sample("tmfrt_job_wall_seconds", &[], wall_total);
+    // Observability health + headline efficiency counters as dedicated
+    // families (they also appear inside tmfrt_events, but dashboards
+    // alert on these three specifically).
+    w.family(
+        "tmfrt_trace_dropped_events",
+        engine::prom::MetricKind::Counter,
+        "Trace ring-buffer events dropped across recorded jobs (non-zero = incomplete traces).",
+    );
+    w.sample_u64("tmfrt_trace_dropped_events", &[], trace_dropped);
+    w.family(
+        "tmfrt_sweeps_saved_total",
+        engine::prom::MetricKind::Counter,
+        "Label sweeps skipped by warm-start seeding across all jobs.",
+    );
+    w.sample_u64(
+        "tmfrt_sweeps_saved_total",
+        &[],
+        agg.counters[Counter::SweepsSaved as usize],
+    );
+    w.family(
+        "tmfrt_frt_capped_total",
+        engine::prom::MetricKind::Counter,
+        "FRT relocation-bound cap hits across all jobs.",
+    );
+    w.sample_u64(
+        "tmfrt_frt_capped_total",
+        &[],
+        agg.counters[Counter::FrtCapped as usize],
+    );
     // Process-wide allocator ledger (live when the counting allocator is
     // installed and enabled; zeros otherwise) and the kernel RSS probes.
     let g = engine::mem::global_stats();
@@ -957,6 +1065,7 @@ fn sse_events(state: &Arc<ServeState>, req: &Request) -> Response {
     Response::stream("text/event-stream", move |w| {
         let _ = w.write_all(b": tmfrt serve event stream\n\n");
         let _ = w.flush();
+        let mut idle_ticks = 0u32;
         loop {
             let batch = state.events_since(cursor);
             for (seq, data) in &batch {
@@ -965,8 +1074,23 @@ fn sse_events(state: &Arc<ServeState>, req: &Request) -> Response {
                     return;
                 }
             }
-            if !batch.is_empty() && w.flush().is_err() {
-                return;
+            if !batch.is_empty() {
+                idle_ticks = 0;
+                if w.flush().is_err() {
+                    return;
+                }
+            } else {
+                // SSE comment-line keepalive roughly once per second of
+                // idle polling: ignored by clients, but keeps proxies
+                // and kept-alive sockets from timing the stream out —
+                // and detects disconnected clients between events.
+                idle_ticks += 1;
+                if idle_ticks >= 40 {
+                    idle_ticks = 0;
+                    if w.write_all(b": keepalive\n\n").is_err() || w.flush().is_err() {
+                        return;
+                    }
+                }
             }
             if state.shutdown.is_cancelled() {
                 let _ = w.write_all(b"event: shutdown\ndata: {}\n\n");

@@ -300,6 +300,102 @@ fn serve_trace_endpoint_and_mem_metrics() {
 }
 
 #[test]
+fn serve_report_endpoint_metrics_and_keepalive() {
+    let args = ServeArgs::parse(&argv("--addr 127.0.0.1:0 --jobs 1 --trace")).unwrap();
+    let handle = start(&args).expect("serve starts");
+    let addr = handle.addr;
+
+    // report=1 requires the turbomap-frt flow.
+    let blif = std::fs::read_to_string(data_blif()).unwrap();
+    let (status, body) = post(
+        addr,
+        "/jobs?report=1&algorithm=turbomap",
+        "text/plain",
+        &blif,
+    );
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = post(addr, "/jobs?report=2", "text/plain", &blif);
+    assert_eq!(status, 400, "{body}");
+
+    // A report=1 job records a turbomap-report/v1 document.
+    let (status, body) = post(addr, "/jobs?name=certified&report=1", "text/plain", &blif);
+    assert_eq!(status, 202, "{body}");
+    let id = JsonValue::parse(&body)
+        .unwrap()
+        .get("accepted")
+        .and_then(|a| a.as_array())
+        .and_then(|a| a[0].get("id").and_then(|i| i.as_u64()))
+        .unwrap();
+    let done = wait_done(addr, id, Duration::from_secs(60));
+    assert_eq!(
+        done.get("status").and_then(|s| s.as_str()),
+        Some("ok"),
+        "{done:?}"
+    );
+    // The detail document advertises the report and surfaces the
+    // headline efficiency counters and trace health explicitly.
+    assert_eq!(
+        done.get("report_available")
+            .map(|v| matches!(v, JsonValue::Bool(true))),
+        Some(true),
+        "{done:?}"
+    );
+    assert!(done.get("sweeps_saved").and_then(|v| v.as_u64()).is_some());
+    assert!(done.get("frt_capped").and_then(|v| v.as_u64()).is_some());
+    assert_eq!(
+        done.get("trace_dropped_events").and_then(|v| v.as_u64()),
+        Some(0),
+        "{done:?}"
+    );
+
+    let (status, body) = get(addr, &format!("/jobs/{id}/report"));
+    assert_eq!(status, 200, "{body}");
+    let doc = JsonValue::parse(&body).expect("report body is JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some(report::SCHEMA),
+        "{body}"
+    );
+    assert!(doc.get("witness").is_some(), "{body}");
+    assert!(doc.get("timing").is_some(), "{body}");
+
+    // A job submitted without report=1 serves a 404 with a hint.
+    let (status, body) = post(addr, "/jobs?name=plain", "text/plain", &blif);
+    assert_eq!(status, 202, "{body}");
+    let plain_id = JsonValue::parse(&body)
+        .unwrap()
+        .get("accepted")
+        .and_then(|a| a.as_array())
+        .and_then(|a| a[0].get("id").and_then(|i| i.as_u64()))
+        .unwrap();
+    wait_done(addr, plain_id, Duration::from_secs(60));
+    let (status, body) = get(addr, &format!("/jobs/{plain_id}/report"));
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("report=1"), "{body}");
+    assert_eq!(get(addr, "/jobs/9999/report").0, 404);
+    assert_eq!(get(addr, "/jobs/abc/report").0, 400);
+
+    // The dedicated observability families ride /metrics and validate.
+    let (status, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    engine::prom::validate_exposition(&text).expect("metrics must validate");
+    assert!(text.contains("tmfrt_trace_dropped_events 0\n"), "{text}");
+    assert!(text.contains("tmfrt_sweeps_saved_total"), "{text}");
+    assert!(text.contains("tmfrt_frt_capped_total"), "{text}");
+    assert!(
+        text.contains("tmfrt_events{counter=\"reports_generated\"} 1\n"),
+        "{text}"
+    );
+
+    // An idle SSE stream emits comment-line keepalives about once per
+    // second so proxies do not time the connection out between jobs.
+    let acc = sse_until(addr, "/events", ": keepalive", Duration::from_secs(10));
+    assert!(acc.contains(": keepalive\n\n"), "{acc}");
+
+    handle.shutdown();
+}
+
+#[test]
 fn serve_rejects_malformed_body_framing() {
     let args = ServeArgs::parse(&argv("--addr 127.0.0.1:0 --jobs 1")).unwrap();
     let handle = start(&args).expect("serve starts");

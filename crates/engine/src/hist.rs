@@ -43,10 +43,18 @@ pub enum Metric {
     /// Wall-clock nanoseconds per completed fuzz case (generation through
     /// oracle verdict; a timing field — canonical artifacts zero it).
     FuzzCaseNanos = 7,
+    /// Per-LUT timing slack (period − depth) of each mapped gate, recorded
+    /// when a mapping report is generated (`crates/report`).
+    NodeSlack = 8,
+    /// Derivation-log length of each Φ−1 infeasibility witness.
+    WitnessSteps = 9,
+    /// Node count of the critical cycle found on the mapped network at
+    /// Φ−1 (recorded only when a cycle exists).
+    WitnessCycleLen = 10,
 }
 
 /// Number of [`Metric`] variants.
-pub const NUM_HISTS: usize = 8;
+pub const NUM_HISTS: usize = 11;
 
 /// Stable snake_case metric names, indexed by `Metric as usize` (JSON
 /// keys in the `turbomap-bench/table1/v2` artifact).
@@ -59,6 +67,9 @@ pub const HIST_NAMES: [&str; NUM_HISTS] = [
     "parallel_batch_size",
     "fuzz_case_gates",
     "fuzz_case_nanos",
+    "node_slack",
+    "witness_steps",
+    "witness_cycle_len",
 ];
 
 /// A streaming log-bucketed histogram. All fields are monotone counters.
@@ -350,6 +361,12 @@ mod tests {
     fn names_cover_metrics() {
         assert_eq!(HIST_NAMES.len(), NUM_HISTS);
         assert_eq!(HIST_NAMES[Metric::SpanNanos as usize], "span_nanos");
+        assert_eq!(HIST_NAMES[Metric::NodeSlack as usize], "node_slack");
+        assert_eq!(
+            HIST_NAMES[Metric::WitnessCycleLen as usize],
+            "witness_cycle_len"
+        );
+        assert_eq!(Metric::WitnessCycleLen as usize, NUM_HISTS - 1);
         let unique: std::collections::HashSet<&str> = HIST_NAMES.iter().copied().collect();
         assert_eq!(unique.len(), NUM_HISTS);
     }

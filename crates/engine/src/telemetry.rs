@@ -51,10 +51,13 @@ pub enum Counter {
     OracleFailures = 10,
     /// Accepted shrinker reductions while minimizing failing fuzz cases.
     ShrinkSteps = 11,
+    /// Mapping reports generated (`crates/report`): witness extraction
+    /// plus timing attribution for one run.
+    ReportsGenerated = 12,
 }
 
 /// Number of [`Counter`] variants.
-pub const NUM_COUNTERS: usize = 12;
+pub const NUM_COUNTERS: usize = 13;
 
 /// Stable snake_case names, indexed by `Counter as usize` (used as JSON
 /// keys — part of the `BENCH_table1.json` schema).
@@ -71,6 +74,7 @@ pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "cases_run",
     "oracle_failures",
     "shrink_steps",
+    "reports_generated",
 ];
 
 /// Pipeline phases timed per job.
@@ -511,8 +515,8 @@ mod tests {
             "backward_moves"
         );
         assert_eq!(PHASE_NAMES[Phase::Verify as usize], "verify");
-        // Every counter (0..=11 = FlowAugmentations..ShrinkSteps) has a
-        // distinct JSON key — a duplicate would silently shadow a column
+        // Every counter (0..=12 = FlowAugmentations..ReportsGenerated) has
+        // a distinct JSON key — a duplicate would silently shadow a column
         // in the artifact.
         let unique: std::collections::HashSet<&str> = COUNTER_NAMES.iter().copied().collect();
         assert_eq!(unique.len(), NUM_COUNTERS);
@@ -525,7 +529,11 @@ mod tests {
             "oracle_failures"
         );
         assert_eq!(COUNTER_NAMES[Counter::ShrinkSteps as usize], "shrink_steps");
-        assert_eq!(Counter::ShrinkSteps as usize, NUM_COUNTERS - 1);
+        assert_eq!(
+            COUNTER_NAMES[Counter::ReportsGenerated as usize],
+            "reports_generated"
+        );
+        assert_eq!(Counter::ReportsGenerated as usize, NUM_COUNTERS - 1);
     }
 
     #[test]

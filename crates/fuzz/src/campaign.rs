@@ -42,6 +42,8 @@ pub struct CampaignConfig {
     pub equiv_seed: u64,
     /// Second `sweep_workers` value for the determinism check (0 = off).
     pub alt_sweep_workers: usize,
+    /// Enable the Φ-optimality certificate check per case.
+    pub certificates: bool,
     /// Batch worker threads (0 → one).
     pub jobs: usize,
     /// Per-case soft deadline.
@@ -65,6 +67,7 @@ impl Default for CampaignConfig {
             equiv_vectors: 64,
             equiv_seed: 0xEC41_55EE,
             alt_sweep_workers: 3,
+            certificates: false,
             jobs: 0,
             timeout: Some(Duration::from_secs(60)),
             corpus_dir: Some(PathBuf::from("fuzz/corpus")),
@@ -91,6 +94,7 @@ impl CampaignConfig {
             equiv_vectors: self.equiv_vectors,
             equiv_seed: self.equiv_seed,
             alt_sweep_workers: self.alt_sweep_workers,
+            certificates: self.certificates,
         }
     }
 }

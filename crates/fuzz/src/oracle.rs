@@ -50,6 +50,10 @@ pub struct OracleConfig {
     /// Second `sweep_workers` setting for the determinism check (the
     /// first is always 1); 0 disables the check.
     pub alt_sweep_workers: usize,
+    /// Run the Φ-optimality certificate check: extract a
+    /// `turbomap-report/v1` document via `report::explain` and replay
+    /// it through the independent checker.
+    pub certificates: bool,
 }
 
 impl Default for OracleConfig {
@@ -59,6 +63,7 @@ impl Default for OracleConfig {
             equiv_vectors: 64,
             equiv_seed: 0xEC41_55EE,
             alt_sweep_workers: 3,
+            certificates: false,
         }
     }
 }
@@ -88,6 +93,10 @@ pub enum CheckKind {
     /// with `blifio::write_circuit` and re-reading with the streaming
     /// reader did not reproduce a structurally identical circuit.
     RoundTrip,
+    /// The Φ-optimality certificate failed: `report::explain` errored,
+    /// its Φ disagreed with the oracle's own TurboMap-frt run, or the
+    /// rendered report did not replay through the independent checker.
+    CertificateCheck,
 }
 
 impl CheckKind {
@@ -102,6 +111,7 @@ impl CheckKind {
             CheckKind::MapperPanic => "mapper_panic",
             CheckKind::StructuralInvalid => "structural_invalid",
             CheckKind::RoundTrip => "round_trip",
+            CheckKind::CertificateCheck => "certificate_check",
         }
     }
 }
@@ -315,6 +325,43 @@ pub fn round_trip_violation(source: &Circuit, cfg: &OracleConfig) -> Option<Stri
             ce.output, ce.cycle
         )),
         Err(e) => Some(format!("round-trip equivalence check failed to run: {e}")),
+    }
+}
+
+/// The certificate judgement behind [`CheckKind::CertificateCheck`],
+/// exposed for focused tests: re-maps `source` with `report::explain`,
+/// checks the resulting Φ against `expected_phi` (the oracle's own
+/// TurboMap-frt run), renders the `turbomap-report/v1` document and
+/// replays it through the independent checker. Timing attribution must
+/// always verify; the Φ−1 witness may be legitimately unavailable (a
+/// non-simple solution beat the probe, or a horizon cap fired), which
+/// the checker reports as a verdict rather than an error. Returns the
+/// first failure's description, `None` when the certificate holds or
+/// the run was cancelled (the caller re-checks the token).
+pub fn certificate_violation(
+    source: &Circuit,
+    expected_phi: u64,
+    cfg: &OracleConfig,
+) -> Option<String> {
+    let explained = match report::explain(source, Options::with_k(cfg.k)) {
+        Ok(e) => e,
+        Err(report::ReportError::Cancelled) => return None,
+        Err(e) => return Some(format!("explain failed: {e}")),
+    };
+    if explained.result.period != expected_phi {
+        return Some(format!(
+            "explain mapped Φ = {} but the oracle's run mapped Φ = {expected_phi}",
+            explained.result.period
+        ));
+    }
+    let doc = explained.to_json().render_pretty();
+    let parsed = match engine::JsonValue::parse(&doc) {
+        Ok(p) => p,
+        Err(e) => return Some(format!("rendered report does not re-parse: {e}")),
+    };
+    match report::verify(&parsed, source, &explained.result.circuit) {
+        Ok(_) => None,
+        Err(e) => Some(format!("independent checker rejected the report: {e}")),
     }
 }
 
@@ -553,6 +600,34 @@ pub fn run_oracle(source: &Circuit, cfg: &OracleConfig) -> OracleOutcome {
         }
     }
 
+    // Check 5: Φ-optimality certificates. The explain pipeline re-maps
+    // the case; its report must replay through the independent checker
+    // and agree with the oracle's own TurboMap-frt period.
+    if cfg.certificates {
+        if let Some(frt) = &frt_res {
+            match catch_unwind(AssertUnwindSafe(|| {
+                certificate_violation(source, frt.period, cfg)
+            })) {
+                Ok(Some(detail)) => violations.push(Violation {
+                    kind: CheckKind::CertificateCheck,
+                    flow: "turbomap-frt",
+                    detail,
+                }),
+                Ok(None) => {}
+                Err(_) => {
+                    if engine::cancel::cancelled() {
+                        return OracleOutcome::Cancelled;
+                    }
+                    violations.push(Violation {
+                        kind: CheckKind::CertificateCheck,
+                        flow: "turbomap-frt",
+                        detail: "panic while extracting or checking the certificate".to_string(),
+                    });
+                }
+            }
+        }
+    }
+
     if engine::cancel::cancelled() {
         return OracleOutcome::Cancelled;
     }
@@ -618,8 +693,34 @@ mod tests {
             (CheckKind::MapperPanic, "mapper_panic"),
             (CheckKind::StructuralInvalid, "structural_invalid"),
             (CheckKind::RoundTrip, "round_trip"),
+            (CheckKind::CertificateCheck, "certificate_check"),
         ] {
             assert_eq!(kind.name(), name);
+        }
+    }
+
+    /// With certificates enabled, clean generated cases still pass: the
+    /// explain pipeline agrees with the oracle's own run and every
+    /// rendered report replays through the independent checker.
+    #[test]
+    fn certificate_check_passes_on_clean_cases() {
+        let gen_cfg = GenConfig {
+            k: 4,
+            max_gates: 40,
+            max_mutations: 6,
+        };
+        let cfg = OracleConfig {
+            equiv_vectors: 16,
+            alt_sweep_workers: 0,
+            certificates: true,
+            ..OracleConfig::default()
+        };
+        for seed in 0..4 {
+            let c = generate_case(seed, &gen_cfg);
+            let out = run_oracle(&c, &cfg);
+            if let OracleOutcome::Fail { violations, .. } = &out {
+                panic!("seed {seed} failed: {violations:?}");
+            }
         }
     }
 

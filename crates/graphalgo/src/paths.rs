@@ -102,11 +102,15 @@ pub fn dijkstra(adj: &[Vec<(usize, u64)>], sources: &[usize]) -> Vec<Option<u64>
 }
 
 /// Error from [`longest_paths`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LongestPathError {
     /// Relaxation failed to converge within `n` rounds, implying a
-    /// positive-length cycle reachable from a source.
-    PositiveCycle,
+    /// positive-length cycle reachable from a source. Carries the witness:
+    /// the cycle's node sequence in forward edge order (each consecutive
+    /// pair `(a, b)` — and the wrap-around pair — is an edge of the input),
+    /// rotated so the smallest node id leads. A self-loop yields a
+    /// single-node sequence.
+    PositiveCycle(Vec<usize>),
     /// A relaxation overflowed `i64` towards `+∞` — path lengths grew past
     /// what the machine can represent, so no finite answer exists.
     Overflow,
@@ -115,8 +119,12 @@ pub enum LongestPathError {
 impl std::fmt::Display for LongestPathError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LongestPathError::PositiveCycle => {
-                write!(f, "positive cycle reachable from a source")
+            LongestPathError::PositiveCycle(cycle) => {
+                write!(
+                    f,
+                    "positive cycle of {} node(s) reachable from a source",
+                    cycle.len()
+                )
             }
             LongestPathError::Overflow => {
                 write!(f, "path length overflowed i64 during relaxation")
@@ -127,11 +135,19 @@ impl std::fmt::Display for LongestPathError {
 
 impl std::error::Error for LongestPathError {}
 
-/// Reusable state for [`longest_paths`]: the length array survives across
-/// calls (one per Φ probe of a retiming feasibility search).
+/// "No predecessor recorded" sentinel in [`LongestPathScratch::pred`].
+const NO_PRED: usize = usize::MAX;
+
+/// Reusable state for [`longest_paths`]: the length and predecessor
+/// arrays survive across calls (one per Φ probe of a retiming
+/// feasibility search).
 #[derive(Debug, Default, Clone)]
 pub struct LongestPathScratch {
     len: Vec<i64>,
+    /// `pred[v]` is the tail of the edge whose relaxation last improved
+    /// `len[v]` ([`NO_PRED`] when never improved) — the witness trail for
+    /// positive-cycle extraction.
+    pred: Vec<usize>,
 }
 
 impl LongestPathScratch {
@@ -146,11 +162,12 @@ impl LongestPathScratch {
     ///
     /// # Errors
     ///
-    /// [`LongestPathError::PositiveCycle`] when a positive-length cycle is
-    /// reachable from a source; [`LongestPathError::Overflow`] when a
-    /// relaxation overflows `i64` towards `+∞` (a candidate that
-    /// underflows towards `−∞` can never improve a length and is simply
-    /// skipped — saturation, not an error).
+    /// [`LongestPathError::PositiveCycle`] — carrying the cycle's node
+    /// sequence — when a positive-length cycle is reachable from a
+    /// source; [`LongestPathError::Overflow`] when a relaxation overflows
+    /// `i64` towards `+∞` (a candidate that underflows towards `−∞` can
+    /// never improve a length and is simply skipped — saturation, not an
+    /// error).
     ///
     /// # Panics
     ///
@@ -163,12 +180,15 @@ impl LongestPathScratch {
     ) -> Result<&[i64], LongestPathError> {
         self.len.clear();
         self.len.resize(n, NEG_INF);
+        self.pred.clear();
+        self.pred.resize(n, NO_PRED);
         for &s in sources {
             assert!(s < n, "source out of range");
             self.len[s] = 0;
         }
         for round in 0..=n {
             let mut changed = false;
+            let mut last_improved = NO_PRED;
             for &(u, v, l) in edges {
                 if self.len[u] <= NEG_INF {
                     continue;
@@ -182,6 +202,8 @@ impl LongestPathScratch {
                 };
                 if cand > self.len[v] {
                     self.len[v] = cand;
+                    self.pred[v] = u;
+                    last_improved = v;
                     changed = true;
                 }
             }
@@ -189,10 +211,57 @@ impl LongestPathScratch {
                 return Ok(&self.len);
             }
             if round == n {
-                return Err(LongestPathError::PositiveCycle);
+                return Err(LongestPathError::PositiveCycle(
+                    self.extract_cycle(last_improved),
+                ));
             }
         }
         Ok(&self.len)
+    }
+
+    /// Extracts the positive cycle witnessed by a node improved in the
+    /// final relaxation round.
+    ///
+    /// Soundness: a node improved in round `n` used a predecessor value
+    /// that itself appeared no earlier than round `n − 1` (an older value
+    /// would have propagated across the edge a round sooner), so the
+    /// predecessor chain's improvement rounds drop by at most one per
+    /// step. A chain ending at a never-improved source would therefore
+    /// need more than `n` distinct nodes — impossible — so walking `pred`
+    /// from `start` must revisit a node within `n` steps, and that node
+    /// lies on a cycle of the predecessor graph. Every predecessor edge
+    /// satisfies `len[x] ≤ len[pred[x]] + l` with strict inequality at the
+    /// successor of the cycle's most recently improved node, so the
+    /// cycle's total length is strictly positive.
+    fn extract_cycle(&self, start: usize) -> Vec<usize> {
+        let n = self.pred.len();
+        let mut seen = vec![false; n];
+        let mut v = start;
+        while !seen[v] {
+            seen[v] = true;
+            v = self.pred[v];
+        }
+        // `v` repeats, so it lies on the cycle: collect the cycle by one
+        // more predecessor lap.
+        let mut cycle = vec![v];
+        let mut u = self.pred[v];
+        while u != v {
+            cycle.push(u);
+            u = self.pred[u];
+        }
+        // The predecessor walk visits nodes against edge direction;
+        // reverse for forward order, then rotate the smallest id to the
+        // front so equal cycles render identically regardless of where
+        // the walk entered them.
+        cycle.reverse();
+        let lead = cycle
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &x)| x)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        cycle.rotate_left(lead);
+        cycle
     }
 }
 
@@ -296,12 +365,87 @@ mod tests {
     }
 
     #[test]
-    fn longest_path_positive_cycle_errors() {
+    fn longest_path_positive_cycle_errors_with_witness() {
+        // 1 -> 2 (len 1) and 2 -> 1 (len 0): total +1 per lap.
         let edges = [(0, 1, 1), (1, 2, 1), (2, 1, 0)];
         assert_eq!(
             longest_paths(3, &edges, &[0]),
-            Err(LongestPathError::PositiveCycle)
+            Err(LongestPathError::PositiveCycle(vec![1, 2]))
         );
+    }
+
+    #[test]
+    fn positive_cycle_witness_self_loop() {
+        let edges = [(0, 1, 0), (1, 1, 2)];
+        assert_eq!(
+            longest_paths(2, &edges, &[0]),
+            Err(LongestPathError::PositiveCycle(vec![1]))
+        );
+        // Self-loop directly on a source.
+        let edges = [(0, 0, 1)];
+        assert_eq!(
+            longest_paths(1, &edges, &[0]),
+            Err(LongestPathError::PositiveCycle(vec![0]))
+        );
+    }
+
+    #[test]
+    fn positive_cycle_witness_two_cycle() {
+        // Mixed-sign 2-cycle with positive total (3 - 1 = +2).
+        let edges = [(0, 1, 3), (1, 0, -1)];
+        match longest_paths(2, &edges, &[0]) {
+            Err(LongestPathError::PositiveCycle(cycle)) => {
+                assert_eq!(cycle, vec![0, 1]);
+            }
+            other => panic!("expected a positive-cycle witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positive_cycle_witness_disconnected_components() {
+        // Component A (0, 1) holds the positive cycle; component B
+        // (3 -> 4) is acyclic. Both have sources; the witness names only
+        // component A's cycle, and B's lengths are still computed before
+        // the error fires.
+        let edges = [(0, 1, 1), (1, 0, 1), (3, 4, 7)];
+        match longest_paths(5, &edges, &[0, 3]) {
+            Err(LongestPathError::PositiveCycle(cycle)) => {
+                assert_eq!(cycle, vec![0, 1]);
+            }
+            other => panic!("expected a positive-cycle witness, got {other:?}"),
+        }
+    }
+
+    /// Every consecutive pair (and the wrap-around pair) of a witness
+    /// must be an actual input edge, and the total length must be
+    /// strictly positive — the properties an independent checker relies
+    /// on.
+    #[test]
+    fn positive_cycle_witness_is_a_real_positive_cycle() {
+        let edges = [
+            (0, 1, 2),
+            (1, 2, -1),
+            (2, 3, 1),
+            (3, 1, 1),
+            (2, 4, 5),
+            (4, 4, -3),
+        ];
+        let cycle = match longest_paths(5, &edges, &[0]) {
+            Err(LongestPathError::PositiveCycle(c)) => c,
+            other => panic!("expected a positive-cycle witness, got {other:?}"),
+        };
+        assert!(!cycle.is_empty());
+        let mut total = 0i64;
+        for i in 0..cycle.len() {
+            let (u, v) = (cycle[i], cycle[(i + 1) % cycle.len()]);
+            let l = edges
+                .iter()
+                .find(|&&(a, b, _)| a == u && b == v)
+                .map(|&(_, _, l)| l)
+                .unwrap_or_else(|| panic!("witness pair {u} -> {v} is not an edge"));
+            total += l;
+        }
+        assert!(total > 0, "witness cycle has non-positive length {total}");
     }
 
     #[test]
@@ -334,7 +478,10 @@ mod tests {
         let edges = [(0, 1, big), (1, 2, big), (2, 1, big)];
         let err = longest_paths(3, &edges, &[0]).unwrap_err();
         assert!(
-            err == LongestPathError::Overflow || err == LongestPathError::PositiveCycle,
+            matches!(
+                err,
+                LongestPathError::Overflow | LongestPathError::PositiveCycle(_)
+            ),
             "wrapped arithmetic must not produce an Ok result: {err:?}"
         );
     }
@@ -362,7 +509,7 @@ mod tests {
         let cyc = [(0, 1, 1), (1, 0, 1)];
         assert_eq!(
             scratch.run(2, &cyc, &[0]),
-            Err(LongestPathError::PositiveCycle)
+            Err(LongestPathError::PositiveCycle(vec![0, 1]))
         );
         assert_eq!(scratch.run(2, &e2, &[0]).unwrap(), &[0, -5]);
     }

@@ -42,6 +42,7 @@
 use crate::cutsearch::{find_cut_with, min_weight_cut_with, CutScratch, ExpCut};
 use crate::expand::ExpandedCircuit;
 use crate::sweep::{Board, StopOnDrop};
+use crate::witness::{WitnessOutcome, WitnessStep};
 use netlist::{Circuit, NodeId};
 use std::sync::RwLock;
 
@@ -179,6 +180,11 @@ impl<'a> FrtContext<'a> {
     /// The expanded circuit of a gate (None when the size cap was hit).
     pub fn expanded(&self, v: NodeId) -> Option<&ExpandedCircuit> {
         self.expanded[v.index()].as_ref()
+    }
+
+    /// The LUT input bound `K` the context was built for.
+    pub fn k(&self) -> usize {
+        self.k
     }
 
     /// `ℒ^s(v) = max { l^s(u) − Φ·w(e) }` over fanin edges (§3.2).
@@ -490,6 +496,154 @@ impl<'a> FrtContext<'a> {
         }
         cuts
     }
+
+    /// Re-runs the probe at `phi` serially, recording every label
+    /// improvement as a replayable [`WitnessStep`] (see [`crate::witness`]
+    /// for the certificate semantics). Intended for the `Φ_min − 1` probe:
+    /// on a truly infeasible period the recorded log ends with a step whose
+    /// `value` exceeds `phi`, and an independent checker can replay the
+    /// arithmetic without trusting the mapper.
+    ///
+    /// The probe is always serial and cold-started, and applies each
+    /// improvement immediately (no per-level snapshot), so a checker
+    /// replaying the log in order sees exactly the labels each cut query
+    /// ran against. The `l^s` recurrence is self-contained (the `r`
+    /// components never feed back into it), so the probe iterates `l^s`
+    /// alone; it reaches the same least fixpoint as [`FrtContext::check`]
+    /// and therefore the same feasibility verdict.
+    pub fn infeasibility_witness(&self, phi: u64) -> WitnessOutcome {
+        if self.frt_capped_gates > 0 {
+            // R2/R3 justifications quantify over cuts of the *true*
+            // F_v^{frt(v)}; a capped horizon hides cuts, so the log could
+            // assert "no cut" where one exists and would not verify.
+            return WitnessOutcome::Capped;
+        }
+        let c = self.circuit;
+        let n = c.num_nodes();
+        let phi_i = phi as i64;
+        let cap = n.saturating_mul(n).max(4);
+        let mut ls = vec![LS_NEG_INF; n];
+        for &pi in c.inputs() {
+            ls[pi.index()] = 0;
+        }
+        let mut dirty = vec![true; n];
+        let mut scratch = CutScratch::new();
+        let mut steps: Vec<WitnessStep> = Vec::new();
+        let mut sweeps = 0usize;
+        loop {
+            if engine::cancel::cancelled() {
+                return WitnessOutcome::Cancelled;
+            }
+            sweeps += 1;
+            let mut changed = false;
+            for level in &self.levels {
+                for &vi in level {
+                    let i = vi as usize;
+                    if !dirty[i] {
+                        continue;
+                    }
+                    dirty[i] = false;
+                    let v = NodeId(vi);
+                    // ℒ^s with its argmax edge (the R1 justification).
+                    let mut script = LS_NEG_INF;
+                    let mut arg: Option<(NodeId, u64)> = None;
+                    for &e in c.node(v).fanin() {
+                        let edge = c.edge(e);
+                        let lu = ls[edge.from().index()];
+                        if lu > LS_NEG_INF {
+                            let cand = lu - phi_i * edge.weight() as i64;
+                            if cand > script {
+                                script = cand;
+                                arg = Some((edge.from(), edge.weight() as u64));
+                            }
+                        }
+                    }
+                    if script <= LS_NEG_INF {
+                        continue;
+                    }
+                    let (from, weight) = arg.expect("finite ℒ^s has an argmax edge");
+                    let (new_ls, step) = if c.node(v).is_output() {
+                        (
+                            script,
+                            WitnessStep::Fanin {
+                                node: v,
+                                from,
+                                weight,
+                                value: script,
+                            },
+                        )
+                    } else {
+                        let exp = match self.expanded(v) {
+                            Some(exp) => exp,
+                            None => return WitnessOutcome::Capped,
+                        };
+                        let frt_v = self.frt[v.index()];
+                        match min_weight_cut_with(
+                            &mut scratch,
+                            exp,
+                            &ls,
+                            phi_i,
+                            script,
+                            frt_v,
+                            self.k,
+                        ) {
+                            None => (
+                                script + 1,
+                                WitnessStep::NoCut {
+                                    node: v,
+                                    height: script,
+                                    value: script + 1,
+                                },
+                            ),
+                            Some((w_min, _)) => {
+                                if script + phi_i * w_min as i64 <= phi_i {
+                                    (
+                                        script,
+                                        WitnessStep::Fanin {
+                                            node: v,
+                                            from,
+                                            weight,
+                                            value: script,
+                                        },
+                                    )
+                                } else {
+                                    (
+                                        script + 1,
+                                        WitnessStep::WeightBump {
+                                            node: v,
+                                            height: script,
+                                            w_min,
+                                            value: script + 1,
+                                        },
+                                    )
+                                }
+                            }
+                        }
+                    };
+                    if new_ls > ls[i] {
+                        ls[i] = new_ls;
+                        steps.push(step);
+                        changed = true;
+                        if new_ls > phi_i {
+                            return WitnessOutcome::Infeasible(steps);
+                        }
+                        for &e in c.node(v).fanout() {
+                            dirty[c.edge(e).to().index()] = true;
+                        }
+                        for &g in &self.influenced[i] {
+                            dirty[g as usize] = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return WitnessOutcome::Feasible;
+            }
+            if sweeps >= cap {
+                return WitnessOutcome::IterationCap;
+            }
+        }
+    }
 }
 
 /// Records the per-probe reuse metrics (shared by the converged and
@@ -741,6 +895,115 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Replays a witness log the way the independent checker does (same
+    /// label array, rules accepted at face value) — here we only assert
+    /// the structural invariants the checker relies on: steps in replay
+    /// order never cite labels that have not been derived yet, and the
+    /// terminal value exceeds the probed period.
+    fn assert_witness_shape(c: &Circuit, phi: u64, steps: &[WitnessStep]) {
+        let phi_i = phi as i64;
+        let mut cur = vec![LS_NEG_INF; c.num_nodes()];
+        for &pi in c.inputs() {
+            cur[pi.index()] = 0;
+        }
+        for step in steps {
+            if let WitnessStep::Fanin {
+                node,
+                from,
+                weight,
+                value,
+            } = step
+            {
+                assert!(cur[from.index()] > LS_NEG_INF, "R1 cites underived label");
+                assert_eq!(*value, cur[from.index()] - phi_i * *weight as i64);
+                assert!(c.node(*node).fanin().iter().any(|&e| {
+                    let edge = c.edge(e);
+                    edge.from() == *from && edge.weight() as u64 == *weight
+                }));
+            }
+            let v = step.node().index();
+            assert!(step.value() > cur[v], "step does not improve its node");
+            cur[v] = step.value();
+        }
+        let last = steps.last().expect("non-empty witness");
+        assert!(last.value() > phi_i, "terminal value must exceed Φ");
+    }
+
+    #[test]
+    fn witness_probe_matches_check_verdicts() {
+        let c = chainy();
+        for k in 1..=3 {
+            let ctx = FrtContext::new(&c, k, 32);
+            for phi in 1..=4u64 {
+                let check = ctx.check(phi);
+                match ctx.infeasibility_witness(phi) {
+                    WitnessOutcome::Infeasible(steps) => {
+                        assert!(!check.feasible, "k={k} phi={phi}");
+                        assert_witness_shape(&c, phi, &steps);
+                    }
+                    WitnessOutcome::Feasible => assert!(check.feasible, "k={k} phi={phi}"),
+                    other => panic!("unexpected outcome {other:?} (k={k} phi={phi})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_for_cycle_ratio_infeasibility() {
+        // Same register-loop circuit as `cycle_ratio_infeasibility_detected`:
+        // Φ = 2 infeasible at K = 2.
+        let mut c = Circuit::new("loop");
+        let a1 = c.add_input("a1").unwrap();
+        let a2 = c.add_input("a2").unwrap();
+        let a3 = c.add_input("a3").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::xor(2)).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::and(2)).unwrap();
+        let g3 = c.add_gate("g3", TruthTable::or(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a1, g1, vec![]).unwrap();
+        c.connect(g3, g1, vec![Bit::Zero]).unwrap();
+        c.connect(a2, g2, vec![]).unwrap();
+        c.connect(g1, g2, vec![]).unwrap();
+        c.connect(a3, g3, vec![]).unwrap();
+        c.connect(g2, g3, vec![]).unwrap();
+        c.connect(g3, o, vec![]).unwrap();
+        let ctx = FrtContext::new(&c, 2, 32);
+        match ctx.infeasibility_witness(2) {
+            WitnessOutcome::Infeasible(steps) => assert_witness_shape(&c, 2, &steps),
+            other => panic!("expected a witness, got {other:?}"),
+        }
+        assert_eq!(ctx.infeasibility_witness(3), WitnessOutcome::Feasible);
+    }
+
+    #[test]
+    fn witness_probe_handles_phi_zero() {
+        // Φ = 0 (the probe below Φ_min = 1): any gate fed by a PI refutes
+        // it, giving the shortest possible derivation.
+        let c = chainy();
+        let ctx = FrtContext::new(&c, 3, 32);
+        match ctx.infeasibility_witness(0) {
+            WitnessOutcome::Infeasible(steps) => assert_witness_shape(&c, 0, &steps),
+            other => panic!("expected a witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn witness_unavailable_when_frt_capped() {
+        let mut c = Circuit::new("deep");
+        let i = c.add_input("i").unwrap();
+        let mut prev = i;
+        for d in 0..6u64 {
+            let g = c.add_gate(format!("g{d}"), TruthTable::not()).unwrap();
+            c.connect(prev, g, vec![Bit::Zero]).unwrap();
+            prev = g;
+        }
+        let o = c.add_output("o").unwrap();
+        c.connect(prev, o, vec![]).unwrap();
+        let ctx = FrtContext::new(&c, 2, 3);
+        assert!(ctx.frt_capped_gates > 0);
+        assert_eq!(ctx.infeasibility_witness(1), WitnessOutcome::Capped);
     }
 
     #[test]

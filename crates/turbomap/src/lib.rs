@@ -59,6 +59,7 @@ pub mod gencheck;
 pub mod generate;
 pub mod slack;
 pub mod sweep;
+pub mod witness;
 
 pub use cutsearch::{
     find_cut, find_cut_with, min_weight_cut, min_weight_cut_with, CutScratch, ExpCut,
@@ -70,3 +71,4 @@ pub use gencheck::{po_reachable, GeneralCheck, GeneralContext};
 pub use generate::{collect_roots, generate_mapping, GenerateError, GeneratedMapping};
 pub use slack::{plan_mapping, MappingPlan};
 pub use sweep::Board;
+pub use witness::{WitnessOutcome, WitnessStep};

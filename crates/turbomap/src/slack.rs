@@ -29,6 +29,9 @@ pub struct MappingPlan {
     pub roots: HashMap<NodeId, ExpCut>,
     /// Root → `Ɍ(v)` (Leiserson–Saxe sign).
     pub rr: HashMap<NodeId, i64>,
+    /// Root → its final required bound `rb(v)`; `rb(v) − l^s(v) ≥ 0` is
+    /// the root's label slack (0 on the critical demand chain).
+    pub rb: HashMap<NodeId, i64>,
 }
 
 fn ceil_div(a: i64, b: i64) -> i64 {
@@ -164,14 +167,20 @@ pub fn plan_mapping<'a>(
     }
     let mut roots = HashMap::new();
     let mut rr = HashMap::new();
+    let mut rb_out = HashMap::new();
     for (v, (hb, _w, cut)) in chosen {
         if !keep.contains_key(&v) {
             continue;
         }
         rr.insert(v, ceil_div(hb, phi_i) - 1);
+        rb_out.insert(v, rb[&v]);
         roots.insert(v, cut);
     }
-    MappingPlan { roots, rr }
+    MappingPlan {
+        roots,
+        rr,
+        rb: rb_out,
+    }
 }
 
 #[cfg(test)]
