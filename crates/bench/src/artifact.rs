@@ -31,8 +31,11 @@ use engine::{JobOutcome, JobReport, JsonValue};
 pub const SCHEMA: &str = "turbomap-bench/table1/v3";
 
 /// Schema of the large-workload ingestion artifact (`v2` added the
-/// optional `peak_rss_kib` field, zeroed in canonical artifacts).
-pub const LARGE_SCHEMA: &str = "turbomap-bench/large/v2";
+/// optional `peak_rss_kib` field; `v3` added the vectorized verify
+/// phase — `verify_lanes`/`verify_cycles` structural fields, the
+/// `verify_secs`/`verify_scalar_secs` timings, and the `job_phases`
+/// wall breakdown benchdiff attributes regressions to).
+pub const LARGE_SCHEMA: &str = "turbomap-bench/large/v3";
 
 fn secs(value: f64, canonical: bool) -> JsonValue {
     JsonValue::Float(if canonical { 0.0 } else { value })
@@ -291,7 +294,7 @@ pub fn table1_json(
     ])
 }
 
-/// Builds the `turbomap-bench/large/v1` ingestion artifact.
+/// Builds the [`LARGE_SCHEMA`] ingestion artifact.
 ///
 /// The structural fields (`file_bytes`, `models`, `gates`, `ffs`,
 /// `pis`, `pos`) are deterministic per preset; `benchdiff` compares
@@ -315,8 +318,20 @@ pub fn large_json(rows: &[crate::large::IngestRow], canonical: bool) -> JsonValu
                             ("ffs", JsonValue::UInt(r.ffs as u64)),
                             ("pis", JsonValue::UInt(r.pis as u64)),
                             ("pos", JsonValue::UInt(r.pos as u64)),
+                            ("verify_lanes", JsonValue::UInt(r.verify_lanes as u64)),
+                            ("verify_cycles", JsonValue::UInt(r.verify_cycles as u64)),
                             ("parse_secs", secs(r.parse_secs, canonical)),
-                            ("wall_secs", secs(r.total_secs, canonical)),
+                            ("verify_secs", secs(r.verify_secs, canonical)),
+                            ("verify_scalar_secs", secs(r.verify_scalar_secs, canonical)),
+                            ("wall_secs", secs(r.total_secs + r.verify_secs, canonical)),
+                            (
+                                "job_phases",
+                                JsonValue::object(vec![
+                                    ("parse", secs(r.parse_secs, canonical)),
+                                    ("flatten", secs(r.total_secs - r.parse_secs, canonical)),
+                                    ("verify", secs(r.verify_secs, canonical)),
+                                ]),
+                            ),
                             (
                                 "peak_rss_kib",
                                 JsonValue::UInt(if canonical { 0 } else { r.peak_rss_kib }),

@@ -4,7 +4,7 @@
 //! Usage:
 //!   benchdiff <baseline.json> <candidate.json>
 //!             [--wall-threshold-pct P] [--mem-threshold-pct M]
-//!             [--no-quality-gate]
+//!             [--verify-speedup X] [--no-quality-gate]
 //!
 //! Prints a byte-deterministic per-circuit delta report (Φ, LUTs, wall
 //! time, peak memory, histogram p50/p90/p99) to stdout. Exit status: 0
@@ -16,6 +16,13 @@
 //! (from the schema-v3 `mem_phases` breakdowns). Wall and memory
 //! gating are skipped automatically when either artifact is canonical
 //! (timing zeroed, memory omitted by design).
+//!
+//! `--verify-speedup X` gates `large/v3` rows on the verify phase's
+//! vectorization speedup: `verify_scalar_secs / verify_secs` must be at
+//! least X on every row. The ratio compares the two simulation engines
+//! within one run, so only the *candidate* needs real timings — the
+//! checked-in canonical baseline works fine as the other side. Skipped
+//! (with a note) when the candidate itself is canonical.
 
 use bench::diff::{diff_artifacts, render_report, DiffOptions};
 use engine::log;
@@ -24,7 +31,8 @@ use engine::JsonValue;
 fn usage() -> ! {
     eprintln!(
         "usage: benchdiff <baseline.json> <candidate.json> \
-         [--wall-threshold-pct P] [--mem-threshold-pct M] [--no-quality-gate]"
+         [--wall-threshold-pct P] [--mem-threshold-pct M] \
+         [--verify-speedup X] [--no-quality-gate]"
     );
     std::process::exit(2);
 }
@@ -77,6 +85,13 @@ fn main() {
                     None => usage(),
                 };
                 opts.mem_threshold = Some(pct / 100.0);
+            }
+            "--verify-speedup" => {
+                let x: f64 = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(x) if x > 0.0 => x,
+                    _ => usage(),
+                };
+                opts.verify_speedup = Some(x);
             }
             "--no-quality-gate" => opts.quality_gate = false,
             "-h" | "--help" => usage(),

@@ -10,7 +10,7 @@
 //! `--suite large` runs the large-workload *ingestion* suite instead:
 //! each `workloads::large` preset is generated to a temp dir and
 //! ingested through the streaming BLIF front-end; `--json` then writes
-//! the `turbomap-bench/large/v2` artifact (also honouring
+//! the `turbomap-bench/large/v3` artifact (also honouring
 //! `--canonical` and `--max-gates`, which caps the preset's flattened
 //! gate count).
 //!
@@ -54,14 +54,25 @@ use std::time::Duration;
 static ALLOC: engine::mem::CountingAlloc = engine::mem::CountingAlloc::new();
 
 /// The `--suite large` path: ingest every large preset (within the
-/// gate cap) and optionally write the `turbomap-bench/large/v2`
+/// gate cap) and optionally write the `turbomap-bench/large/v3`
 /// artifact.
 fn run_large_suite_main(max_gates: Option<usize>, json_path: Option<&str>, canonical: bool) {
     let dir = std::env::temp_dir().join("tmfrt_large_suite");
     println!("Large-workload ingestion suite (streaming BLIF front-end)");
     println!(
-        "{:<10} {:>12} {:>7} {:>9} {:>7} {:>5} {:>5} {:>9} {:>9}",
-        "preset", "file_bytes", "models", "gates", "FFs", "PIs", "POs", "parse_s", "total_s"
+        "{:<10} {:>12} {:>7} {:>9} {:>7} {:>5} {:>5} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "preset",
+        "file_bytes",
+        "models",
+        "gates",
+        "FFs",
+        "PIs",
+        "POs",
+        "parse_s",
+        "total_s",
+        "verify_s",
+        "scalar_s",
+        "speedup"
     );
     let rows = match bench::large::run_large_suite(max_gates, &dir) {
         Ok(rows) => rows,
@@ -76,7 +87,7 @@ fn run_large_suite_main(max_gates: Option<usize>, json_path: Option<&str>, canon
     };
     for r in &rows {
         println!(
-            "{:<10} {:>12} {:>7} {:>9} {:>7} {:>5} {:>5} {:>9.3} {:>9.3}",
+            "{:<10} {:>12} {:>7} {:>9} {:>7} {:>5} {:>5} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7.1}x",
             r.name,
             r.file_bytes,
             r.models,
@@ -85,7 +96,10 @@ fn run_large_suite_main(max_gates: Option<usize>, json_path: Option<&str>, canon
             r.pis,
             r.pos,
             r.parse_secs,
-            r.total_secs
+            r.total_secs,
+            r.verify_secs,
+            r.verify_scalar_secs,
+            r.verify_scalar_secs / r.verify_secs.max(1e-12)
         );
     }
     if let Some(path) = json_path {

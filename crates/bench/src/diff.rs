@@ -53,6 +53,14 @@ pub struct DiffOptions {
     /// diff counts a regression (`Some(0.25)` = +25%). `None` (the
     /// default) disables the memory gate entirely.
     pub mem_threshold: Option<f64>,
+    /// Minimum vectorization speedup (`verify_scalar_secs /
+    /// verify_secs`) required of every large-suite row, e.g.
+    /// `Some(2.0)` = the vector engine must beat the scalar engine 2×
+    /// on the verify phase. Unlike the wall gate this only needs the
+    /// *candidate* to carry real timings — the ratio is
+    /// machine-relative, so a canonical baseline is fine. `None` (the
+    /// default) disables the gate.
+    pub verify_speedup: Option<f64>,
 }
 
 impl Default for DiffOptions {
@@ -61,6 +69,7 @@ impl Default for DiffOptions {
             wall_threshold: 0.25,
             quality_gate: true,
             mem_threshold: None,
+            verify_speedup: None,
         }
     }
 }
@@ -88,6 +97,9 @@ pub struct DiffReport {
     /// True when the memory gate was requested but skipped (canonical
     /// artifact: memory breakdowns omitted).
     pub mem_skipped: bool,
+    /// True when the verify-speedup gate was requested but skipped
+    /// (canonical candidate: verify timings zeroed).
+    pub verify_skipped: bool,
 }
 
 impl DiffReport {
@@ -119,7 +131,16 @@ const QUALITY_FIELDS: [&str; 2] = ["phi", "luts"];
 /// Structural fields of a `turbomap-bench/large/*` ingestion row.
 /// Deterministic per preset, so *any* change — either direction — is a
 /// generator or front-end regression.
-const STRUCT_FIELDS: [&str; 6] = ["file_bytes", "models", "gates", "ffs", "pis", "pos"];
+const STRUCT_FIELDS: [&str; 8] = [
+    "file_bytes",
+    "models",
+    "gates",
+    "ffs",
+    "pis",
+    "pos",
+    "verify_lanes",
+    "verify_cycles",
+];
 
 fn circuit_map(doc: &JsonValue) -> Result<Vec<(String, &JsonValue)>, String> {
     let arr = doc
@@ -289,6 +310,7 @@ fn diff_circuit(
     cand: &JsonValue,
     opts: &DiffOptions,
     wall_comparable: bool,
+    cand_timed: bool,
 ) -> CircuitDiff {
     let mut notes = Vec::new();
     let mut regressions = Vec::new();
@@ -393,6 +415,29 @@ fn diff_circuit(
         }
     }
 
+    if let Some(min) = opts.verify_speedup {
+        // Candidate-only gate: the speedup ratio compares the two
+        // engines on the same machine and run, so a canonical baseline
+        // doesn't block it — only a canonical (zero-timing) candidate.
+        let cv = cand.get("verify_secs").and_then(as_f64);
+        let cs = cand.get("verify_scalar_secs").and_then(as_f64);
+        if let (true, Some(cv), Some(cs)) = (cand_timed, cv, cs) {
+            if cv > 0.0 && cs > 0.0 {
+                let ratio = cs / cv;
+                let line = format!(
+                    "verify speedup: {:.1}x (scalar {} / vector {}; floor {min:.1}x)",
+                    ratio,
+                    fmt_secs(cs),
+                    fmt_secs(cv)
+                );
+                if ratio < min {
+                    regressions.push(line.clone());
+                }
+                notes.push(line);
+            }
+        }
+    }
+
     CircuitDiff {
         name: name.to_string(),
         notes,
@@ -417,7 +462,8 @@ pub fn diff_artifacts(
             "artifact families differ: baseline is `{base_family}`, candidate is `{cand_family}`"
         ));
     }
-    let wall_comparable = !is_canonical(base) && !is_canonical(cand);
+    let cand_timed = !is_canonical(cand);
+    let wall_comparable = !is_canonical(base) && cand_timed;
     let base_map = circuit_map(base)?;
     let cand_map = circuit_map(cand)?;
 
@@ -435,7 +481,7 @@ pub fn diff_artifacts(
         let b = base_map.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
         let c = cand_map.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
         let diff = match (b, c) {
-            (Some(b), Some(c)) => diff_circuit(name, b, c, opts, wall_comparable),
+            (Some(b), Some(c)) => diff_circuit(name, b, c, opts, wall_comparable, cand_timed),
             (Some(_), None) => CircuitDiff {
                 name: name.clone(),
                 notes: vec!["missing from candidate".into()],
@@ -462,6 +508,7 @@ pub fn diff_artifacts(
         regressions,
         wall_skipped: !wall_comparable,
         mem_skipped: opts.mem_threshold.is_some() && !wall_comparable,
+        verify_skipped: opts.verify_speedup.is_some() && !cand_timed,
     })
 }
 
@@ -484,6 +531,9 @@ pub fn render_report(report: &DiffReport) -> String {
     }
     if report.mem_skipped {
         out.push_str("memory gate skipped: canonical artifact (memory omitted)\n");
+    }
+    if report.verify_skipped {
+        out.push_str("verify-speedup gate skipped: canonical candidate (timing zeroed)\n");
     }
     for c in &changed {
         out.push_str(&format!("--- {}\n", c.name));
@@ -648,6 +698,104 @@ mod tests {
                 ])]),
             ),
         ])
+    }
+
+    /// A `large/v3` row with the verify-phase fields.
+    fn large_v3_artifact(canonical: bool, verify: f64, scalar: f64) -> JsonValue {
+        let z = |v: f64| JsonValue::Float(if canonical { 0.0 } else { v });
+        JsonValue::object(vec![
+            ("schema", JsonValue::str("turbomap-bench/large/v3")),
+            ("canonical", JsonValue::Bool(canonical)),
+            (
+                "circuits",
+                JsonValue::Array(vec![JsonValue::object(vec![
+                    ("name", JsonValue::str("hier100k")),
+                    ("status", JsonValue::str("ok")),
+                    ("file_bytes", JsonValue::UInt(509325)),
+                    ("models", JsonValue::UInt(6)),
+                    ("gates", JsonValue::UInt(99136)),
+                    ("ffs", JsonValue::UInt(768)),
+                    ("pis", JsonValue::UInt(32)),
+                    ("pos", JsonValue::UInt(32)),
+                    ("verify_lanes", JsonValue::UInt(64)),
+                    ("verify_cycles", JsonValue::UInt(16)),
+                    ("parse_secs", z(0.3)),
+                    ("verify_secs", z(verify)),
+                    ("verify_scalar_secs", z(scalar)),
+                    ("wall_secs", z(1.0 + verify)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn verify_speedup_gate_needs_only_a_timed_candidate() {
+        let opts = DiffOptions {
+            verify_speedup: Some(2.0),
+            ..DiffOptions::default()
+        };
+        // Canonical baseline (the checked-in artifact) + timed
+        // candidate: the gate still runs — the ratio is machine-local.
+        let base = large_v3_artifact(true, 0.0, 0.0);
+        let fast = large_v3_artifact(false, 0.01, 0.6); // 60x
+        let report = diff_artifacts(&base, &fast, &opts).unwrap();
+        assert!(report.is_clean(), "{:?}", report.regressions);
+        assert!(!report.verify_skipped);
+        assert!(report.circuits[0]
+            .notes
+            .iter()
+            .any(|n| n.contains("verify speedup: 60.0x")));
+
+        // A candidate whose vector engine lost its edge gates.
+        let slow = large_v3_artifact(false, 0.5, 0.6); // 1.2x < 2.0 floor
+        let report = diff_artifacts(&base, &slow, &opts).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        assert!(
+            report.regressions[0].contains("verify speedup: 1.2x"),
+            "{:?}",
+            report.regressions
+        );
+
+        // Canonical candidate: gate skipped, and says so.
+        let report = diff_artifacts(&base, &base, &opts).unwrap();
+        assert!(report.is_clean());
+        assert!(report.verify_skipped);
+        assert!(render_report(&report).contains("verify-speedup gate skipped"));
+
+        // Gate off by default even with timed rows.
+        let report = diff_artifacts(&base, &slow, &DiffOptions::default()).unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn verify_shape_drift_is_structural() {
+        let base = large_v3_artifact(true, 0.0, 0.0);
+        let mut cand = large_v3_artifact(true, 0.0, 0.0);
+        // Mutate verify_cycles: deterministic per preset, so any drift
+        // (here 16 -> 8) must gate even between canonical artifacts.
+        if let JsonValue::Object(pairs) = &mut cand {
+            for (k, v) in pairs.iter_mut() {
+                if k != "circuits" {
+                    continue;
+                }
+                if let JsonValue::Array(rows) = v {
+                    if let JsonValue::Object(row) = &mut rows[0] {
+                        for (rk, rv) in row.iter_mut() {
+                            if rk == "verify_cycles" {
+                                *rv = JsonValue::UInt(8);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let report = diff_artifacts(&base, &cand, &DiffOptions::default()).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        assert!(
+            report.regressions[0].contains("verify_cycles: 16 -> 8"),
+            "{:?}",
+            report.regressions
+        );
     }
 
     #[test]

@@ -1,14 +1,41 @@
 //! The large-workload ingestion suite: generate each `workloads::large`
-//! preset to disk, then time the streaming front-end parsing and
-//! flattening it.
+//! preset to disk, time the streaming front-end parsing and flattening
+//! it, then time a vectorized **verify phase** over the flattened
+//! circuit.
 //!
 //! Unlike the Table-1 suite this measures the *front-end*, not the
 //! mappers: the interesting numbers are file size, model/gate/FF
 //! totals (deterministic for a preset — any drift is a generator or
-//! linker regression) and the parse/flatten wall times (reported, and
-//! zeroed in canonical artifacts like every other timing field).
+//! linker regression) and the parse/flatten/verify wall times
+//! (reported, and zeroed in canonical artifacts like every other
+//! timing field).
+//!
+//! The verify phase drives [`VERIFY_LANES`] independent random input
+//! sequences through the circuit on **both** simulation engines — the
+//! 64-wide two-bitplane [`netlist::VecSimulator`] in one pass, and the
+//! scalar [`netlist::Simulator`] one sequence at a time — and requires
+//! their outputs to agree bit-for-bit. That makes every suite run a
+//! full-scale differential test of the vector engine, and the two wall
+//! times quantify the vectorization speedup on exactly the workload
+//! the equivalence checkers see (`verify_scalar_secs / verify_secs`,
+//! gated by `benchdiff --verify-speedup`).
 
+use netlist::{Bit, Planes, Simulator, VecSimulator, LANES};
 use std::time::Instant;
+
+/// Independent sequences in the verify phase: one full `Planes` word.
+pub const VERIFY_LANES: usize = LANES;
+
+/// Scalar-engine work budget (gate evaluations) that picks the verify
+/// sequence depth per preset, so the phase stays a few seconds even on
+/// million-gate circuits.
+const VERIFY_EVAL_BUDGET: usize = 150_000_000;
+
+/// Sequence depth of the verify phase: budget-bounded, clamped to
+/// `[2, 16]` cycles. Deterministic per gate count.
+pub fn verify_cycles_for(gates: usize) -> usize {
+    (VERIFY_EVAL_BUDGET / VERIFY_LANES.saturating_mul(gates.max(1))).clamp(2, 16)
+}
 
 /// One preset's ingestion measurement.
 #[derive(Debug, Clone)]
@@ -31,6 +58,17 @@ pub struct IngestRow {
     pub parse_secs: f64,
     /// Seconds for parse + hierarchy flattening.
     pub total_secs: f64,
+    /// Independent input sequences in the verify phase ([`VERIFY_LANES`]).
+    pub verify_lanes: usize,
+    /// Cycles per verify sequence (budget-bounded, see [`verify_cycles_for`]).
+    pub verify_cycles: usize,
+    /// Seconds the vectorized engine took to simulate all verify
+    /// sequences (one 64-lane pass).
+    pub verify_secs: f64,
+    /// Seconds the scalar engine took on the same sequences, one at a
+    /// time — the pre-vectorization baseline; `verify_scalar_secs /
+    /// verify_secs` is the measured vectorization speedup.
+    pub verify_scalar_secs: f64,
     /// Process peak RSS (`VmHWM`) in KiB after the ingest, 0 when the
     /// probe is unavailable. Zeroed in canonical artifacts like every
     /// other environment-dependent measurement.
@@ -82,6 +120,9 @@ pub fn run_ingest_row(
         ));
     }
 
+    let verify = run_verify_phase(&circuit, spec.seed)
+        .map_err(|e| format!("{}: verify phase: {e}", spec.name))?;
+
     Ok(IngestRow {
         name: spec.name.clone(),
         file_bytes,
@@ -92,7 +133,93 @@ pub fn run_ingest_row(
         pos: circuit.outputs().len(),
         parse_secs,
         total_secs,
+        verify_lanes: VERIFY_LANES,
+        verify_cycles: verify.cycles,
+        verify_secs: verify.vector_secs,
+        verify_scalar_secs: verify.scalar_secs,
         peak_rss_kib: engine::mem::peak_rss_kib().unwrap_or(0),
+    })
+}
+
+struct VerifyMeasurement {
+    cycles: usize,
+    vector_secs: f64,
+    scalar_secs: f64,
+}
+
+/// Simulates [`VERIFY_LANES`] independent random sequences on both
+/// engines and requires bit-for-bit agreement on every PO, lane and
+/// cycle. Returns the two wall times.
+fn run_verify_phase(circuit: &netlist::Circuit, seed: u64) -> Result<VerifyMeasurement, String> {
+    let m = circuit.inputs().len();
+    let cycles = verify_cycles_for(circuit.num_gates());
+    // Stimulus: [cycle][lane * m + pi], defined bits with a 1-in-8
+    // sprinkle of X so the third value exercises both engines.
+    let mut rng = engine::Rng64::new(seed ^ 0x5EC5_1A7E);
+    let stimulus: Vec<Vec<Bit>> = (0..cycles)
+        .map(|_| {
+            (0..VERIFY_LANES * m)
+                .map(|_| {
+                    let r = rng.next_u64();
+                    if r & 7 == 7 {
+                        Bit::X
+                    } else {
+                        Bit::from_bool(r & 1 == 1)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Vector pass: all lanes at once.
+    let start = Instant::now();
+    let mut vsim = VecSimulator::new(circuit).map_err(|e| e.to_string())?;
+    let mut vector_out: Vec<Vec<Planes>> = Vec::with_capacity(cycles);
+    let mut inputs = vec![Planes::splat(Bit::X); m];
+    for bits in &stimulus {
+        for (i, planes) in inputs.iter_mut().enumerate() {
+            let (mut p0, mut p1) = (0u64, 0u64);
+            for l in 0..VERIFY_LANES {
+                match bits[l * m + i] {
+                    Bit::Zero => p0 |= 1 << l,
+                    Bit::One => p1 |= 1 << l,
+                    Bit::X => {
+                        p0 |= 1 << l;
+                        p1 |= 1 << l;
+                    }
+                }
+            }
+            *planes = Planes { p0, p1 };
+        }
+        vector_out.push(vsim.step(&inputs).map_err(|e| e.to_string())?);
+    }
+    let vector_secs = start.elapsed().as_secs_f64();
+
+    // Scalar pass: the same sequences one lane at a time — the
+    // pre-vectorization equivalence-check protocol.
+    let start = Instant::now();
+    for l in 0..VERIFY_LANES {
+        let mut sim = Simulator::new(circuit).map_err(|e| e.to_string())?;
+        for (cycle, bits) in stimulus.iter().enumerate() {
+            let lane_in = &bits[l * m..(l + 1) * m];
+            let out = sim.step(lane_in).map_err(|e| e.to_string())?;
+            for (po, &s) in out.iter().enumerate() {
+                let v = vector_out[cycle][po].get(l);
+                if v != s {
+                    return Err(format!(
+                        "engines disagree: PO {po}, lane {l}, cycle {cycle}: \
+                         scalar {s:?}, vector {v:?}"
+                    ));
+                }
+            }
+        }
+    }
+    let scalar_secs = start.elapsed().as_secs_f64();
+
+    Ok(VerifyMeasurement {
+        cycles,
+        vector_secs,
+        scalar_secs,
     })
 }
 
@@ -136,6 +263,20 @@ mod tests {
         assert_eq!(row.pos, spec.width);
         assert!(row.file_bytes > 0);
         assert!(row.total_secs >= row.parse_secs);
+        // The verify phase ran on both engines and agreed.
+        assert_eq!(row.verify_lanes, VERIFY_LANES);
+        assert_eq!(row.verify_cycles, verify_cycles_for(row.gates));
+        assert!(row.verify_secs > 0.0);
+        assert!(row.verify_scalar_secs > 0.0);
+    }
+
+    #[test]
+    fn verify_cycles_budget() {
+        assert_eq!(verify_cycles_for(100), 16); // tiny: clamped up
+        assert_eq!(verify_cycles_for(100_000), 16);
+        assert_eq!(verify_cycles_for(300_000), 7);
+        assert_eq!(verify_cycles_for(1_000_000), 2);
+        assert_eq!(verify_cycles_for(usize::MAX / 2), 2); // clamped down
     }
 
     #[test]

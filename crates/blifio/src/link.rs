@@ -704,11 +704,11 @@ mod tests {
         // nand(a,b) registered (init 0), buffered, inverted: z = NOT w.
         let mut sim = netlist::Simulator::new(&c).unwrap();
         // Cycle 1: register holds 0 → w=0 → z=1.
-        assert_eq!(sim.step(&[Bit::One, Bit::One]), vec![Bit::One]);
+        assert_eq!(sim.step(&[Bit::One, Bit::One]).unwrap(), vec![Bit::One]);
         // Cycle 2: register latched nand(1,1)=0 → z=1.
-        assert_eq!(sim.step(&[Bit::Zero, Bit::One]), vec![Bit::One]);
+        assert_eq!(sim.step(&[Bit::Zero, Bit::One]).unwrap(), vec![Bit::One]);
         // Cycle 3: register latched nand(0,1)=1 → z=0.
-        assert_eq!(sim.step(&[Bit::Zero, Bit::Zero]), vec![Bit::Zero]);
+        assert_eq!(sim.step(&[Bit::Zero, Bit::Zero]).unwrap(), vec![Bit::Zero]);
     }
 
     #[test]
@@ -732,9 +732,9 @@ mod tests {
         assert!(c.num_gates() > 0);
         assert!(c.ff_count_shared() >= 1);
         let mut sim = netlist::Simulator::new(&c).unwrap();
-        assert_eq!(sim.step(&[Bit::One]), vec![Bit::One]); // OFF --1/1--> ON
-        assert_eq!(sim.step(&[Bit::One]), vec![Bit::Zero]); // ON --- /0--> OFF
-        assert_eq!(sim.step(&[Bit::Zero]), vec![Bit::Zero]); // OFF --0/0--> OFF
+        assert_eq!(sim.step(&[Bit::One]).unwrap(), vec![Bit::One]); // OFF --1/1--> ON
+        assert_eq!(sim.step(&[Bit::One]).unwrap(), vec![Bit::Zero]); // ON --- /0--> OFF
+        assert_eq!(sim.step(&[Bit::Zero]).unwrap(), vec![Bit::Zero]); // OFF --0/0--> OFF
     }
 
     #[test]

@@ -17,6 +17,21 @@
 /// Number of buckets: bucket 0 plus one per possible bit length.
 pub const NUM_BUCKETS: usize = 64;
 
+/// Process-wide count of out-of-order [`Histogram::since`] calls.
+///
+/// Deliberately *not* a telemetry [`crate::Counter`] variant: the counter
+/// names are JSON keys of the benchmark artifact schema, and a
+/// diagnostics-only counter must not perturb byte-identical canonical
+/// artifacts. Read it with [`snapshot_inversions`].
+static SNAPSHOT_INVERSIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Number of [`Histogram::since`] calls (since process start) that observed
+/// an inverted snapshot pair — `earlier` taken *after* `self`. Any nonzero
+/// value means some phase report silently truncated a window to zero.
+pub fn snapshot_inversions() -> u64 {
+    SNAPSHOT_INVERSIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Histogram metrics recorded by the mapping pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
@@ -170,9 +185,29 @@ impl Histogram {
         }
     }
 
-    /// This histogram minus an earlier snapshot (saturating): valid
-    /// because every field is monotone.
+    /// This histogram minus an earlier snapshot: valid because every
+    /// field is monotone *when the snapshots are taken in order*.
+    ///
+    /// Passing snapshots out of order (`earlier` newer than `self`) used
+    /// to zero the affected fields silently via saturating subtraction,
+    /// which reads as "no samples in this window" — a lie. The inversion
+    /// is now detected: debug builds panic at the call site, release
+    /// builds still saturate (a phase report is better truncated than
+    /// lost mid-run) but bump the process-wide
+    /// [`snapshot_inversions`] counter so the corruption is visible.
     pub fn since(&self, earlier: &Histogram) -> Histogram {
+        let inverted = self.count < earlier.count
+            || self.sum < earlier.sum
+            || (0..NUM_BUCKETS).any(|i| self.buckets[i] < earlier.buckets[i]);
+        if inverted {
+            SNAPSHOT_INVERSIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            debug_assert!(
+                false,
+                "Histogram::since called with an out-of-order snapshot \
+                 (earlier count={}/sum={} vs self count={}/sum={})",
+                earlier.count, earlier.sum, self.count, self.sum
+            );
+        }
         let mut out = Histogram {
             count: self.count.saturating_sub(earlier.count),
             sum: self.sum.saturating_sub(earlier.sum),
@@ -301,6 +336,40 @@ mod tests {
         assert_eq!(merged.count, 15);
         assert_eq!(merged.since(&a), b);
         assert_eq!(merged.since(&b), a);
+    }
+
+    #[test]
+    fn since_in_order_does_not_bump_inversion_counter() {
+        let before = snapshot_inversions();
+        let mut early = Histogram::new();
+        early.record(3);
+        let mut late = early;
+        late.record(9);
+        let diff = late.since(&early);
+        assert_eq!(diff.count, 1);
+        assert_eq!(diff.sum, 9);
+        assert_eq!(snapshot_inversions(), before);
+    }
+
+    #[test]
+    fn since_out_of_order_is_detected() {
+        let mut early = Histogram::new();
+        early.record(3);
+        let mut late = early;
+        late.record(9);
+        let before = snapshot_inversions();
+        // Arguments swapped: `earlier` is the newer snapshot.
+        let result = std::panic::catch_unwind(|| early.since(&late));
+        assert_eq!(snapshot_inversions(), before + 1);
+        if cfg!(debug_assertions) {
+            // Debug builds fail fast at the call site.
+            assert!(result.is_err());
+        } else {
+            // Release builds keep the (truncated) saturating behaviour.
+            let diff = result.unwrap();
+            assert_eq!(diff.count, 0);
+            assert_eq!(diff.sum, 0);
+        }
     }
 
     #[test]

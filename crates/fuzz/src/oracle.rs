@@ -97,6 +97,11 @@ pub enum CheckKind {
     /// its Φ disagreed with the oracle's own TurboMap-frt run, or the
     /// rendered report did not replay through the independent checker.
     CertificateCheck,
+    /// The scalar and vector simulation engines disagreed: either a
+    /// same-stimulus bit-for-bit sweep diverged, or a vectorized
+    /// equivalence counterexample did not reproduce on the scalar
+    /// simulator.
+    SimDivergence,
 }
 
 impl CheckKind {
@@ -112,6 +117,7 @@ impl CheckKind {
             CheckKind::StructuralInvalid => "structural_invalid",
             CheckKind::RoundTrip => "round_trip",
             CheckKind::CertificateCheck => "certificate_check",
+            CheckKind::SimDivergence => "sim_divergence",
         }
     }
 }
@@ -244,20 +250,106 @@ fn check_mapped(
         EquivMode::Compatibility,
     ) {
         Ok(EquivResult::Equivalent) => {}
-        Ok(EquivResult::Different(ce)) => violations.push(Violation {
-            kind: CheckKind::Equivalence,
-            flow,
-            detail: format!(
-                "output `{}` diverged at cycle {}: expected {:?}, got {:?}",
-                ce.output, ce.cycle, ce.expected, ce.actual
-            ),
-        }),
+        Ok(EquivResult::Different(ce)) => {
+            // Counterexamples are rare, so replaying the witness lane on
+            // the scalar simulator is free in aggregate — and it pins the
+            // vector engine: a witness the scalar engine accepts means
+            // the two simulators disagree, which is a bug in the engines,
+            // not the mappers.
+            match netlist::sequence_equiv_mode(source, mapped, &ce.inputs, EquivMode::Compatibility)
+            {
+                Ok(EquivResult::Equivalent) => violations.push(Violation {
+                    kind: CheckKind::SimDivergence,
+                    flow,
+                    detail: format!(
+                        "vector counterexample (output `{}`, cycle {}) \
+                         does not reproduce on the scalar simulator",
+                        ce.output, ce.cycle
+                    ),
+                }),
+                Ok(EquivResult::Different(_)) => {}
+                Err(e) => violations.push(Violation {
+                    kind: CheckKind::SimDivergence,
+                    flow,
+                    detail: format!("scalar replay of the counterexample failed to run: {e}"),
+                }),
+            }
+            violations.push(Violation {
+                kind: CheckKind::Equivalence,
+                flow,
+                detail: format!(
+                    "output `{}` diverged at cycle {}: expected {:?}, got {:?}",
+                    ce.output, ce.cycle, ce.expected, ce.actual
+                ),
+            });
+        }
         Err(e) => violations.push(Violation {
             kind: CheckKind::Equivalence,
             flow,
             detail: format!("equivalence check failed to run: {e}"),
         }),
     }
+}
+
+/// The same-stimulus scalar/vector differential behind
+/// [`CheckKind::SimDivergence`], exposed for focused tests: drives one
+/// reproducible three-valued input sequence (defined bits with a sprinkle
+/// of `X`) through the scalar [`netlist::Simulator`] and, splatted across
+/// all lanes, through the [`netlist::VecSimulator`], comparing every PO
+/// word bit-for-bit each cycle. Costs one short scalar run per case —
+/// cheap against the mapper work — and keeps the fuzz campaign a standing
+/// differential test of the vector engine. Returns the first mismatch's
+/// description, `None` when the engines agree.
+pub fn sim_cross_check_violation(source: &Circuit, cfg: &OracleConfig) -> Option<String> {
+    use netlist::{Bit, Planes, Simulator, VecSimulator};
+    let m = source.inputs().len();
+    let cycles = cfg.equiv_vectors.clamp(1, 32);
+    let mut rng = engine::Rng64::new(cfg.equiv_seed ^ 0x51AC_C05C);
+    let mut scalar = match Simulator::new(source) {
+        Ok(s) => s,
+        Err(e) => return Some(format!("scalar simulator rejected the case: {e}")),
+    };
+    let mut vector = match VecSimulator::new(source) {
+        Ok(s) => s,
+        Err(e) => return Some(format!("vector simulator rejected the case: {e}")),
+    };
+    for cycle in 0..cycles {
+        let inputs: Vec<Bit> = (0..m)
+            .map(|_| {
+                let r = rng.next_u64();
+                // 1-in-8 X so the third value exercises the bitplanes.
+                if r & 7 == 7 {
+                    Bit::X
+                } else {
+                    Bit::from_bool(r & 1 == 1)
+                }
+            })
+            .collect();
+        let planes: Vec<Planes> = inputs.iter().map(|&b| Planes::splat(b)).collect();
+        let scalar_out = match scalar.step(&inputs) {
+            Ok(o) => o,
+            Err(e) => return Some(format!("scalar step failed at cycle {cycle}: {e}")),
+        };
+        let vector_out = match vector.step(&planes) {
+            Ok(o) => o,
+            Err(e) => return Some(format!("vector step failed at cycle {cycle}: {e}")),
+        };
+        for (po, (&s, &v)) in scalar_out.iter().zip(vector_out.iter()).enumerate() {
+            // Splatted inputs must yield a splatted output: all 64 lanes
+            // carry the scalar verdict.
+            if v != Planes::splat(s) {
+                return Some(format!(
+                    "output `{}` cycle {cycle}: scalar {:?} but vector planes \
+                     p0={:#018x} p1={:#018x}",
+                    source.node(source.outputs()[po]).name(),
+                    s,
+                    v.p0,
+                    v.p1
+                ));
+            }
+        }
+    }
+    None
 }
 
 /// Judges one *mapped result* against its source, exactly as the full
@@ -398,6 +490,28 @@ pub fn run_oracle(source: &Circuit, cfg: &OracleConfig) -> OracleOutcome {
                 kind: CheckKind::RoundTrip,
                 flow: "blifio",
                 detail: "panic while round-tripping the case".to_string(),
+            });
+        }
+    }
+
+    // Check 0.5: scalar/vector engine agreement on the source. Every
+    // later equivalence verdict rides on the vector engine, so pin it
+    // against the scalar oracle before trusting anything downstream.
+    match catch_unwind(AssertUnwindSafe(|| sim_cross_check_violation(source, cfg))) {
+        Ok(Some(detail)) => violations.push(Violation {
+            kind: CheckKind::SimDivergence,
+            flow: "oracle",
+            detail,
+        }),
+        Ok(None) => {}
+        Err(_) => {
+            if engine::cancel::cancelled() {
+                return OracleOutcome::Cancelled;
+            }
+            violations.push(Violation {
+                kind: CheckKind::SimDivergence,
+                flow: "oracle",
+                detail: "panic while cross-checking the simulators".to_string(),
             });
         }
     }
@@ -694,8 +808,27 @@ mod tests {
             (CheckKind::StructuralInvalid, "structural_invalid"),
             (CheckKind::RoundTrip, "round_trip"),
             (CheckKind::CertificateCheck, "certificate_check"),
+            (CheckKind::SimDivergence, "sim_divergence"),
         ] {
             assert_eq!(kind.name(), name);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_generated_cases() {
+        // The same judgement as the oracle's check 0.5, over a wider
+        // seed range than the full-oracle test can afford.
+        let gen_cfg = GenConfig {
+            k: 4,
+            max_gates: 60,
+            max_mutations: 8,
+        };
+        let cfg = OracleConfig::default();
+        for seed in 0..32 {
+            let c = generate_case(seed, &gen_cfg);
+            if let Some(detail) = sim_cross_check_violation(&c, &cfg) {
+                panic!("seed {seed}: {detail}");
+            }
         }
     }
 

@@ -16,8 +16,8 @@
 //!
 //! Mappers issue thousands of cut queries per label sweep, so the network
 //! is reusable: [`NodeCutNetwork::reset`] returns it to the empty state of
-//! [`NodeCutNetwork::new`] while keeping every allocation (arc pool,
-//! adjacency rows, BFS scratch), making the steady-state query cost
+//! [`NodeCutNetwork::new`] while keeping every allocation (arc pool, CSR
+//! adjacency buffers, BFS scratch), making the steady-state query cost
 //! allocation-free.
 
 use std::collections::VecDeque;
@@ -63,11 +63,15 @@ struct Arc {
 pub struct NodeCutNetwork {
     n: usize,
     arcs: Vec<Arc>,
-    /// Adjacency: arc indices leaving each split node. Split node `2v` is
-    /// `v_in`, `2v + 1` is `v_out`. May be longer than `2n` after a
-    /// shrinking [`NodeCutNetwork::reset`]; only the first `2n` rows are
-    /// live.
-    adj: Vec<Vec<u32>>,
+    /// CSR adjacency over split nodes, built lazily by
+    /// [`NodeCutNetwork::max_flow`] once the arc pool is final: the arc ids
+    /// incident to split node `x` (split node `2v` is `v_in`, `2v + 1` is
+    /// `v_out`) are `adj_arcs[adj_off[x]..adj_off[x + 1]]`. Rows are filled
+    /// by a stable counting pass in ascending arc id, which reproduces the
+    /// insertion order a per-node `Vec` would have — BFS tie-breaking (and
+    /// therefore the chosen min cut) is identical to the legacy layout.
+    adj_off: Vec<u32>,
+    adj_arcs: Vec<u32>,
     /// Arc index of the internal `v_in -> v_out` arc for node `v`.
     internal: Vec<u32>,
     source: usize,
@@ -110,38 +114,64 @@ impl NodeCutNetwork {
     }
 
     /// Returns the network to the state of [`NodeCutNetwork::new`]`(n)`
-    /// while keeping every allocation: the arc pool, the per-node
-    /// adjacency rows and the BFS scratch buffers all retain their
-    /// capacity. The steady-state cost of a rebuilt query is therefore
-    /// pure initialisation, no allocator traffic.
+    /// while keeping every allocation: the arc pool, the CSR adjacency
+    /// buffers and the BFS scratch all retain their capacity. The
+    /// steady-state cost of a rebuilt query is therefore pure
+    /// initialisation, no allocator traffic.
     pub fn reset(&mut self, n: usize) {
         self.n = n;
         self.arcs.clear();
         self.internal.clear();
-        if self.adj.len() < 2 * n {
-            self.adj.resize_with(2 * n, Vec::new);
-        }
-        for row in self.adj[..2 * n].iter_mut() {
-            row.clear();
-        }
         for v in 0..n {
             self.internal.push(self.arcs.len() as u32);
-            Self::push_arc(&mut self.arcs, &mut self.adj, 2 * v, 2 * v + 1, 1);
+            Self::push_arc(&mut self.arcs, 2 * v, 2 * v + 1, 1);
         }
         self.source = usize::MAX;
         self.sink = usize::MAX;
         self.ran = false;
     }
 
-    fn push_arc(arcs: &mut Vec<Arc>, adj: &mut [Vec<u32>], from: usize, to: usize, cap: u32) {
-        let idx = arcs.len() as u32;
+    fn push_arc(arcs: &mut Vec<Arc>, from: usize, to: usize, cap: u32) {
         arcs.push(Arc { to: to as u32, cap });
         arcs.push(Arc {
             to: from as u32,
             cap: 0,
         });
-        adj[from].push(idx);
-        adj[to].push(idx + 1);
+    }
+
+    /// Owning split node of arc `ai`: the node the arc leaves from, which
+    /// is recorded as the head of its residual pair.
+    #[inline]
+    fn arc_owner(arcs: &[Arc], ai: usize) -> usize {
+        arcs[ai ^ 1].to as usize
+    }
+
+    /// Builds the CSR adjacency from the finalised arc pool with a stable
+    /// counting pass (two sweeps over the arcs, zero allocator traffic in
+    /// steady state). Ascending arc-id fill order makes each row identical
+    /// to what incremental `Vec::push` at arc-creation time would produce.
+    fn build_adj(&mut self) {
+        let split = 2 * self.n;
+        self.adj_off.clear();
+        self.adj_off.resize(split + 1, 0);
+        for ai in 0..self.arcs.len() {
+            self.adj_off[Self::arc_owner(&self.arcs, ai) + 1] += 1;
+        }
+        for x in 0..split {
+            self.adj_off[x + 1] += self.adj_off[x];
+        }
+        self.adj_arcs.clear();
+        self.adj_arcs.resize(self.arcs.len(), 0);
+        // Reuse `parent` as the per-row fill cursor; max_flow reinitialises
+        // it before the first BFS anyway.
+        self.parent.clear();
+        self.parent.extend_from_slice(&self.adj_off[..split]);
+        for ai in 0..self.arcs.len() {
+            let owner = Self::arc_owner(&self.arcs, ai);
+            let slot = self.parent[owner];
+            self.adj_arcs[slot as usize] = ai as u32;
+            self.parent[owner] = slot + 1;
+        }
     }
 
     /// Number of original nodes.
@@ -162,7 +192,7 @@ impl NodeCutNetwork {
     pub fn add_edge(&mut self, u: usize, v: usize) {
         assert!(!self.ran, "cannot modify the network after max_flow");
         assert!(u < self.n && v < self.n, "edge endpoint out of range");
-        Self::push_arc(&mut self.arcs, &mut self.adj, 2 * u + 1, 2 * v, INF);
+        Self::push_arc(&mut self.arcs, 2 * u + 1, 2 * v, INF);
     }
 
     /// Removes the unit capacity restriction from node `v`.
@@ -198,6 +228,7 @@ impl NodeCutNetwork {
         self.sink = sink;
         self.arcs[self.internal[source] as usize].cap = INF;
         self.arcs[self.internal[sink] as usize].cap = INF;
+        self.build_adj();
 
         let split = 2 * self.n;
         let s = 2 * source + 1; // leave from source's out-node
@@ -221,7 +252,9 @@ impl NodeCutNetwork {
             self.parent[s] = u32::MAX - 1; // mark visited
             let mut reached = false;
             'bfs: while let Some(x) = self.queue.pop_front() {
-                for &ai in &self.adj[x as usize] {
+                let x = x as usize;
+                let row = self.adj_off[x] as usize..self.adj_off[x + 1] as usize;
+                for &ai in &self.adj_arcs[row] {
                     let arc = &self.arcs[ai as usize];
                     let y = arc.to as usize;
                     if arc.cap > 0 && self.parent[y] == u32::MAX {
@@ -284,7 +317,9 @@ impl NodeCutNetwork {
         self.mark[2 * source] = true;
         self.queue.push_back(s as u32);
         while let Some(x) = self.queue.pop_front() {
-            for &ai in &self.adj[x as usize] {
+            let x = x as usize;
+            let row = self.adj_off[x] as usize..self.adj_off[x + 1] as usize;
+            for &ai in &self.adj_arcs[row] {
                 let arc = &self.arcs[ai as usize];
                 let y = arc.to as usize;
                 if arc.cap > 0 && !self.mark[y] {
@@ -333,7 +368,9 @@ impl NodeCutNetwork {
         self.queue.push_back(t as u32);
         self.queue.push_back((2 * self.sink + 1) as u32);
         while let Some(y) = self.queue.pop_front() {
-            for &ai in &self.adj[y as usize] {
+            let y = y as usize;
+            let row = self.adj_off[y] as usize..self.adj_off[y + 1] as usize;
+            for &ai in &self.adj_arcs[row] {
                 let pair = (ai ^ 1) as usize;
                 let from = self.arcs[ai as usize].to as usize;
                 if self.arcs[pair].cap > 0 && !self.mark[from] {

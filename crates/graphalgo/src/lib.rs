@@ -12,9 +12,13 @@
 //!   the l-values of Theorem 1).
 //! * [`topo`] — topological ordering with cycle reporting.
 //! * [`scc`] — Tarjan strongly connected components.
+//! * [`csr`] — flat compressed-sparse-row graph storage shared by the
+//!   algorithm cores.
 //!
-//! All algorithms operate on plain `usize`-indexed adjacency structures so
-//! they stay decoupled from the netlist representation.
+//! All algorithms operate on plain index-based adjacency structures so
+//! they stay decoupled from the netlist representation. Each traversal
+//! core runs on [`Csr`] / [`WeightedCsr`]; the nested `Vec` entry points
+//! are thin wrappers kept for convenience and doc parity.
 //!
 //! # Examples
 //!
@@ -39,14 +43,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod flow;
 pub mod paths;
 pub mod scc;
 pub mod topo;
 
+pub use csr::{Csr, WeightedCsr};
 pub use flow::{MaxFlowResult, MinCutResult, NodeCutNetwork};
 pub use paths::{
-    dijkstra, longest_paths, DijkstraScratch, LongestPathError, LongestPathScratch, NEG_INF,
+    dijkstra, dijkstra_csr, longest_paths, DijkstraScratch, LongestPathError, LongestPathScratch,
+    NEG_INF,
 };
-pub use scc::strongly_connected_components;
-pub use topo::{topo_order, TopoError};
+pub use scc::{strongly_connected_components, strongly_connected_components_csr};
+pub use topo::{topo_order, topo_order_csr, TopoError};

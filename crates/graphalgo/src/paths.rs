@@ -47,7 +47,18 @@ impl DijkstraScratch {
     ///
     /// Panics if a source is out of range.
     pub fn run(&mut self, adj: &[Vec<(usize, u64)>], sources: &[usize]) -> &[Option<u64>] {
-        let n = adj.len();
+        self.run_csr(&crate::WeightedCsr::from_adj(adj), sources)
+    }
+
+    /// [`DijkstraScratch::run`] over a weighted CSR graph — the
+    /// allocation-lean core used by the per-Φ probe loops, which keep one
+    /// CSR per circuit and one scratch per search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range.
+    pub fn run_csr(&mut self, g: &crate::WeightedCsr, sources: &[usize]) -> &[Option<u64>] {
+        let n = g.len();
         self.dist.clear();
         self.dist.resize(n, None);
         self.heap.clear();
@@ -62,7 +73,8 @@ impl DijkstraScratch {
             if self.dist[u] != Some(d) {
                 continue;
             }
-            for &(v, w) in &adj[u] {
+            for (&v, &w) in g.out(u).iter().zip(g.out_weights(u)) {
+                let v = v as usize;
                 let nd = d + w;
                 if self.dist[v].is_none_or(|cur| nd < cur) {
                     self.dist[v] = Some(nd);
@@ -98,6 +110,18 @@ impl DijkstraScratch {
 pub fn dijkstra(adj: &[Vec<(usize, u64)>], sources: &[usize]) -> Vec<Option<u64>> {
     let mut scratch = DijkstraScratch::new();
     scratch.run(adj, sources);
+    scratch.dist
+}
+
+/// [`dijkstra`] over a weighted CSR graph. One-shot form of
+/// [`DijkstraScratch::run_csr`].
+///
+/// # Panics
+///
+/// Panics if a source is out of range.
+pub fn dijkstra_csr(g: &crate::WeightedCsr, sources: &[usize]) -> Vec<Option<u64>> {
+    let mut scratch = DijkstraScratch::new();
+    scratch.run_csr(g, sources);
     scratch.dist
 }
 

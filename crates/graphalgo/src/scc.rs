@@ -25,7 +25,15 @@
 /// assert_eq!(big, vec![0, 1]);
 /// ```
 pub fn strongly_connected_components(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
-    let n = adj.len();
+    strongly_connected_components_csr(&crate::Csr::from_adj(adj))
+}
+
+/// [`strongly_connected_components`] over a CSR graph — the
+/// allocation-lean core. Children are visited in target-slice order, so
+/// the component order and membership match the nested-list form for the
+/// same adjacency.
+pub fn strongly_connected_components_csr(g: &crate::Csr) -> Vec<Vec<usize>> {
+    let n = g.len();
     let mut index = vec![usize::MAX; n];
     let mut low = vec![0usize; n];
     let mut on_stack = vec![false; n];
@@ -46,8 +54,9 @@ pub fn strongly_connected_components(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
         stack.push(start);
         on_stack[start] = true;
         while let Some(&mut (v, ref mut ci)) = call.last_mut() {
-            if *ci < adj[v].len() {
-                let w = adj[v][*ci];
+            let row = g.out(v);
+            if *ci < row.len() {
+                let w = row[*ci] as usize;
                 *ci += 1;
                 if index[w] == usize::MAX {
                     index[w] = next_index;

@@ -27,7 +27,8 @@ impl std::error::Error for TopoError {}
 /// Kahn's algorithm over an adjacency list.
 ///
 /// Returns a topological order of all `adj.len()` nodes, or a [`TopoError`]
-/// listing the nodes left unordered when a cycle exists.
+/// listing the nodes left unordered when a cycle exists. Convenience
+/// wrapper over [`topo_order_csr`].
 ///
 /// # Errors
 ///
@@ -40,19 +41,31 @@ impl std::error::Error for TopoError {}
 /// assert_eq!(graphalgo::topo::topo_order(&adj).unwrap(), vec![0, 1, 2]);
 /// ```
 pub fn topo_order(adj: &[Vec<usize>]) -> Result<Vec<usize>, TopoError> {
-    let n = adj.len();
+    topo_order_csr(&crate::Csr::from_adj(adj))
+}
+
+/// Kahn's algorithm over a CSR graph — the allocation-lean core behind
+/// [`topo_order`]. The traversal pops a stack and scans each node's
+/// contiguous target slice, so the order is identical to the nested-list
+/// form for the same adjacency.
+///
+/// # Errors
+///
+/// Returns [`TopoError`] if the graph has a directed cycle.
+pub fn topo_order_csr(g: &crate::Csr) -> Result<Vec<usize>, TopoError> {
+    let n = g.len();
     let mut indeg = vec![0usize; n];
-    for out in adj {
-        for &v in out {
-            assert!(v < n, "edge target out of range");
-            indeg[v] += 1;
+    for u in 0..n {
+        for &v in g.out(u) {
+            indeg[v as usize] += 1;
         }
     }
     let mut order = Vec::with_capacity(n);
     let mut stack: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
     while let Some(u) = stack.pop() {
         order.push(u);
-        for &v in &adj[u] {
+        for &v in g.out(u) {
+            let v = v as usize;
             indeg[v] -= 1;
             if indeg[v] == 0 {
                 stack.push(v);

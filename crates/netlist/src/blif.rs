@@ -334,58 +334,61 @@ fn build_circuit(
     }
 
     // Resolve a signal to (driving node, FF chain source→sink). `line` is
-    // the use site, reported when the signal has no driver.
+    // the use site, reported when the signal has no driver. Iterative —
+    // a latch chain is bounded by the latch count, and a self-loop latch
+    // (`.latch n n 0`) must yield a typed error, not unbounded recursion.
     fn resolve(
         signal: &str,
         line: usize,
         pi_nodes: &HashMap<String, NodeId>,
         gate_nodes: &HashMap<String, (NodeId, usize)>,
         latch_by_output: &HashMap<&str, &LatchDecl>,
-        depth: usize,
     ) -> Result<(NodeId, Vec<Bit>), NetlistError> {
-        if depth > 100_000 {
-            return Err(parse_err(
-                line,
-                format!("latch cycle through `{signal}` with no logic"),
-            ));
+        let mut cur = signal;
+        let mut use_line = line;
+        // Collected sink-first while walking toward the driver; reversed
+        // to the source→sink order the FF chains store.
+        let mut chain = Vec::new();
+        loop {
+            if let Some(&id) = pi_nodes.get(cur) {
+                chain.reverse();
+                return Ok((id, chain));
+            }
+            if let Some(&(id, _)) = gate_nodes.get(cur) {
+                chain.reverse();
+                return Ok((id, chain));
+            }
+            if let Some(latch) = latch_by_output.get(cur) {
+                if chain.len() >= latch_by_output.len() {
+                    return Err(parse_err(
+                        latch.line,
+                        format!("latch cycle through `{signal}` with no logic"),
+                    ));
+                }
+                chain.push(latch.init);
+                use_line = latch.line;
+                cur = &latch.input;
+                continue;
+            }
+            return Err(NetlistError::UndefinedSignal {
+                signal: cur.to_string(),
+                line: use_line,
+            });
         }
-        if let Some(&id) = pi_nodes.get(signal) {
-            return Ok((id, Vec::new()));
-        }
-        if let Some(&(id, _)) = gate_nodes.get(signal) {
-            return Ok((id, Vec::new()));
-        }
-        if let Some(latch) = latch_by_output.get(signal) {
-            let (id, mut chain) = resolve(
-                &latch.input,
-                latch.line,
-                pi_nodes,
-                gate_nodes,
-                latch_by_output,
-                depth + 1,
-            )?;
-            chain.push(latch.init);
-            return Ok((id, chain));
-        }
-        Err(NetlistError::UndefinedSignal {
-            signal: signal.to_string(),
-            line,
-        })
     }
 
     // Wire gates.
     for block in &names_blocks {
         let (gate_id, _) = gate_nodes[&block.output];
         for sig in &block.inputs {
-            let (src, chain) =
-                resolve(sig, block.line, &pi_nodes, &gate_nodes, &latch_by_output, 0)?;
+            let (src, chain) = resolve(sig, block.line, &pi_nodes, &gate_nodes, &latch_by_output)?;
             c.connect(src, gate_id, chain)?;
         }
     }
     // Wire primary outputs.
     for (name, line) in &outputs {
         let po = c.add_output(name.clone())?;
-        let (src, chain) = resolve(name, *line, &pi_nodes, &gate_nodes, &latch_by_output, 0)?;
+        let (src, chain) = resolve(name, *line, &pi_nodes, &gate_nodes, &latch_by_output)?;
         c.connect(src, po, chain)?;
     }
     Ok(c)
@@ -566,10 +569,10 @@ mod tests {
         let mut sim = crate::sim::Simulator::new(&c).unwrap();
         let one = vec![Bit::One];
         // XOR counter starting at 0: q toggles every enabled cycle.
-        assert_eq!(sim.step(&one), vec![Bit::One]);
-        assert_eq!(sim.step(&one), vec![Bit::Zero]);
-        assert_eq!(sim.step(&[Bit::Zero]), vec![Bit::Zero]);
-        assert_eq!(sim.step(&one), vec![Bit::One]);
+        assert_eq!(sim.step(&one).unwrap(), vec![Bit::One]);
+        assert_eq!(sim.step(&one).unwrap(), vec![Bit::Zero]);
+        assert_eq!(sim.step(&[Bit::Zero]).unwrap(), vec![Bit::Zero]);
+        assert_eq!(sim.step(&one).unwrap(), vec![Bit::One]);
     }
 
     #[test]
@@ -708,6 +711,63 @@ mod tests {
             }
             other => panic!("expected Parse, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn self_loop_latch_is_a_typed_error() {
+        // `.latch n n 0` is a register loop with no driving logic: the
+        // edge-FF representation has no node to hang the chain on. This
+        // used to recurse until the stack overflowed; it must be a
+        // typed parse error. (`crates/fuzz/corpus/self_loop_latch.blif`
+        // keeps the full-pipeline repro.)
+        let src = "\
+.model m
+.inputs a
+.outputs o
+.latch n n 0
+.names n a o
+11 1
+.end
+";
+        match parse_blif(src) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("latch cycle"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        // A longer driverless loop is caught too, at any chain length.
+        let src2 = "\
+.model m
+.inputs a
+.outputs o
+.latch p q 0
+.latch q p 0
+.names q a o
+11 1
+.end
+";
+        match parse_blif(src2) {
+            Err(NetlistError::Parse { message, .. }) => {
+                assert!(message.contains("latch cycle"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        // Registered feedback *through a gate* stays accepted.
+        let src3 = "\
+.model m
+.inputs a
+.outputs o
+.names a q n
+01 1
+10 1
+.latch n q 0
+.names n o
+1 1
+.end
+";
+        let c = parse_blif(src3).unwrap();
+        assert_eq!(c.ff_count_shared(), 1);
     }
 
     #[test]

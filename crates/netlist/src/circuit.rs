@@ -498,6 +498,32 @@ impl Circuit {
         adj
     }
 
+    /// [`Circuit::comb_adjacency`] in flat CSR form: one stable counting
+    /// pass over the edge list, no per-node heap rows. Rows list targets
+    /// in edge-id order, exactly like the nested form.
+    pub fn comb_csr(&self) -> graphalgo::Csr {
+        let n = self.nodes.len();
+        let edges: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .filter(|e| e.weight() == 0)
+            .map(|e| (e.from.index(), e.to.index()))
+            .collect();
+        graphalgo::Csr::from_edges(n, &edges)
+    }
+
+    /// [`Circuit::weighted_adjacency`] in flat CSR form (all edges, FF
+    /// counts as weights).
+    pub fn weighted_csr(&self) -> graphalgo::WeightedCsr {
+        let n = self.nodes.len();
+        let edges: Vec<(usize, usize, u64)> = self
+            .edges
+            .iter()
+            .map(|e| (e.from.index(), e.to.index(), e.weight() as u64))
+            .collect();
+        graphalgo::WeightedCsr::from_edges(n, &edges)
+    }
+
     /// A topological order of the zero-weight subgraph (evaluation order for
     /// one clock cycle).
     ///
@@ -506,7 +532,7 @@ impl Circuit {
     /// Returns [`NetlistError::CombinationalCycle`] when the circuit has a
     /// zero-weight cycle.
     pub fn comb_topo_order(&self) -> Result<Vec<NodeId>, NetlistError> {
-        graphalgo::topo_order(&self.comb_adjacency())
+        graphalgo::topo_order_csr(&self.comb_csr())
             .map(|o| o.into_iter().map(|i| NodeId(i as u32)).collect())
             .map_err(|e| NetlistError::CombinationalCycle {
                 nodes: e

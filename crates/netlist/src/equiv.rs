@@ -23,6 +23,7 @@ use crate::bit::Bit;
 use crate::circuit::Circuit;
 use crate::error::NetlistError;
 use crate::sim::Simulator;
+use crate::vsim::{Planes, VecSimulator, LANES};
 use engine::rng::Rng64;
 
 /// How two output bits are compared by the equivalence checkers.
@@ -48,6 +49,24 @@ impl EquivMode {
         match self {
             EquivMode::Conformance => actual.refines(expected),
             EquivMode::Compatibility => actual.compatible(expected),
+        }
+    }
+
+    /// Lane mask of comparison violations between two 64-wide output
+    /// words: bit `l` is set iff `!self.accepts(expected[l], actual[l])`.
+    ///
+    /// Conformance rejects a lane where the expected value is defined and
+    /// the actual value is not that exact defined value; compatibility
+    /// rejects only conflicting defined values.
+    #[inline]
+    pub fn violations(self, expected: Planes, actual: Planes) -> u64 {
+        let e1 = expected.p1 & !expected.p0; // expected definitely 1
+        let e0 = expected.p0 & !expected.p1; // expected definitely 0
+        let a1 = actual.p1 & !actual.p0;
+        let a0 = actual.p0 & !actual.p1;
+        match self {
+            EquivMode::Conformance => (e1 & !a1) | (e0 & !a0),
+            EquivMode::Compatibility => (e1 & a0) | (e0 & a1),
         }
     }
 }
@@ -149,8 +168,8 @@ pub fn sequence_equiv_mode(
     let mut ref_sim = Simulator::new(reference)?;
     let mut cand_sim = Simulator::new(candidate)?;
     for (cycle, inputs) in sequence.iter().enumerate() {
-        let ref_out = ref_sim.step(inputs);
-        let cand_out = cand_sim.step(inputs);
+        let ref_out = ref_sim.step(inputs)?;
+        let cand_out = cand_sim.step(inputs)?;
         for (po_idx, (&e, &a)) in ref_out.iter().zip(cand_out.iter()).enumerate() {
             if !mode.accepts(e, a) {
                 return Ok(EquivResult::Different(Box::new(CounterExample {
@@ -208,7 +227,17 @@ pub fn random_equiv(
     )
 }
 
-/// [`random_equiv`] with an explicit comparison [`EquivMode`].
+/// [`random_equiv`] with an explicit comparison [`EquivMode`], running on
+/// the [two-bitplane vector simulator](crate::vsim).
+///
+/// The `num_vectors` budget is spread over [`LANES`] **independent**
+/// random sequences simulated simultaneously (64 vectors per word-op).
+/// Each lane restarts from the initial state, so initial-state behaviour
+/// is probed 64 times instead of once; sequence depth is kept at
+/// `max(⌈num_vectors / 64⌉, min(num_vectors, 64))` cycles so deep FF
+/// chains still flush. The reported counterexample is a single lane's
+/// input prefix — replayable with [`sequence_equiv_mode`] on the scalar
+/// simulator.
 ///
 /// # Errors
 ///
@@ -220,23 +249,96 @@ pub fn random_equiv_mode(
     seed: u64,
     mode: EquivMode,
 ) -> Result<EquivResult, NetlistError> {
-    let sequence = random_sequence(reference.inputs().len(), num_vectors, seed);
-    sequence_equiv_mode(reference, candidate, &sequence, mode)
+    check_interfaces(reference, candidate)?;
+    let m = reference.inputs().len();
+    let cycles = num_vectors.div_ceil(LANES).max(num_vectors.min(LANES));
+    // Per-lane seeds from one splitmix stream: lane l's sequence is
+    // `random_sequence(m, cycles, lane_seeds[l])`, so a witness lane can
+    // be regenerated and replayed scalar from `(seed, lane)` alone.
+    let mut seeder = Rng64::new(seed);
+    let lane_seeds: Vec<u64> = (0..LANES).map(|_| seeder.next_u64()).collect();
+    let mut lane_rngs: Vec<Rng64> = lane_seeds.iter().map(|&s| Rng64::new(s)).collect();
+    let mut ref_sim = VecSimulator::new(reference)?;
+    let mut cand_sim = VecSimulator::new(candidate)?;
+    let mut inputs = vec![Planes::splat(Bit::X); m];
+    let mut history: Vec<Vec<Bit>> = Vec::with_capacity(cycles); // lane-major per cycle
+    for cycle in 0..cycles {
+        let mut cycle_bits = vec![Bit::Zero; LANES * m];
+        for (l, rng) in lane_rngs.iter_mut().enumerate() {
+            for i in 0..m {
+                cycle_bits[l * m + i] = Bit::from_bool(rng.next_u64() & 1 == 1);
+            }
+        }
+        for (i, planes) in inputs.iter_mut().enumerate() {
+            let mut p1 = 0u64;
+            for l in 0..LANES {
+                if cycle_bits[l * m + i] == Bit::One {
+                    p1 |= 1u64 << l;
+                }
+            }
+            *planes = Planes { p0: !p1, p1 };
+        }
+        history.push(cycle_bits);
+        let ref_out = ref_sim.step(&inputs)?;
+        let cand_out = cand_sim.step(&inputs)?;
+        for (po, (&e, &a)) in ref_out.iter().zip(cand_out.iter()).enumerate() {
+            let viol = mode.violations(e, a);
+            if viol != 0 {
+                let l = viol.trailing_zeros() as usize;
+                let inputs: Vec<Vec<Bit>> = history
+                    .iter()
+                    .map(|bits| bits[l * m..(l + 1) * m].to_vec())
+                    .collect();
+                return Ok(EquivResult::Different(Box::new(CounterExample {
+                    inputs,
+                    cycle,
+                    output: reference.node(reference.outputs()[po]).name().to_string(),
+                    expected: e.get(l),
+                    actual: a.get(l),
+                })));
+            }
+        }
+    }
+    Ok(EquivResult::Equivalent)
 }
 
-/// Exhaustive bounded equivalence: checks **every** defined input sequence
-/// of length `depth`.
-///
-/// The search space is `2^(pis · depth)` sequences; the function panics when
-/// that exceeds `2^22` to protect callers from accidental blow-up.
+/// The pre-vectorization 3008-vector protocol: **one** random sequence of
+/// `num_vectors` cycles from [`random_sequence`], simulated bit-at-a-time
+/// on the scalar [`Simulator`]. Retained as the differential oracle for
+/// the vector engine (and for measuring the vectorization speedup); new
+/// callers should prefer [`random_equiv_mode`].
 ///
 /// # Errors
 ///
 /// Same as [`sequence_equiv`].
+pub fn random_equiv_scalar_mode(
+    reference: &Circuit,
+    candidate: &Circuit,
+    num_vectors: usize,
+    seed: u64,
+    mode: EquivMode,
+) -> Result<EquivResult, NetlistError> {
+    let sequence = random_sequence(reference.inputs().len(), num_vectors, seed);
+    sequence_equiv_mode(reference, candidate, &sequence, mode)
+}
+
+/// Maximum `log2` sequence count [`exhaustive_equiv`] will enumerate.
+pub const EXHAUSTIVE_BITS_BOUND: usize = 22;
+
+/// Exhaustive bounded equivalence: checks **every** defined input sequence
+/// of length `depth`, batched 64 sequences at a time through the
+/// [two-bitplane vector simulator](crate::vsim).
 ///
-/// # Panics
+/// The search space is `2^(pis · depth)` sequences; the function refuses
+/// when that exceeds `2^22` ([`EXHAUSTIVE_BITS_BOUND`]) to protect callers
+/// from accidental blow-up. The counterexample is the numerically smallest
+/// differing sequence at its earliest diverging cycle — identical to what
+/// a sequence-by-sequence scalar scan would report.
 ///
-/// Panics when `pis · depth > 22`.
+/// # Errors
+///
+/// Same as [`sequence_equiv`], plus [`NetlistError::SearchSpaceTooLarge`]
+/// when `pis · depth > 22`.
 pub fn exhaustive_equiv(
     reference: &Circuit,
     candidate: &Circuit,
@@ -245,21 +347,77 @@ pub fn exhaustive_equiv(
     check_interfaces(reference, candidate)?;
     let m = reference.inputs().len();
     let total_bits = m * depth;
-    assert!(
-        total_bits <= 22,
-        "exhaustive_equiv: 2^{total_bits} sequences is too many"
-    );
-    for combo in 0u64..(1u64 << total_bits) {
-        let sequence: Vec<Vec<Bit>> = (0..depth)
-            .map(|cyc| {
-                (0..m)
-                    .map(|i| Bit::from_bool((combo >> (cyc * m + i)) & 1 == 1))
-                    .collect()
-            })
-            .collect();
-        if let EquivResult::Different(ce) = sequence_equiv(reference, candidate, &sequence)? {
-            return Ok(EquivResult::Different(ce));
+    if total_bits > EXHAUSTIVE_BITS_BOUND {
+        return Err(NetlistError::SearchSpaceTooLarge {
+            bits: total_bits,
+            bound: EXHAUSTIVE_BITS_BOUND,
+        });
+    }
+    let combo_bit = |combo: u64, cyc: usize, i: usize| (combo >> (cyc * m + i)) & 1 == 1;
+    let total = 1u64 << total_bits;
+    let mut base = 0u64;
+    let mut inputs = vec![Planes::splat(Bit::X); m];
+    while base < total {
+        let lanes = LANES.min((total - base) as usize);
+        let mut ref_sim = VecSimulator::new(reference)?;
+        let mut cand_sim = VecSimulator::new(candidate)?;
+        // Per-lane first violation, encoded (cycle, po) — lanes are combo
+        // order, so the lowest violating lane is the scalar-scan witness.
+        let mut first: Vec<Option<(usize, usize)>> = vec![None; lanes];
+        let mut pending = lanes;
+        'batch: for cyc in 0..depth {
+            for (i, planes) in inputs.iter_mut().enumerate() {
+                let mut p1 = 0u64;
+                for l in 0..lanes {
+                    if combo_bit(base + l as u64, cyc, i) {
+                        p1 |= 1u64 << l;
+                    }
+                }
+                *planes = Planes { p0: !p1, p1 };
+            }
+            let ref_out = ref_sim.step(&inputs)?;
+            let cand_out = cand_sim.step(&inputs)?;
+            for (po, (&e, &a)) in ref_out.iter().zip(cand_out.iter()).enumerate() {
+                let mut viol = EquivMode::Conformance.violations(e, a);
+                while viol != 0 {
+                    let l = viol.trailing_zeros() as usize;
+                    viol &= viol - 1;
+                    if l < lanes && first[l].is_none() {
+                        first[l] = Some((cyc, po));
+                        pending -= 1;
+                    }
+                }
+            }
+            if pending == 0 {
+                break 'batch;
+            }
         }
+        if let Some((l, &Some((cycle, po)))) = first.iter().enumerate().find(|(_, f)| f.is_some()) {
+            let combo = base + l as u64;
+            let sequence: Vec<Vec<Bit>> = (0..=cycle)
+                .map(|cyc| {
+                    (0..m)
+                        .map(|i| Bit::from_bool(combo_bit(combo, cyc, i)))
+                        .collect()
+                })
+                .collect();
+            // Replay the witness on the scalar simulator to report exact
+            // expected/actual bits (and cross-check the vector engine).
+            return match sequence_equiv(reference, candidate, &sequence)? {
+                EquivResult::Different(ce) => Ok(EquivResult::Different(ce)),
+                EquivResult::Equivalent => {
+                    debug_assert!(false, "vector/scalar verdict disagreement");
+                    Ok(EquivResult::Different(Box::new(CounterExample {
+                        inputs: sequence,
+                        cycle,
+                        output: reference.node(reference.outputs()[po]).name().to_string(),
+                        expected: Bit::X,
+                        actual: Bit::X,
+                    })))
+                }
+            };
+        }
+        base += lanes as u64;
     }
     Ok(EquivResult::Equivalent)
 }

@@ -59,6 +59,21 @@ pub enum NetlistError {
     /// The two circuits given to an equivalence check have different
     /// interfaces.
     InterfaceMismatch(String),
+    /// A simulation step was driven with the wrong number of PI values.
+    PiVectorLength {
+        /// Number of primary inputs the circuit has.
+        expected: usize,
+        /// Length of the vector supplied by the caller.
+        actual: usize,
+    },
+    /// A bounded-exhaustive search was asked to enumerate more sequences
+    /// than the checker's blow-up guard allows.
+    SearchSpaceTooLarge {
+        /// `log2` of the requested sequence count (`pis · depth`).
+        bits: usize,
+        /// Maximum supported `log2` sequence count.
+        bound: usize,
+    },
 }
 
 impl std::fmt::Display for NetlistError {
@@ -95,6 +110,18 @@ impl std::fmt::Display for NetlistError {
                 }
             }
             NetlistError::InterfaceMismatch(m) => write!(f, "interface mismatch: {m}"),
+            NetlistError::PiVectorLength { expected, actual } => {
+                write!(
+                    f,
+                    "PI vector length mismatch: expected {expected}, got {actual}"
+                )
+            }
+            NetlistError::SearchSpaceTooLarge { bits, bound } => {
+                write!(
+                    f,
+                    "2^{bits} sequences exceed the exhaustive bound of 2^{bound}"
+                )
+            }
         }
     }
 }

@@ -10,8 +10,10 @@
 //! * [`TruthTable`] / [`Bit`] — gate functions and 3-valued logic,
 //! * [`blif`] — BLIF reading/writing (the SIS interchange format),
 //! * [`sim`] — cycle-accurate 3-valued simulation,
+//! * [`vsim`] — batched two-bitplane simulation, 64 vectors per word,
 //! * [`equiv`] — sequential equivalence checking (random-vector and
-//!   bounded-exhaustive; our stand-in for SIS `verify_fsm`),
+//!   bounded-exhaustive; our stand-in for SIS `verify_fsm`), running on
+//!   the vector engine with the scalar simulator as differential oracle,
 //! * [`decompose`] — fanin-bounding tech decomposition before mapping,
 //! * [`strash`] — structural hashing (duplicate-logic sweep),
 //! * [`dot`] — Graphviz export for the paper's figure-style diagrams,
@@ -35,8 +37,8 @@
 //! c.connect(x, q, vec![])?;
 //!
 //! let mut sim = Simulator::new(&c)?;
-//! assert_eq!(sim.step(&[Bit::One]), vec![Bit::One]);
-//! assert_eq!(sim.step(&[Bit::One]), vec![Bit::Zero]);
+//! assert_eq!(sim.step(&[Bit::One])?, vec![Bit::One]);
+//! assert_eq!(sim.step(&[Bit::One])?, vec![Bit::Zero]);
 //! # Ok(())
 //! # }
 //! ```
@@ -58,6 +60,7 @@ pub mod strash;
 pub mod truth;
 pub mod validate;
 pub mod verilog;
+pub mod vsim;
 
 pub use bit::Bit;
 pub use blif::{parse_blif, write_blif};
@@ -65,8 +68,9 @@ pub use circuit::{Circuit, Edge, EdgeId, Node, NodeId, NodeKind};
 pub use decompose::decompose_to_k;
 pub use dot::to_dot;
 pub use equiv::{
-    exhaustive_equiv, random_equiv, random_equiv_mode, random_sequence, sequence_equiv,
-    sequence_equiv_mode, CounterExample, EquivMode, EquivResult,
+    exhaustive_equiv, random_equiv, random_equiv_mode, random_equiv_scalar_mode, random_sequence,
+    sequence_equiv, sequence_equiv_mode, CounterExample, EquivMode, EquivResult,
+    EXHAUSTIVE_BITS_BOUND,
 };
 pub use error::NetlistError;
 pub use prune::prune_dead;
@@ -76,3 +80,4 @@ pub use strash::{strash, StrashReport};
 pub use truth::{TruthTable, MAX_INPUTS};
 pub use validate::{check_k_bounded, validate};
 pub use verilog::to_verilog;
+pub use vsim::{Planes, VecSimulator, LANES};

@@ -55,12 +55,19 @@ impl<'a> Simulator<'a> {
     /// [`Circuit::inputs`] order) and returns the PO values (in
     /// [`Circuit::outputs`] order).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `inputs.len()` differs from the number of PIs.
-    pub fn step(&mut self, inputs: &[Bit]) -> Vec<Bit> {
+    /// Returns [`NetlistError::PiVectorLength`] if `inputs.len()` differs
+    /// from the number of PIs — reachable from library callers and `serve`
+    /// job payloads, so it must not panic.
+    pub fn step(&mut self, inputs: &[Bit]) -> Result<Vec<Bit>, NetlistError> {
         let c = self.circuit;
-        assert_eq!(inputs.len(), c.inputs().len(), "PI vector length mismatch");
+        if inputs.len() != c.inputs().len() {
+            return Err(NetlistError::PiVectorLength {
+                expected: c.inputs().len(),
+                actual: inputs.len(),
+            });
+        }
         let _span = engine::trace::span1("sim_step", "nodes", self.order.len() as u64);
         let _mem = engine::mem::scope(engine::mem::MemPhase::Sim);
         for (&pi, &v) in c.inputs().iter().zip(inputs) {
@@ -99,18 +106,19 @@ impl<'a> Simulator<'a> {
                 chain.insert(0, from_val);
             }
         }
-        c.outputs()
+        Ok(c.outputs()
             .iter()
             .map(|&po| self.values[po.index()])
-            .collect()
+            .collect())
     }
 
     /// Runs a whole input sequence, returning one PO vector per cycle.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any input vector has the wrong length.
-    pub fn run(&mut self, sequence: &[Vec<Bit>]) -> Vec<Vec<Bit>> {
+    /// Returns [`NetlistError::PiVectorLength`] if any input vector has the
+    /// wrong length.
+    pub fn run(&mut self, sequence: &[Vec<Bit>]) -> Result<Vec<Vec<Bit>>, NetlistError> {
         sequence.iter().map(|inp| self.step(inp)).collect()
     }
 }
@@ -141,10 +149,10 @@ mod tests {
         c.connect(b, g, vec![]).unwrap();
         c.connect(g, o, vec![]).unwrap();
         let mut sim = Simulator::new(&c).unwrap();
-        assert_eq!(sim.step(&bits("11")), bits("1"));
-        assert_eq!(sim.step(&bits("10")), bits("0"));
-        assert_eq!(sim.step(&bits("1x")), bits("x"));
-        assert_eq!(sim.step(&bits("0x")), bits("0"));
+        assert_eq!(sim.step(&bits("11")).unwrap(), bits("1"));
+        assert_eq!(sim.step(&bits("10")).unwrap(), bits("0"));
+        assert_eq!(sim.step(&bits("1x")).unwrap(), bits("x"));
+        assert_eq!(sim.step(&bits("0x")).unwrap(), bits("0"));
     }
 
     #[test]
@@ -156,9 +164,9 @@ mod tests {
         c.connect(a, g, vec![]).unwrap();
         c.connect(g, o, vec![Bit::Zero]).unwrap();
         let mut sim = Simulator::new(&c).unwrap();
-        assert_eq!(sim.step(&bits("1")), bits("0")); // initial value
-        assert_eq!(sim.step(&bits("0")), bits("1")); // previous input
-        assert_eq!(sim.step(&bits("1")), bits("0"));
+        assert_eq!(sim.step(&bits("1")).unwrap(), bits("0")); // initial value
+        assert_eq!(sim.step(&bits("0")).unwrap(), bits("1")); // previous input
+        assert_eq!(sim.step(&bits("1")).unwrap(), bits("0"));
     }
 
     #[test]
@@ -171,10 +179,10 @@ mod tests {
         c.connect(g, o, vec![Bit::One, Bit::Zero]).unwrap();
         let mut sim = Simulator::new(&c).unwrap();
         // Cycle 1 delivers ffs[1] (nearest sink) = 0, cycle 2 delivers 1.
-        assert_eq!(sim.step(&bits("1")), bits("0"));
-        assert_eq!(sim.step(&bits("0")), bits("1"));
-        assert_eq!(sim.step(&bits("0")), bits("1")); // then the cycle-1 input
-        assert_eq!(sim.step(&bits("0")), bits("0"));
+        assert_eq!(sim.step(&bits("1")).unwrap(), bits("0"));
+        assert_eq!(sim.step(&bits("0")).unwrap(), bits("1"));
+        assert_eq!(sim.step(&bits("0")).unwrap(), bits("1")); // then the cycle-1 input
+        assert_eq!(sim.step(&bits("0")).unwrap(), bits("0"));
     }
 
     #[test]
@@ -187,7 +195,7 @@ mod tests {
         c.connect(inv, inv, vec![Bit::Zero]).unwrap();
         c.connect(inv, o, vec![]).unwrap();
         let mut sim = Simulator::new(&c).unwrap();
-        let outs: Vec<Bit> = (0..4).map(|_| sim.step(&bits("0"))[0]).collect();
+        let outs: Vec<Bit> = (0..4).map(|_| sim.step(&bits("0")).unwrap()[0]).collect();
         assert_eq!(outs, bits("1010"));
     }
 
@@ -204,9 +212,9 @@ mod tests {
         c.connect(a, d, vec![]).unwrap();
         c.connect(g, o, vec![]).unwrap();
         let mut sim = Simulator::new(&c).unwrap();
-        assert_eq!(sim.step(&bits("1")), bits("x"));
-        assert_eq!(sim.step(&bits("1")), bits("0")); // 1 xor prev(1)
-        assert_eq!(sim.step(&bits("0")), bits("1")); // 0 xor prev(1)
+        assert_eq!(sim.step(&bits("1")).unwrap(), bits("x"));
+        assert_eq!(sim.step(&bits("1")).unwrap(), bits("0")); // 1 xor prev(1)
+        assert_eq!(sim.step(&bits("0")).unwrap(), bits("1")); // 0 xor prev(1)
     }
 
     #[test]
@@ -225,9 +233,9 @@ mod tests {
         c.connect(a, d, vec![]).unwrap();
         c.connect(g, o, vec![]).unwrap();
         let mut sim = Simulator::new(&c).unwrap();
-        assert_eq!(sim.step(&bits("0")), bits("0")); // X masked
+        assert_eq!(sim.step(&bits("0")).unwrap(), bits("0")); // X masked
         let mut sim2 = Simulator::new(&c).unwrap();
-        assert_eq!(sim2.step(&bits("1")), bits("x")); // X exposed
+        assert_eq!(sim2.step(&bits("1")).unwrap(), bits("x")); // X exposed
     }
 
     #[test]
@@ -242,10 +250,10 @@ mod tests {
         c.connect(a, g, vec![]).unwrap();
         c.connect(g, o, vec![Bit::One, Bit::X, Bit::Zero]).unwrap();
         let mut sim = Simulator::new(&c).unwrap();
-        assert_eq!(sim.step(&bits("1")), bits("0"));
-        assert_eq!(sim.step(&bits("1")), bits("x"));
-        assert_eq!(sim.step(&bits("1")), bits("1"));
-        assert_eq!(sim.step(&bits("1")), bits("1")); // cycle-1 input arrives
+        assert_eq!(sim.step(&bits("1")).unwrap(), bits("0"));
+        assert_eq!(sim.step(&bits("1")).unwrap(), bits("x"));
+        assert_eq!(sim.step(&bits("1")).unwrap(), bits("1"));
+        assert_eq!(sim.step(&bits("1")).unwrap(), bits("1")); // cycle-1 input arrives
     }
 
     #[test]
@@ -260,10 +268,33 @@ mod tests {
         c.connect(a, g, vec![Bit::One]).unwrap();
         c.connect(g, o, vec![]).unwrap();
         let mut sim = Simulator::new(&c).unwrap();
-        assert_eq!(sim.step(&bits("x")), bits("x"));
+        assert_eq!(sim.step(&bits("x")).unwrap(), bits("x"));
         // After an X has been clocked into the FF, even a defined input
         // cannot recover a defined output.
-        assert_eq!(sim.step(&bits("1")), bits("x"));
+        assert_eq!(sim.step(&bits("1")).unwrap(), bits("x"));
+    }
+
+    #[test]
+    fn wrong_pi_vector_length_is_a_typed_error() {
+        let mut c = Circuit::new("and");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g = c.add_gate("g", TruthTable::and(2)).unwrap();
+        let o = c.add_output("o").unwrap();
+        c.connect(a, g, vec![]).unwrap();
+        c.connect(b, g, vec![]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        let mut sim = Simulator::new(&c).unwrap();
+        assert_eq!(
+            sim.step(&bits("1")),
+            Err(NetlistError::PiVectorLength {
+                expected: 2,
+                actual: 1
+            })
+        );
+        assert!(sim.run(&[bits("11"), bits("111")]).is_err());
+        // A failed step must not corrupt the simulator: it is usable after.
+        assert_eq!(sim.step(&bits("11")).unwrap(), bits("1"));
     }
 
     #[test]
@@ -276,7 +307,7 @@ mod tests {
         c.connect(g, o, vec![]).unwrap();
         let seq = vec![bits("1"), bits("0"), bits("x")];
         let mut s1 = Simulator::new(&c).unwrap();
-        let outs = s1.run(&seq);
+        let outs = s1.run(&seq).unwrap();
         assert_eq!(outs, vec![bits("0"), bits("1"), bits("x")]);
     }
 }

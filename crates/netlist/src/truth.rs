@@ -214,6 +214,46 @@ impl TruthTable {
         Bit::from_bool(first)
     }
 
+    /// Batched three-valued evaluation over 64 lanes at once.
+    ///
+    /// Each input is a two-bitplane word `(p0, p1)`: bit `l` of `p0` means
+    /// lane `l` *could be 0*, bit `l` of `p1` means it *could be 1* (both
+    /// set = `X`). The result uses the same encoding. Semantics match 64
+    /// independent [`eval3`](Self::eval3) calls: a lane's output plane bit
+    /// is set iff some completion of its `X` inputs reaches a row with
+    /// that output value, so the output is defined exactly when every
+    /// completion agrees.
+    ///
+    /// Cost is `O(2^k · k)` word operations — one minterm mask per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval3_planes(&self, inputs: &[(u64, u64)]) -> (u64, u64) {
+        assert_eq!(inputs.len(), self.num_inputs(), "arity mismatch");
+        let mut out0 = 0u64;
+        let mut out1 = 0u64;
+        for r in 0..self.num_rows() {
+            // Lanes whose inputs are consistent with row assignment `r`.
+            let mut consistent = !0u64;
+            for (i, &(p0, p1)) in inputs.iter().enumerate() {
+                consistent &= if (r >> i) & 1 == 1 { p1 } else { p0 };
+                if consistent == 0 {
+                    break;
+                }
+            }
+            if consistent == 0 {
+                continue;
+            }
+            if (self.words[r / 64] >> (r % 64)) & 1 == 1 {
+                out1 |= consistent;
+            } else {
+                out0 |= consistent;
+            }
+        }
+        (out0, out1)
+    }
+
     /// Finds an input vector `j` with `f(j) = target`, maximising the number
     /// of `X` inputs greedily (an `X` is kept only if the output stays
     /// defined and equal to `target`).

@@ -22,14 +22,16 @@ use netlist::{Circuit, NodeId};
 /// path over edges with `w_r = 0` ending at `v`.
 fn arrival_times(c: &Circuit, r: &Retiming) -> Result<Vec<u64>, RetimingError> {
     let n = c.num_nodes();
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for e in c.edge_ids() {
-        if r.retimed_weight(c, e) == 0 {
+    let edges: Vec<(usize, usize)> = c
+        .edge_ids()
+        .filter(|&e| r.retimed_weight(c, e) == 0)
+        .map(|e| {
             let edge = c.edge(e);
-            adj[edge.from().index()].push(edge.to().index());
-        }
-    }
-    let order = graphalgo::topo_order(&adj).map_err(|_| {
+            (edge.from().index(), edge.to().index())
+        })
+        .collect();
+    let adj = graphalgo::Csr::from_edges(n, &edges);
+    let order = graphalgo::topo_order_csr(&adj).map_err(|_| {
         RetimingError::Netlist(netlist::NetlistError::CombinationalCycle { nodes: vec![] })
     })?;
     let mut delta = vec![0u64; n];

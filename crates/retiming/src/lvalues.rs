@@ -144,9 +144,9 @@ pub fn retime_min_period_forward(c: &Circuit) -> Result<ForwardRetimingResult, R
 ///
 /// Unreachable nodes get `u64::MAX` (validated circuits have none).
 pub fn max_forward_retiming_values(c: &Circuit) -> Vec<u64> {
-    let adj = c.weighted_adjacency();
+    let adj = c.weighted_csr();
     let sources: Vec<usize> = c.inputs().iter().map(|v| v.index()).collect();
-    graphalgo::dijkstra(&adj, &sources)
+    graphalgo::dijkstra_csr(&adj, &sources)
         .into_iter()
         .map(|d| d.unwrap_or(u64::MAX))
         .collect()

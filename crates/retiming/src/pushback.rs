@@ -36,13 +36,16 @@ pub struct PushBackStats {
 pub fn max_backward_retiming_values(c: &Circuit) -> Vec<u64> {
     // Dijkstra on the reversed graph from the POs.
     let n = c.num_nodes();
-    let mut radj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
-    for e in c.edge_ids() {
-        let edge = c.edge(e);
-        radj[edge.to().index()].push((edge.from().index(), edge.weight() as u64));
-    }
+    let redges: Vec<(usize, usize, u64)> = c
+        .edge_ids()
+        .map(|e| {
+            let edge = c.edge(e);
+            (edge.to().index(), edge.from().index(), edge.weight() as u64)
+        })
+        .collect();
+    let radj = graphalgo::WeightedCsr::from_edges(n, &redges);
     let sources: Vec<usize> = c.outputs().iter().map(|v| v.index()).collect();
-    graphalgo::dijkstra(&radj, &sources)
+    graphalgo::dijkstra_csr(&radj, &sources)
         .into_iter()
         .map(|d| d.unwrap_or(0)) // nodes feeding no PO cannot move backward
         .collect()

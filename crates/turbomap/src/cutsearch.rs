@@ -110,7 +110,7 @@ pub fn find_cut_with(
         if effective_leaf(i) {
             net.add_edge(source, i);
         } else {
-            for &f in &exp.fanins[i] {
+            for &f in exp.fanins(i) {
                 net.add_edge(f as usize, i);
             }
         }
@@ -391,7 +391,7 @@ mod validity_tests {
                 !(exp.is_leaf[i] && i != exp.root()),
                 "cone contains a leaf: the cut failed to separate"
             );
-            for &f in &exp.fanins[i] {
+            for &f in exp.fanins(i) {
                 let fi = f as usize;
                 if cut_set.contains(&exp.nodes[fi]) || seen[fi] {
                     continue;

@@ -14,7 +14,6 @@
 //! realisable by forward retiming.
 
 use netlist::{Circuit, NodeId};
-use std::collections::HashMap;
 
 /// An expanded node `u^w`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,14 +24,114 @@ pub struct ExpNode {
     pub weight: u64,
 }
 
+/// Open-addressed `(node, weight) -> expanded index` map with linear
+/// probing over a power-of-two table.
+///
+/// Expanded-circuit construction is the single hottest allocation site of
+/// the label sweep (one build per node per bound probe), and the generic
+/// `HashMap<ExpNode, u32>` paid SipHash plus a heap box per build. This
+/// table is three flat arrays, a multiply-xorshift hash and no per-entry
+/// allocation. Lookup order never leaks into results — the map is only
+/// ever probed point-wise — so determinism is untouched.
+#[derive(Debug, Clone)]
+struct ExpIndex {
+    /// Original-node id per slot; `EMPTY_SLOT` marks free slots.
+    node: Vec<u32>,
+    /// Weight per slot (valid only when the slot is occupied).
+    weight: Vec<u64>,
+    /// Expanded index per slot (valid only when the slot is occupied).
+    idx: Vec<u32>,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+impl ExpIndex {
+    fn new() -> Self {
+        let size = 64;
+        ExpIndex {
+            node: vec![EMPTY_SLOT; size],
+            weight: vec![0; size],
+            idx: vec![0; size],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn hash(node: u32, weight: u64) -> u64 {
+        let mut h = (node as u64 ^ weight.rotate_left(32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^ (h >> 32)
+    }
+
+    /// Slot containing `(node, weight)`, or the free slot where it would
+    /// be inserted.
+    #[inline]
+    fn probe(&self, node: u32, weight: u64) -> usize {
+        let mask = self.node.len() - 1;
+        let mut s = Self::hash(node, weight) as usize & mask;
+        loop {
+            if self.node[s] == EMPTY_SLOT || (self.node[s] == node && self.weight[s] == weight) {
+                return s;
+            }
+            s = (s + 1) & mask;
+        }
+    }
+
+    #[inline]
+    fn get(&self, node: u32, weight: u64) -> Option<u32> {
+        let s = self.probe(node, weight);
+        (self.node[s] != EMPTY_SLOT).then(|| self.idx[s])
+    }
+
+    fn insert(&mut self, node: u32, weight: u64, idx: u32) {
+        if self.len * 2 >= self.node.len() {
+            self.grow();
+        }
+        let s = self.probe(node, weight);
+        debug_assert_eq!(self.node[s], EMPTY_SLOT);
+        self.node[s] = node;
+        self.weight[s] = weight;
+        self.idx[s] = idx;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let old_node = std::mem::replace(&mut self.node, vec![EMPTY_SLOT; 0]);
+        let old_weight = std::mem::take(&mut self.weight);
+        let old_idx = std::mem::take(&mut self.idx);
+        let size = old_node.len() * 2;
+        self.node = vec![EMPTY_SLOT; size];
+        self.weight = vec![0; size];
+        self.idx = vec![0; size];
+        for (s, &n) in old_node.iter().enumerate() {
+            if n != EMPTY_SLOT {
+                let t = self.probe(n, old_weight[s]);
+                self.node[t] = n;
+                self.weight[t] = old_weight[s];
+                self.idx[t] = old_idx[s];
+            }
+        }
+    }
+}
+
 /// The expanded circuit `F_v^i` of one root.
+///
+/// Fanins live in one flat pool indexed by per-node `(offset, len)` pairs
+/// — struct-of-arrays with no per-node heap boxes, so a build is a handful
+/// of amortised `Vec` pushes regardless of node count.
 #[derive(Debug, Clone)]
 pub struct ExpandedCircuit {
     /// The root `v^0` is always index 0.
     pub nodes: Vec<ExpNode>,
-    /// `fanins[i]` lists the expanded fanins of node `i` (empty for
-    /// leaves).
-    pub fanins: Vec<Vec<u32>>,
+    /// Offset of node `i`'s fanin slice in `fanin_pool`.
+    fanin_off: Vec<u32>,
+    /// Length of node `i`'s fanin slice.
+    fanin_len: Vec<u32>,
+    /// Flat fanin pool; each internal node's fanins are contiguous.
+    fanin_pool: Vec<u32>,
     /// True when the node is a leaf (PI, or weight above the bound).
     pub is_leaf: Vec<bool>,
     /// The weight bound `i` used during construction.
@@ -55,6 +154,13 @@ impl ExpandedCircuit {
         0
     }
 
+    /// Expanded fanins of node `i` (empty for leaves).
+    #[inline]
+    pub fn fanins(&self, i: usize) -> &[u32] {
+        let off = self.fanin_off[i] as usize;
+        &self.fanin_pool[off..off + self.fanin_len[i] as usize]
+    }
+
     /// Builds `F_v^bound`.
     ///
     /// Internal nodes satisfy `weight ≤ bound`; leaves are PIs or nodes
@@ -72,14 +178,17 @@ impl ExpandedCircuit {
             [Some(("node", v.index() as u64)), Some(("bound", bound))],
         );
         let _mem = engine::mem::scope(engine::mem::MemPhase::Expand);
-        let mut index: HashMap<ExpNode, u32> = HashMap::new();
+        let mut index = ExpIndex::new();
         let mut nodes: Vec<ExpNode> = Vec::new();
-        let mut fanins: Vec<Vec<u32>> = Vec::new();
+        let mut fanin_off: Vec<u32> = Vec::new();
+        let mut fanin_len: Vec<u32> = Vec::new();
+        let mut fanin_pool: Vec<u32> = Vec::new();
         let mut is_leaf: Vec<bool> = Vec::new();
         let root = ExpNode { node: v, weight: 0 };
-        index.insert(root, 0);
+        index.insert(v.index() as u32, 0, 0);
         nodes.push(root);
-        fanins.push(Vec::new());
+        fanin_off.push(0);
+        fanin_len.push(0);
         is_leaf.push(false);
         let mut stack: Vec<u32> = vec![0];
         while let Some(xi) = stack.pop() {
@@ -88,6 +197,9 @@ impl ExpandedCircuit {
             if is_leaf[xi as usize] {
                 continue;
             }
+            // A node is popped at most once, so its fanin slice is filled
+            // contiguously here and never touched again.
+            fanin_off[xi as usize] = fanin_pool.len() as u32;
             let fanin_edges: Vec<netlist::EdgeId> = c.node(x.node).fanin().to_vec();
             for e in fanin_edges {
                 let edge = c.edge(e);
@@ -95,9 +207,10 @@ impl ExpandedCircuit {
                     node: edge.from(),
                     weight: x.weight + edge.weight() as u64,
                 };
+                let child_key = child.node.index() as u32;
                 let leaf = !c.node(child.node).is_gate() || child.weight > bound;
-                let ci = match index.get(&child) {
-                    Some(&ci) => {
+                let ci = match index.get(child_key, child.weight) {
+                    Some(ci) => {
                         // An existing node's leaf-ness never changes: it
                         // was classified by (node, weight) alone.
                         engine::telemetry::count(engine::telemetry::Counter::ExpandCacheHits, 1);
@@ -109,9 +222,10 @@ impl ExpandedCircuit {
                             return None;
                         }
                         let ci = nodes.len() as u32;
-                        index.insert(child, ci);
+                        index.insert(child_key, child.weight, ci);
                         nodes.push(child);
-                        fanins.push(Vec::new());
+                        fanin_off.push(0);
+                        fanin_len.push(0);
                         is_leaf.push(leaf);
                         if !leaf {
                             stack.push(ci);
@@ -119,12 +233,15 @@ impl ExpandedCircuit {
                         ci
                     }
                 };
-                fanins[xi as usize].push(ci);
+                fanin_pool.push(ci);
             }
+            fanin_len[xi as usize] = fanin_pool.len() as u32 - fanin_off[xi as usize];
         }
         Some(ExpandedCircuit {
             nodes,
-            fanins,
+            fanin_off,
+            fanin_len,
+            fanin_pool,
             is_leaf,
             bound,
         })
@@ -189,7 +306,7 @@ mod tests {
             .position(|&en| en.node == b && en.weight == 1)
             .unwrap();
         assert!(exp.is_leaf[bi]);
-        assert!(exp.fanins[bi].is_empty());
+        assert!(exp.fanins(bi).is_empty());
         let a = c.find("a").unwrap();
         assert!(!exp.nodes.iter().any(|&en| en.node == a && en.weight == 1));
     }

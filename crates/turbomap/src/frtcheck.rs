@@ -99,16 +99,48 @@ pub struct FrtContext<'a> {
     pub frt_capped_gates: u64,
     /// Expanded circuit per gate, at bound `frt(v)`.
     expanded: Vec<Option<ExpandedCircuit>>,
-    /// Topological levels over zero-weight edges: `levels[d]` lists the
+    /// Topological levels over zero-weight edges: level `d` lists the
     /// non-PI nodes at combinational depth `d`, in topological order.
     /// Within a level no zero-weight edge connects two members, which is
     /// what makes the per-level fan-out safe and effective.
-    levels: Vec<Vec<u32>>,
-    /// Inverted cone index: `influenced[x]` lists the gates whose
-    /// expanded circuits contain node `x` (whose labels therefore depend
-    /// on `x`'s label through the cut heights).
-    influenced: Vec<Vec<u32>>,
+    levels: Levels,
+    /// Inverted cone index as a CSR graph: the out-row of node `x` lists
+    /// the gates whose expanded circuits contain `x` (whose labels
+    /// therefore depend on `x`'s label through the cut heights).
+    influenced: graphalgo::Csr,
     k: usize,
+}
+
+/// Topological levels in flat form: the nodes of level `d` are
+/// `nodes[off[d]..off[d + 1]]` — one arena for the whole partition
+/// instead of a `Vec` per depth.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Levels {
+    off: Vec<u32>,
+    nodes: Vec<u32>,
+}
+
+impl Levels {
+    /// Number of levels.
+    pub(crate) fn len(&self) -> usize {
+        self.off.len().saturating_sub(1)
+    }
+
+    /// The nodes of level `d`, in topological order.
+    pub(crate) fn level(&self, d: usize) -> &[u32] {
+        &self.nodes[self.off[d] as usize..self.off[d + 1] as usize]
+    }
+
+    /// Iterates the levels shallow-to-deep.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.len()).map(move |d| self.level(d))
+    }
+
+    /// Total node count across all levels.
+    #[cfg(test)]
+    pub(crate) fn total(&self) -> usize {
+        self.nodes.len()
+    }
 }
 
 impl<'a> FrtContext<'a> {
@@ -152,20 +184,26 @@ impl<'a> FrtContext<'a> {
             .expect("combinational cycles must be rejected before mapping");
         let levels = comb_levels(circuit, &order);
         let mut expanded: Vec<Option<ExpandedCircuit>> = vec![None; circuit.num_nodes()];
-        let mut influenced: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_nodes()];
+        // Collect (node, dependent gate) pairs flat, then counting-sort
+        // into a CSR row per node. The stamp array replaces a fresh
+        // `seen` bitmap per gate (gate ids are dense, so `v.0 + 1` is a
+        // unique generation tag).
+        let mut infl_pairs: Vec<(usize, usize)> = Vec::new();
+        let mut seen_stamp: Vec<u32> = vec![0; circuit.num_nodes()];
         for v in circuit.gate_ids() {
             let exp = ExpandedCircuit::build(circuit, v, frt[v.index()], MAX_EXPANDED_NODES);
             if let Some(exp) = &exp {
-                let mut seen = vec![false; circuit.num_nodes()];
+                let stamp = v.0 + 1;
                 for en in &exp.nodes {
-                    if !seen[en.node.index()] {
-                        seen[en.node.index()] = true;
-                        influenced[en.node.index()].push(v.0);
+                    if seen_stamp[en.node.index()] != stamp {
+                        seen_stamp[en.node.index()] = stamp;
+                        infl_pairs.push((en.node.index(), v.index()));
                     }
                 }
             }
             expanded[v.index()] = exp;
         }
+        let influenced = graphalgo::Csr::from_edges(circuit.num_nodes(), &infl_pairs);
         FrtContext {
             circuit,
             frt,
@@ -319,7 +357,7 @@ impl<'a> FrtContext<'a> {
             let _sweep = engine::trace::span1("frtcheck_sweep", "n", iterations as u64);
             let _mem = engine::mem::scope(engine::mem::MemPhase::LabelSweep);
             let mut changed = false;
-            for level in &self.levels {
+            for level in self.levels.iter() {
                 // Phase 1: collect this level's dirty nodes. The flags
                 // clear now; the apply phase below may re-mark them.
                 tasks.clear();
@@ -385,7 +423,7 @@ impl<'a> FrtContext<'a> {
                                 );
                             }
                         }
-                        for &g in &self.influenced[i] {
+                        for &g in self.influenced.out(i) {
                             if !dirty[g as usize] {
                                 dirty[g as usize] = true;
                                 engine::telemetry::count(
@@ -536,7 +574,7 @@ impl<'a> FrtContext<'a> {
             }
             sweeps += 1;
             let mut changed = false;
-            for level in &self.levels {
+            for level in self.levels.iter() {
                 for &vi in level {
                     let i = vi as usize;
                     if !dirty[i] {
@@ -630,7 +668,7 @@ impl<'a> FrtContext<'a> {
                         for &e in c.node(v).fanout() {
                             dirty[c.edge(e).to().index()] = true;
                         }
-                        for &g in &self.influenced[i] {
+                        for &g in self.influenced.out(i) {
                             dirty[g as usize] = true;
                         }
                     }
@@ -655,7 +693,7 @@ fn record_probe_metrics(iterations: usize, cache_hits: u64) {
 
 /// Groups the non-PI nodes by combinational depth (longest zero-weight
 /// path from any source), preserving topological order within each level.
-pub(crate) fn comb_levels(c: &Circuit, order: &[NodeId]) -> Vec<Vec<u32>> {
+pub(crate) fn comb_levels(c: &Circuit, order: &[NodeId]) -> Levels {
     let n = c.num_nodes();
     let mut depth = vec![0u32; n];
     let mut max_depth = 0u32;
@@ -670,13 +708,28 @@ pub(crate) fn comb_levels(c: &Circuit, order: &[NodeId]) -> Vec<Vec<u32>> {
         depth[v.index()] = d;
         max_depth = max_depth.max(d);
     }
-    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_depth as usize + 1];
+    // Stable counting sort by depth over the topological scan: each
+    // level's slice keeps topological order, packed into one flat arena.
+    let num_levels = max_depth as usize + 1;
+    let mut off = vec![0u32; num_levels + 1];
     for &v in order {
         if !c.node(v).is_input() {
-            levels[depth[v.index()] as usize].push(v.0);
+            off[depth[v.index()] as usize + 1] += 1;
         }
     }
-    levels
+    for d in 0..num_levels {
+        off[d + 1] += off[d];
+    }
+    let mut nodes = vec![0u32; off[num_levels] as usize];
+    let mut cursor = off[..num_levels].to_vec();
+    for &v in order {
+        if !c.node(v).is_input() {
+            let d = depth[v.index()] as usize;
+            nodes[cursor[d] as usize] = v.0;
+            cursor[d] += 1;
+        }
+    }
+    Levels { off, nodes }
 }
 
 #[cfg(test)]
@@ -832,7 +885,7 @@ mod tests {
         let c = chainy();
         let order = c.comb_topo_order().unwrap();
         let levels = comb_levels(&c, &order);
-        let total: usize = levels.iter().map(Vec::len).sum();
+        let total = levels.total();
         let non_inputs = c.node_ids().filter(|&v| !c.node(v).is_input()).count();
         assert_eq!(total, non_inputs);
         // Zero-weight edges must never connect two nodes of one level.

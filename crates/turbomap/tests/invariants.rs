@@ -36,8 +36,8 @@ fn expanded_path_weights_exact() {
                 Some(e) => e,
                 None => continue,
             };
-            for (i, fanins) in exp.fanins.iter().enumerate() {
-                for &f in fanins {
+            for i in 0..exp.len() {
+                for &f in exp.fanins(i) {
                     let child = exp.nodes[f as usize];
                     let parent = exp.nodes[i];
                     let delta = child.weight - parent.weight;

@@ -380,7 +380,7 @@ mod tests {
             let inp: Vec<Bit> = (0..c.inputs().len())
                 .map(|i| Bit::from_bool((cycle + i) % 3 == 0))
                 .collect();
-            let out = sim.step(&inp);
+            let out = sim.step(&inp).unwrap();
             assert!(
                 out.iter().all(|b| b.is_defined()),
                 "outputs defined at cycle {cycle}"

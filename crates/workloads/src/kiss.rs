@@ -351,10 +351,10 @@ mod tests {
             assert!(c.max_fanin() <= 2);
             let mut sim = Simulator::new(&c).unwrap();
             // OFF --1/1--> ON --any/0--> OFF --0/0--> OFF
-            assert_eq!(sim.step(&[Bit::One]), vec![Bit::One]);
-            assert_eq!(sim.step(&[Bit::One]), vec![Bit::Zero]); // in ON
-            assert_eq!(sim.step(&[Bit::Zero]), vec![Bit::Zero]); // back OFF
-            assert_eq!(sim.step(&[Bit::One]), vec![Bit::One]);
+            assert_eq!(sim.step(&[Bit::One]).unwrap(), vec![Bit::One]);
+            assert_eq!(sim.step(&[Bit::One]).unwrap(), vec![Bit::Zero]); // in ON
+            assert_eq!(sim.step(&[Bit::Zero]).unwrap(), vec![Bit::Zero]); // back OFF
+            assert_eq!(sim.step(&[Bit::One]).unwrap(), vec![Bit::One]);
         }
     }
 
@@ -393,7 +393,9 @@ mod tests {
         // but OR-plane semantics (like SIS) resolve it deterministically.
         let mut sim = Simulator::new(&c).unwrap();
         for i in 0..12 {
-            let v = sim.step(&[Bit::from_bool(i % 2 == 0), Bit::from_bool(i % 3 == 0)]);
+            let v = sim
+                .step(&[Bit::from_bool(i % 2 == 0), Bit::from_bool(i % 3 == 0)])
+                .unwrap();
             assert!(v.iter().all(|b| b.is_defined()));
         }
     }

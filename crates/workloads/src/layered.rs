@@ -222,7 +222,7 @@ mod tests {
         let mut sim = netlist::Simulator::new(&c).unwrap();
         let inp: Vec<Bit> = (0..c.inputs().len()).map(|_| Bit::One).collect();
         for _ in 0..8 {
-            let out = sim.step(&inp);
+            let out = sim.step(&inp).unwrap();
             assert!(out.iter().all(|b| b.is_defined()));
         }
     }
