@@ -34,8 +34,14 @@ pub const SCHEMA: &str = "turbomap-bench/table1/v3";
 /// optional `peak_rss_kib` field; `v3` added the vectorized verify
 /// phase — `verify_lanes`/`verify_cycles` structural fields, the
 /// `verify_secs`/`verify_scalar_secs` timings, and the `job_phases`
-/// wall breakdown benchdiff attributes regressions to).
-pub const LARGE_SCHEMA: &str = "turbomap-bench/large/v3";
+/// wall breakdown benchdiff attributes regressions to; `v4` adds the
+/// optional partitioned-mapping fields of `--partitions` runs —
+/// structural `partition_blocks`/`partition_cut_ffs`/`partition_phi`/
+/// `partition_luts`, exact-gated by benchdiff, plus the `map_secs`/
+/// `partition_block_secs` timings, the derived `partition_speedup`,
+/// and a `map` entry in `job_phases`; all omitted on ingestion-only
+/// rows, so `v3` consumers read `v4` artifacts unchanged).
+pub const LARGE_SCHEMA: &str = "turbomap-bench/large/v4";
 
 fn secs(value: f64, canonical: bool) -> JsonValue {
     JsonValue::Float(if canonical { 0.0 } else { value })
@@ -309,7 +315,16 @@ pub fn large_json(rows: &[crate::large::IngestRow], canonical: bool) -> JsonValu
             JsonValue::Array(
                 rows.iter()
                     .map(|r| {
-                        JsonValue::object(vec![
+                        let map_secs = r.partition.as_ref().map_or(0.0, |p| p.map_secs);
+                        let mut phases = vec![
+                            ("parse", secs(r.parse_secs, canonical)),
+                            ("flatten", secs(r.total_secs - r.parse_secs, canonical)),
+                            ("verify", secs(r.verify_secs, canonical)),
+                        ];
+                        if r.partition.is_some() {
+                            phases.push(("map", secs(map_secs, canonical)));
+                        }
+                        let mut pairs = vec![
                             ("name", JsonValue::str(r.name.clone())),
                             ("status", JsonValue::str("ok")),
                             ("file_bytes", JsonValue::UInt(r.file_bytes)),
@@ -323,20 +338,28 @@ pub fn large_json(rows: &[crate::large::IngestRow], canonical: bool) -> JsonValu
                             ("parse_secs", secs(r.parse_secs, canonical)),
                             ("verify_secs", secs(r.verify_secs, canonical)),
                             ("verify_scalar_secs", secs(r.verify_scalar_secs, canonical)),
-                            ("wall_secs", secs(r.total_secs + r.verify_secs, canonical)),
                             (
-                                "job_phases",
-                                JsonValue::object(vec![
-                                    ("parse", secs(r.parse_secs, canonical)),
-                                    ("flatten", secs(r.total_secs - r.parse_secs, canonical)),
-                                    ("verify", secs(r.verify_secs, canonical)),
-                                ]),
+                                "wall_secs",
+                                secs(r.total_secs + r.verify_secs + map_secs, canonical),
                             ),
+                            ("job_phases", JsonValue::object(phases)),
                             (
                                 "peak_rss_kib",
                                 JsonValue::UInt(if canonical { 0 } else { r.peak_rss_kib }),
                             ),
-                        ])
+                        ];
+                        if let Some(p) = &r.partition {
+                            pairs.extend([
+                                ("partition_blocks", JsonValue::UInt(p.blocks as u64)),
+                                ("partition_cut_ffs", JsonValue::UInt(p.cut_ffs)),
+                                ("partition_phi", JsonValue::UInt(p.phi)),
+                                ("partition_luts", JsonValue::UInt(p.luts as u64)),
+                                ("map_secs", secs(p.map_secs, canonical)),
+                                ("partition_block_secs", secs(p.block_secs, canonical)),
+                                ("partition_speedup", secs(p.speedup(), canonical)),
+                            ]);
+                        }
+                        JsonValue::object(pairs)
                     })
                     .collect(),
             ),
@@ -475,6 +498,53 @@ mod tests {
         assert!(text.contains("\"error\":\"boom\""));
         assert!(text.contains("\"completed\":1"));
         assert!(text.contains("\"total\":2"));
+    }
+
+    #[test]
+    fn large_artifact_carries_partition_fields() {
+        let row = crate::large::IngestRow {
+            name: "hier".into(),
+            file_bytes: 10,
+            models: 3,
+            gates: 100,
+            ffs: 20,
+            pis: 4,
+            pos: 4,
+            parse_secs: 0.1,
+            total_secs: 0.2,
+            verify_lanes: 64,
+            verify_cycles: 16,
+            verify_secs: 0.05,
+            verify_scalar_secs: 0.5,
+            peak_rss_kib: 1000,
+            partition: Some(crate::large::PartitionMeasurement {
+                blocks: 4,
+                cut_ffs: 12,
+                phi: 9,
+                luts: 50,
+                map_secs: 2.0,
+                block_secs: 6.0,
+            }),
+        };
+        let text = large_json(std::slice::from_ref(&row), false).render();
+        assert!(text.contains("\"schema\":\"turbomap-bench/large/v4\""));
+        assert!(text.contains("\"partition_blocks\":4"));
+        assert!(text.contains("\"partition_cut_ffs\":12"));
+        assert!(text.contains("\"partition_speedup\":3.0"));
+        assert!(text.contains("\"map\":2.0"), "{text}");
+        // Canonical zeroes the partition timings, keeps the structure.
+        let text = large_json(std::slice::from_ref(&row), true).render();
+        assert!(text.contains("\"partition_phi\":9"));
+        assert!(text.contains("\"partition_speedup\":0.0"));
+        assert!(text.contains("\"map_secs\":0.0"));
+        // Ingestion-only rows omit every partition field (v3 shape).
+        let plain = crate::large::IngestRow {
+            partition: None,
+            ..row
+        };
+        let text = large_json(&[plain], false).render();
+        assert!(!text.contains("partition_"), "{text}");
+        assert!(!text.contains("\"map\""), "{text}");
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct SuiteConfig {
     /// Warm-start Φ probes from the previous feasible labels
     /// (`turbomap::Options::warm_start`).
     pub warm_start: bool,
+    /// Partition-and-conquer TurboMap-frt leg: `None` monolithic,
+    /// `Some(0)` auto block count, `Some(n)` fixed
+    /// (see [`crate::try_run_row_partitioned`]).
+    pub partitions: Option<usize>,
 }
 
 impl Default for SuiteConfig {
@@ -42,6 +46,7 @@ impl Default for SuiteConfig {
             max_gates: None,
             sweep_workers: 1,
             warm_start: true,
+            partitions: None,
         }
     }
 }
@@ -60,8 +65,9 @@ pub fn run_table1_suite(cfg: &SuiteConfig) -> Vec<JobReport<Row>> {
             opts.sweep_workers = cfg.sweep_workers;
             opts.warm_start = cfg.warm_start;
             let verify = cfg.verify;
+            let partitions = cfg.partitions;
             JobSpec::new(p.name, move || {
-                crate::try_run_row_opts(p.name, &c, verify, opts)
+                crate::try_run_row_partitioned(p.name, &c, verify, opts, partitions)
             })
         })
         .collect();

@@ -4,7 +4,7 @@
 //! Usage:
 //!   benchdiff <baseline.json> <candidate.json>
 //!             [--wall-threshold-pct P] [--mem-threshold-pct M]
-//!             [--verify-speedup X] [--no-quality-gate]
+//!             [--verify-speedup X] [--phi-gap N] [--no-quality-gate]
 //!
 //! Prints a byte-deterministic per-circuit delta report (Φ, LUTs, wall
 //! time, peak memory, histogram p50/p90/p99) to stdout. Exit status: 0
@@ -23,6 +23,13 @@
 //! within one run, so only the *candidate* needs real timings — the
 //! checked-in canonical baseline works fine as the other side. Skipped
 //! (with a note) when the candidate itself is canonical.
+//!
+//! `--phi-gap N` compares a *partitioned* candidate against the
+//! committed monolithic baseline: per-circuit Φ and LUT deltas are
+//! still reported, but Φ gates only when it exceeds the baseline by
+//! more than N, and LUT growth (expected from duplicated seam logic)
+//! never gates. `--phi-gap 0` demands Φ parity while keeping LUTs
+//! informational.
 
 use bench::diff::{diff_artifacts, render_report, DiffOptions};
 use engine::log;
@@ -32,7 +39,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: benchdiff <baseline.json> <candidate.json> \
          [--wall-threshold-pct P] [--mem-threshold-pct M] \
-         [--verify-speedup X] [--no-quality-gate]"
+         [--verify-speedup X] [--phi-gap N] [--no-quality-gate]"
     );
     std::process::exit(2);
 }
@@ -92,6 +99,13 @@ fn main() {
                     _ => usage(),
                 };
                 opts.verify_speedup = Some(x);
+            }
+            "--phi-gap" => {
+                let n: u64 = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => usage(),
+                };
+                opts.phi_gap = Some(n);
             }
             "--no-quality-gate" => opts.quality_gate = false,
             "-h" | "--help" => usage(),

@@ -6,6 +6,17 @@
 //!          [--jobs N] [--sweep-workers N] [--no-warm-start]
 //!          [--timeout-secs S] [--json PATH] [--canonical]
 //!          [--trace-dir DIR] [--report-dir DIR] [--suite table1|large]
+//!          [--partitions K|auto]
+//!
+//! `--partitions` swaps the TurboMap-frt leg for the
+//! partition-and-conquer mapper (`auto` picks one block per ~100k
+//! gates): on the Table-1 suite the partitioned numbers land in the
+//! `turbomap_frt` artifact slot, so `benchdiff --phi-gap N` can gate
+//! the partitioned artifact against the committed monolithic baseline;
+//! on `--suite large` every preset is additionally *mapped* (not just
+//! ingested), with `--jobs` as the block-level worker count, and the
+//! artifact gains the `large/v4` partition fields including the
+//! measured multi-block parallel speedup.
 //!
 //! `--suite large` runs the large-workload *ingestion* suite instead:
 //! each `workloads::large` preset is generated to a temp dir and
@@ -56,7 +67,7 @@ static ALLOC: engine::mem::CountingAlloc = engine::mem::CountingAlloc::new();
 /// The `--suite large` path: ingest every large preset (within the
 /// gate cap) and optionally write the `turbomap-bench/large/v3`
 /// artifact.
-fn run_large_suite_main(max_gates: Option<usize>, json_path: Option<&str>, canonical: bool) {
+fn run_large_suite_main(cfg: &SuiteConfig, json_path: Option<&str>, canonical: bool) {
     let dir = std::env::temp_dir().join("tmfrt_large_suite");
     println!("Large-workload ingestion suite (streaming BLIF front-end)");
     println!(
@@ -74,7 +85,13 @@ fn run_large_suite_main(max_gates: Option<usize>, json_path: Option<&str>, canon
         "scalar_s",
         "speedup"
     );
-    let rows = match bench::large::run_large_suite(max_gates, &dir) {
+    let rows = match bench::large::run_large_suite_partitioned(
+        cfg.max_gates,
+        &dir,
+        cfg.partitions,
+        cfg.jobs,
+        cfg.k,
+    ) {
         Ok(rows) => rows,
         Err(e) => {
             log::error(
@@ -101,6 +118,19 @@ fn run_large_suite_main(max_gates: Option<usize>, json_path: Option<&str>, canon
             r.verify_scalar_secs,
             r.verify_scalar_secs / r.verify_secs.max(1e-12)
         );
+        if let Some(p) = &r.partition {
+            println!(
+                "           partitioned map: {} blocks, {} cut FFs -> Φ {}, {} LUTs \
+                 in {:.1}s ({:.2}x multi-block speedup, {:.1}s serial)",
+                p.blocks,
+                p.cut_ffs,
+                p.phi,
+                p.luts,
+                p.map_secs,
+                p.speedup(),
+                p.block_secs,
+            );
+        }
     }
     if let Some(path) = json_path {
         let doc = artifact::large_json(&rows, canonical);
@@ -161,6 +191,24 @@ fn main() {
                     .expect("--sweep-workers N (0 = auto)");
             }
             "--no-warm-start" => cfg.warm_start = false,
+            "--partitions" => {
+                let v = args.next().expect("--partitions K|auto");
+                cfg.partitions = Some(if v == "auto" {
+                    0
+                } else {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => {
+                            log::error(
+                                "table1",
+                                "--partitions needs a count >= 1 or `auto`",
+                                &[("value", JsonValue::str(v))],
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                });
+            }
             "--timeout-secs" => {
                 let s: u64 = args
                     .next()
@@ -192,7 +240,7 @@ fn main() {
     match suite.as_str() {
         "table1" => {}
         "large" => {
-            run_large_suite_main(cfg.max_gates, json_path.as_deref(), canonical);
+            run_large_suite_main(&cfg, json_path.as_deref(), canonical);
             return;
         }
         other => {
@@ -212,6 +260,13 @@ fn main() {
         cfg.jobs.max(1),
         if cfg.jobs.max(1) == 1 { "" } else { "s" },
     );
+    if let Some(p) = cfg.partitions {
+        if p == 0 {
+            println!("TurboMap-frt column: partition-and-conquer (auto block count)");
+        } else {
+            println!("TurboMap-frt column: partition-and-conquer ({p} blocks)");
+        }
+    }
     println!(
         "{:<10} {:>6}{:>6} | {:^25} | {:^27} | {:>5} | {:^25}",
         "", "", "", "FlowMap-frt", "TurboMap", "Best", "TurboMap-frt"

@@ -61,6 +61,14 @@ pub struct DiffOptions {
     /// machine-relative, so a canonical baseline is fine. `None` (the
     /// default) disables the gate.
     pub verify_speedup: Option<f64>,
+    /// Φ-gap mode for partitioned-vs-monolithic comparisons: the
+    /// candidate's `phi` may exceed the baseline's by up to this much
+    /// per circuit before the diff counts a regression (partitioning
+    /// freezes seam lags, so Φ can only stay equal or grow). LUT
+    /// deltas are reported but never gated in this mode — duplicated
+    /// boundary logic makes them incomparable. `None` (the default)
+    /// keeps the exact quality gate.
+    pub phi_gap: Option<u64>,
 }
 
 impl Default for DiffOptions {
@@ -70,6 +78,7 @@ impl Default for DiffOptions {
             quality_gate: true,
             mem_threshold: None,
             verify_speedup: None,
+            phi_gap: None,
         }
     }
 }
@@ -131,7 +140,7 @@ const QUALITY_FIELDS: [&str; 2] = ["phi", "luts"];
 /// Structural fields of a `turbomap-bench/large/*` ingestion row.
 /// Deterministic per preset, so *any* change — either direction — is a
 /// generator or front-end regression.
-const STRUCT_FIELDS: [&str; 8] = [
+const STRUCT_FIELDS: [&str; 12] = [
     "file_bytes",
     "models",
     "gates",
@@ -140,6 +149,12 @@ const STRUCT_FIELDS: [&str; 8] = [
     "pos",
     "verify_lanes",
     "verify_cycles",
+    // Partitioned-mapping fields (large/v4, `--partitions` runs only):
+    // deterministic per preset + block count, like the rest.
+    "partition_blocks",
+    "partition_cut_ffs",
+    "partition_phi",
+    "partition_luts",
 ];
 
 fn circuit_map(doc: &JsonValue) -> Result<Vec<(String, &JsonValue)>, String> {
@@ -341,7 +356,15 @@ fn diff_circuit(
             if let (Some(bv), Some(cv)) = (bv, cv) {
                 if bv != cv {
                     let line = format!("{alg}.{field}: {bv} -> {cv}");
-                    if cv > bv && opts.quality_gate {
+                    // Under `--phi-gap` the candidate is a partitioned
+                    // mapping: Φ regresses only past the allowed gap,
+                    // and LUT deltas are informational.
+                    let worse = match (field, opts.phi_gap) {
+                        ("phi", Some(gap)) => cv > bv.saturating_add(gap),
+                        (_, Some(_)) => false,
+                        (_, None) => cv > bv,
+                    };
+                    if worse && opts.quality_gate {
                         regressions.push(line.clone());
                     }
                     notes.push(line);
@@ -627,6 +650,40 @@ mod tests {
         };
         let report = diff_artifacts(&base, &cand, &opts).unwrap();
         assert!(report.is_clean());
+    }
+
+    #[test]
+    fn phi_gap_relaxes_quality_gate() {
+        let opts = DiffOptions {
+            phi_gap: Some(1),
+            ..DiffOptions::default()
+        };
+        let base = artifact(3, 10, 1.0, false);
+        // Φ +1 and LUTs +5: both inside the gap — reported, not gated.
+        let cand = artifact(4, 15, 1.0, false);
+        let report = diff_artifacts(&base, &cand, &opts).unwrap();
+        assert!(report.is_clean(), "{:?}", report.regressions);
+        let text = render_report(&report);
+        assert!(text.contains("turbomap_frt.phi: 3 -> 4"), "{text}");
+        assert!(text.contains("turbomap_frt.luts: 10 -> 15"), "{text}");
+        // Φ +2 exceeds a gap of 1: gated.
+        let cand = artifact(5, 10, 1.0, false);
+        let report = diff_artifacts(&base, &cand, &opts).unwrap();
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .regressions
+                .iter()
+                .any(|r| r.contains(".phi: 3 -> 5")),
+            "{:?}",
+            report.regressions
+        );
+        // Only Φ entries gate in gap mode — no LUT regressions.
+        assert!(
+            report.regressions.iter().all(|r| !r.contains(".luts")),
+            "{:?}",
+            report.regressions
+        );
     }
 
     #[test]

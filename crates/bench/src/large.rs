@@ -73,6 +73,45 @@ pub struct IngestRow {
     /// probe is unavailable. Zeroed in canonical artifacts like every
     /// other environment-dependent measurement.
     pub peak_rss_kib: u64,
+    /// Partition-and-conquer mapping measurement (`--partitions` runs
+    /// only; `None` keeps the row ingestion-only).
+    pub partition: Option<PartitionMeasurement>,
+}
+
+/// The partitioned-mapping leg of a large row: structural fields
+/// (blocks, cut FFs, Φ, LUTs) are deterministic per preset + block
+/// count and exact-gated by `benchdiff`; the wall times and the
+/// derived speedup are environment measurements, zeroed in canonical
+/// artifacts.
+#[derive(Debug, Clone)]
+pub struct PartitionMeasurement {
+    /// Non-empty blocks actually mapped.
+    pub blocks: usize,
+    /// Registers frozen on seams between blocks.
+    pub cut_ffs: u64,
+    /// Φ of the stitched circuit.
+    pub phi: u64,
+    /// LUTs in the stitched circuit.
+    pub luts: usize,
+    /// Wall seconds of the whole partitioned mapping (plan + blocks +
+    /// stitch) at the requested worker count.
+    pub map_secs: f64,
+    /// Sum of the per-block mapping walls — the serial cost of the
+    /// block legs. `block_secs / map_secs` is the measured multi-block
+    /// parallel speedup (> 1 when workers overlap blocks).
+    pub block_secs: f64,
+}
+
+impl PartitionMeasurement {
+    /// Measured multi-block parallel speedup: serial block cost over
+    /// actual wall (0 when the run was too fast to time).
+    pub fn speedup(&self) -> f64 {
+        if self.map_secs > 0.0 {
+            self.block_secs / self.map_secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Generates `spec` into `dir` and ingests it through the streaming
@@ -87,6 +126,26 @@ pub struct IngestRow {
 pub fn run_ingest_row(
     spec: &workloads::LargeSpec,
     dir: &std::path::Path,
+) -> Result<IngestRow, String> {
+    run_ingest_row_partitioned(spec, dir, None, 0, 5)
+}
+
+/// [`run_ingest_row`] plus an optional partition-and-conquer mapping
+/// leg: `partitions` follows the usual convention (`None` off,
+/// `Some(0)` auto, `Some(n)` fixed blocks), `jobs` is the block-level
+/// worker count (0 → one worker; the mapped result is byte-identical
+/// for every value) and `k` the LUT input bound.
+///
+/// # Errors
+///
+/// Same contract as [`run_ingest_row`]; mapping failures name the
+/// preset and the partition stage.
+pub fn run_ingest_row_partitioned(
+    spec: &workloads::LargeSpec,
+    dir: &std::path::Path,
+    partitions: Option<usize>,
+    jobs: usize,
+    k: usize,
 ) -> Result<IngestRow, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("creating `{}`: {e}", dir.display()))?;
     let path = dir.join(format!("{}.blif", spec.name));
@@ -123,6 +182,32 @@ pub fn run_ingest_row(
     let verify = run_verify_phase(&circuit, spec.seed)
         .map_err(|e| format!("{}: verify phase: {e}", spec.name))?;
 
+    let partition = match partitions {
+        None => None,
+        Some(p) => {
+            let blocks = if p == 0 {
+                partition::auto_blocks(circuit.num_gates())
+            } else {
+                p
+            };
+            let mut popts = partition::PartitionOptions::new(k, blocks);
+            popts.jobs = jobs;
+            let start = Instant::now();
+            let mapped = partition::partition_map(&circuit, &popts)
+                .map_err(|e| format!("{}: partition: {e}", spec.name))?;
+            let map_secs = start.elapsed().as_secs_f64();
+            let r = &mapped.report;
+            Some(PartitionMeasurement {
+                blocks: r.blocks,
+                cut_ffs: r.cut_ffs,
+                phi: r.phi,
+                luts: r.luts,
+                map_secs,
+                block_secs: r.block_outcomes.iter().map(|b| b.wall.as_secs_f64()).sum(),
+            })
+        }
+    };
+
     Ok(IngestRow {
         name: spec.name.clone(),
         file_bytes,
@@ -138,6 +223,7 @@ pub fn run_ingest_row(
         verify_secs: verify.vector_secs,
         verify_scalar_secs: verify.scalar_secs,
         peak_rss_kib: engine::mem::peak_rss_kib().unwrap_or(0),
+        partition,
     })
 }
 
@@ -233,10 +319,26 @@ pub fn run_large_suite(
     max_gates: Option<usize>,
     dir: &std::path::Path,
 ) -> Result<Vec<IngestRow>, String> {
+    run_large_suite_partitioned(max_gates, dir, None, 0, 5)
+}
+
+/// [`run_large_suite`] with the partitioned-mapping leg of
+/// [`run_ingest_row_partitioned`] on every row.
+///
+/// # Errors
+///
+/// Returns the first failing preset's message.
+pub fn run_large_suite_partitioned(
+    max_gates: Option<usize>,
+    dir: &std::path::Path,
+    partitions: Option<usize>,
+    jobs: usize,
+    k: usize,
+) -> Result<Vec<IngestRow>, String> {
     workloads::large_presets()
         .iter()
         .filter(|s| max_gates.is_none_or(|cap| s.flat_gates() <= cap))
-        .map(|s| run_ingest_row(s, dir))
+        .map(|s| run_ingest_row_partitioned(s, dir, partitions, jobs, k))
         .collect()
 }
 
@@ -268,6 +370,29 @@ mod tests {
         assert_eq!(row.verify_cycles, verify_cycles_for(row.gates));
         assert!(row.verify_secs > 0.0);
         assert!(row.verify_scalar_secs > 0.0);
+    }
+
+    #[test]
+    fn partitioned_ingest_row_on_small_spec() {
+        let spec = workloads::LargeSpec {
+            name: "bench_small_part".into(),
+            width: 4,
+            kinds: 2,
+            tiles: 3,
+            tile_gates: 16,
+            seed: 7,
+        };
+        let dir = std::env::temp_dir().join("tmfrt_bench_large");
+        let row = run_ingest_row_partitioned(&spec, &dir, Some(2), 2, 5).unwrap();
+        let p = row.partition.expect("partition leg requested");
+        assert!(p.blocks >= 1);
+        assert!(p.phi > 0);
+        assert!(p.luts > 0);
+        assert!(p.map_secs > 0.0);
+        assert!(p.block_secs > 0.0);
+        // Ingestion-only rows carry no partition leg.
+        let plain = run_ingest_row(&spec, &dir).unwrap();
+        assert!(plain.partition.is_none());
     }
 
     #[test]

@@ -79,6 +79,8 @@ impl BatchArgs {
                 pack: false,
                 strash: false,
                 sweep_workers: 1,
+                partitions: None,
+                jobs: 0,
                 no_warm_start: false,
                 trace_out: None,
                 report: None,

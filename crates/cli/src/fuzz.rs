@@ -19,7 +19,7 @@ USAGE: tmfrt fuzz [--seed N | --seed A..=B] [--cases N] [--jobs N]
                   [--timeout-secs S] [-k K] [--max-gates N]
                   [--max-mutations N] [--equiv-vectors N] [--equiv-seed N]
                   [--corpus DIR] [--no-shrink] [--shrink-budget N]
-                  [--certificates] [-q]
+                  [--certificates] [--partitions N] [-q]
 
   --seed N | A..=B  campaign seed, or an inclusive seed range; each seed
                     contributes --cases cases (default 1)
@@ -37,6 +37,10 @@ USAGE: tmfrt fuzz [--seed N | --seed A..=B] [--cases N] [--jobs N]
   --certificates    per case, extract a turbomap-report/v1 Φ-optimality
                     certificate and replay it through the independent
                     checker (CheckKind certificate_check)
+  --partitions N    per case, also map partition-and-conquer with N ≥ 2
+                    blocks and judge the stitched result: equivalence to
+                    the source and the Φ-gap bound — it can never beat
+                    the monolithic optimum (CheckKind partition_check)
   -q, --quiet       suppress progress logs (the summary still prints)
 
 Every case is a pure function of (seed, config): a repro manifest's
@@ -139,6 +143,12 @@ impl FuzzArgs {
                 }
                 "--no-shrink" => out.campaign.shrink = false,
                 "--certificates" => out.campaign.certificates = true,
+                "--partitions" => {
+                    out.campaign.partitions = num(&mut it, "--partitions")?;
+                    if out.campaign.partitions < 2 {
+                        return Err("--partitions needs a block count of at least 2".into());
+                    }
+                }
                 "--shrink-budget" => out.campaign.shrink_budget = num(&mut it, "--shrink-budget")?,
                 "-q" | "--quiet" => out.quiet = true,
                 "-h" | "--help" => return Err(FUZZ_USAGE.to_string()),
@@ -225,7 +235,7 @@ mod tests {
             "--seed 2..=3 --cases 10 --jobs 4 --timeout-secs 30 -k 5 \
              --max-gates 80 --max-mutations 6 --equiv-vectors 32 \
              --equiv-seed 99 --corpus /tmp/c --no-shrink --shrink-budget 40 \
-             --certificates -q",
+             --certificates --partitions 2 -q",
         ))
         .unwrap();
         assert_eq!(a.campaign.seeds, vec![2, 3]);
@@ -244,6 +254,7 @@ mod tests {
         assert!(!a.campaign.shrink);
         assert_eq!(a.campaign.shrink_budget, 40);
         assert!(a.campaign.certificates);
+        assert_eq!(a.campaign.partitions, 2);
         assert!(a.quiet);
     }
 
@@ -257,6 +268,7 @@ mod tests {
     fn rejects_bad_input() {
         assert!(FuzzArgs::parse(&argv("--bogus")).is_err());
         assert!(FuzzArgs::parse(&argv("-k 1")).is_err());
+        assert!(FuzzArgs::parse(&argv("--partitions 1")).is_err());
         assert!(FuzzArgs::parse(&argv("--cases")).is_err());
         let help = FuzzArgs::parse(&argv("--help")).unwrap_err();
         assert!(help.contains("tmfrt fuzz"));

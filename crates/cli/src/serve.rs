@@ -41,7 +41,7 @@ tmfrt serve — live mapping service with /metrics, /jobs and SSE events
 USAGE: tmfrt serve [--addr HOST:PORT] [--jobs N] [--timeout-secs S]
                    [--trace] [-a ALGO] [-k K] [--verify N] [--pack]
                    [--strash] [--pushback] [--sweep-workers N]
-                   [--no-warm-start] [-q]
+                   [--partitions K|auto] [--no-warm-start] [-q]
 
   --addr A          listen address (default 127.0.0.1:7878; port 0 picks
                     an ephemeral port, reported in the startup log line)
@@ -54,8 +54,9 @@ USAGE: tmfrt serve [--addr HOST:PORT] [--jobs N] [--timeout-secs S]
 
 ENDPOINTS
   POST /jobs        submit a BLIF body (?name=&algorithm=&k=&verify=&
-                    sweep_workers=&timeout_secs=&report=1 override
-                    defaults) or a JSON manifest
+                    sweep_workers=&partition=&timeout_secs=&report=1
+                    override defaults; partition=K|auto|off maps the job
+                    partition-and-conquer) or a JSON manifest
                     {\"jobs\":[{\"name\":…,\"source\":\"gen:…|path\"|\"blif\":…}]}
                     report=1 (turbomap-frt only) also records a
                     turbomap-report/v1 certificate per job
@@ -161,6 +162,12 @@ impl ServeArgs {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .ok_or_else(|| "--sweep-workers needs a count (0 = auto)".to_string())?;
+                }
+                "--partitions" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--partitions needs a count or `auto`".to_string())?;
+                    out.run.partitions = Some(crate::parse_partitions(v)?);
                 }
                 "--no-warm-start" => out.run.no_warm_start = true,
                 "-q" | "--quiet" => out.quiet = true,
@@ -521,6 +528,24 @@ fn submit_jobs(state: &Arc<ServeState>, req: &Request) -> Response {
         match w.parse::<usize>() {
             Ok(n) => run_args.sweep_workers = n,
             Err(_) => return Response::bad_request("sweep_workers must be a count (0 = auto)"),
+        }
+    }
+    if let Some(p) = req.query_param("partition") {
+        match p {
+            "0" | "off" => run_args.partitions = None,
+            _ => match crate::parse_partitions(p) {
+                Ok(n) => {
+                    if run_args.algorithm != crate::Algorithm::TurboMapFrt {
+                        return Response::bad_request(
+                            "partition= is only available with turbomap-frt",
+                        );
+                    }
+                    run_args.partitions = Some(n);
+                }
+                Err(_) => {
+                    return Response::bad_request("partition must be a count ≥ 1, `auto`, or 0/off")
+                }
+            },
         }
     }
     if let Some(r) = req.query_param("report") {
@@ -1126,6 +1151,16 @@ mod tests {
         assert_eq!(a.run.sweep_workers, 3);
         assert!(a.run.no_warm_start);
         assert!(a.quiet);
+    }
+
+    #[test]
+    fn parses_serve_partitions() {
+        let a = ServeArgs::parse(&argv("--partitions auto")).unwrap();
+        assert_eq!(a.run.partitions, Some(0));
+        let b = ServeArgs::parse(&argv("--partitions 4")).unwrap();
+        assert_eq!(b.run.partitions, Some(4));
+        assert!(ServeArgs::parse(&argv("--partitions 0")).is_err());
+        assert_eq!(ServeArgs::parse(&[]).unwrap().run.partitions, None);
     }
 
     #[test]

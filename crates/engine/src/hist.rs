@@ -66,10 +66,16 @@ pub enum Metric {
     /// Node count of the critical cycle found on the mapped network at
     /// Φ−1 (recorded only when a cycle exists).
     WitnessCycleLen = 10,
+    /// Gate count of each block mapped by the partition-and-conquer
+    /// pipeline (`crates/partition`), recorded once per block.
+    PartitionBlockGates = 11,
+    /// Flip-flops frozen on each block's seam (cut registers charged to
+    /// the block that consumes them), recorded once per block.
+    PartitionCutFfs = 12,
 }
 
 /// Number of [`Metric`] variants.
-pub const NUM_HISTS: usize = 11;
+pub const NUM_HISTS: usize = 13;
 
 /// Stable snake_case metric names, indexed by `Metric as usize` (JSON
 /// keys in the `turbomap-bench/table1/v2` artifact).
@@ -85,6 +91,8 @@ pub const HIST_NAMES: [&str; NUM_HISTS] = [
     "node_slack",
     "witness_steps",
     "witness_cycle_len",
+    "partition_block_gates",
+    "partition_cut_ffs",
 ];
 
 /// A streaming log-bucketed histogram. All fields are monotone counters.
@@ -435,7 +443,15 @@ mod tests {
             HIST_NAMES[Metric::WitnessCycleLen as usize],
             "witness_cycle_len"
         );
-        assert_eq!(Metric::WitnessCycleLen as usize, NUM_HISTS - 1);
+        assert_eq!(
+            HIST_NAMES[Metric::PartitionBlockGates as usize],
+            "partition_block_gates"
+        );
+        assert_eq!(
+            HIST_NAMES[Metric::PartitionCutFfs as usize],
+            "partition_cut_ffs"
+        );
+        assert_eq!(Metric::PartitionCutFfs as usize, NUM_HISTS - 1);
         let unique: std::collections::HashSet<&str> = HIST_NAMES.iter().copied().collect();
         assert_eq!(unique.len(), NUM_HISTS);
     }

@@ -57,10 +57,13 @@ pub enum MemPhase {
     Sim = 4,
     /// Equivalence verification of a mapped result.
     Verify = 5,
+    /// Partition-and-conquer work outside the per-block mapper runs:
+    /// condensation, clustering, contracts, extraction, and stitching.
+    Partition = 6,
 }
 
 /// Number of [`MemPhase`] variants.
-pub const NUM_MEM_PHASES: usize = 6;
+pub const NUM_MEM_PHASES: usize = 7;
 
 /// Stable phase names, indexed by `MemPhase as usize` — identical to the
 /// corresponding trace span names (JSON keys in the v3 artifact).
@@ -71,6 +74,7 @@ pub const MEM_PHASE_NAMES: [&str; NUM_MEM_PHASES] = [
     "apply_retiming",
     "sim_step",
     "verify",
+    "partition",
 ];
 
 impl MemPhase {
@@ -83,6 +87,7 @@ impl MemPhase {
             3 => Some(MemPhase::Retime),
             4 => Some(MemPhase::Sim),
             5 => Some(MemPhase::Verify),
+            6 => Some(MemPhase::Partition),
             _ => None,
         }
     }

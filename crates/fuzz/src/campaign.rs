@@ -44,6 +44,9 @@ pub struct CampaignConfig {
     pub alt_sweep_workers: usize,
     /// Enable the Φ-optimality certificate check per case.
     pub certificates: bool,
+    /// Block count for the partition-and-conquer cross-check per case
+    /// (values below 2 disable it).
+    pub partitions: usize,
     /// Batch worker threads (0 → one).
     pub jobs: usize,
     /// Per-case soft deadline.
@@ -68,6 +71,7 @@ impl Default for CampaignConfig {
             equiv_seed: 0xEC41_55EE,
             alt_sweep_workers: 3,
             certificates: false,
+            partitions: 0,
             jobs: 0,
             timeout: Some(Duration::from_secs(60)),
             corpus_dir: Some(PathBuf::from("fuzz/corpus")),
@@ -95,6 +99,7 @@ impl CampaignConfig {
             equiv_seed: self.equiv_seed,
             alt_sweep_workers: self.alt_sweep_workers,
             certificates: self.certificates,
+            partitions: self.partitions,
         }
     }
 }

@@ -19,6 +19,11 @@
 //!    sharing conflicts.
 //! 4. **Determinism** — TurboMap-frt must produce byte-identical BLIF for
 //!    every `sweep_workers` setting.
+//! 5. **Partition cross-check** (opt-in, `partitions ≥ 2`) — the case is
+//!    also mapped partition-and-conquer (`partition::partition_map`):
+//!    the stitched result must be valid, K-bounded, sequentially
+//!    equivalent to the source, and obey the Φ-gap bound — it can never
+//!    beat the monolithic TurboMap-frt optimum.
 //!
 //! Before the mappers run, a **front-end round-trip** check
 //! ([`CheckKind::RoundTrip`]) writes the case with
@@ -54,6 +59,13 @@ pub struct OracleConfig {
     /// `turbomap-report/v1` document via `report::explain` and replay
     /// it through the independent checker.
     pub certificates: bool,
+    /// Block count for the partition-and-conquer cross-check
+    /// ([`CheckKind::PartitionCheck`]): the case is also mapped through
+    /// `partition::partition_map` with this many blocks and judged for
+    /// sequential equivalence and the Φ-gap bound (the partitioned Φ
+    /// can never beat the monolithic TurboMap-frt optimum). Values
+    /// below 2 disable the check.
+    pub partitions: usize,
 }
 
 impl Default for OracleConfig {
@@ -64,6 +76,7 @@ impl Default for OracleConfig {
             equiv_seed: 0xEC41_55EE,
             alt_sweep_workers: 3,
             certificates: false,
+            partitions: 0,
         }
     }
 }
@@ -102,6 +115,12 @@ pub enum CheckKind {
     /// equivalence counterexample did not reproduce on the scalar
     /// simulator.
     SimDivergence,
+    /// The partition-and-conquer mapping broke an invariant: the
+    /// stitched circuit was invalid, inequivalent to the source, its
+    /// measured period disagreed with its report, or its Φ beat the
+    /// monolithic optimum (impossible — frozen seams only *lose*
+    /// retiming freedom).
+    PartitionCheck,
 }
 
 impl CheckKind {
@@ -118,6 +137,7 @@ impl CheckKind {
             CheckKind::RoundTrip => "round_trip",
             CheckKind::CertificateCheck => "certificate_check",
             CheckKind::SimDivergence => "sim_divergence",
+            CheckKind::PartitionCheck => "partition_check",
         }
     }
 }
@@ -457,6 +477,72 @@ pub fn certificate_violation(
     }
 }
 
+/// The partition judgement behind [`CheckKind::PartitionCheck`],
+/// exposed for focused tests: maps `source` through
+/// `partition::partition_map` with `cfg.partitions` blocks and checks
+/// (a) the stitched circuit is structurally valid and K-bounded,
+/// (b) its measured clock period agrees with the report, (c) its Φ
+/// does not beat `expected_phi` (the oracle's own monolithic
+/// TurboMap-frt run — optimal over forward retimings, so a "better"
+/// partitioned Φ means a broken period measurement or an illegal
+/// stitch), and (d) it is sequentially equivalent to the source under
+/// Compatibility. Returns the first failure's description, `None` when
+/// the check holds or the run was cancelled (the caller re-checks the
+/// token).
+pub fn partition_violation(
+    source: &Circuit,
+    expected_phi: u64,
+    cfg: &OracleConfig,
+) -> Option<String> {
+    let popts = partition::PartitionOptions::new(cfg.k, cfg.partitions);
+    let mapped = match partition::partition_map(source, &popts) {
+        Ok(m) => m,
+        Err(e) => {
+            if engine::cancel::cancelled() {
+                return None;
+            }
+            return Some(format!("partition_map failed: {e}"));
+        }
+    };
+    if let Err(e) = netlist::validate(&mapped.circuit) {
+        return Some(format!("stitched circuit invalid: {e}"));
+    }
+    if let Err(e) = netlist::check_k_bounded(&mapped.circuit, cfg.k) {
+        return Some(format!("stitched circuit breaks K={}: {e}", cfg.k));
+    }
+    match mapped.circuit.clock_period() {
+        Ok(p) if p == mapped.report.phi => {}
+        Ok(p) => {
+            return Some(format!(
+                "report says Φ = {} but the stitched circuit measures Φ = {p}",
+                mapped.report.phi
+            ))
+        }
+        Err(e) => return Some(format!("stitched circuit has no clock period: {e}")),
+    }
+    if mapped.report.phi < expected_phi {
+        return Some(format!(
+            "partitioned Φ = {} beats the monolithic optimum Φ = {expected_phi} \
+             (frozen seams cannot gain retiming freedom)",
+            mapped.report.phi
+        ));
+    }
+    match random_equiv_mode(
+        source,
+        &mapped.circuit,
+        cfg.equiv_vectors,
+        cfg.equiv_seed,
+        EquivMode::Compatibility,
+    ) {
+        Ok(EquivResult::Equivalent) => None,
+        Ok(EquivResult::Different(ce)) => Some(format!(
+            "stitched circuit diverged at output `{}`, cycle {}: expected {:?}, got {:?}",
+            ce.output, ce.cycle, ce.expected, ce.actual
+        )),
+        Err(e) => Some(format!("partition equivalence check failed to run: {e}")),
+    }
+}
+
 /// Judges one case. `source` must pass [`netlist::validate`] and be
 /// sharing-consistent (the generator guarantees both; the shrinker
 /// re-checks both on every candidate) — a source that already carries a
@@ -742,6 +828,35 @@ pub fn run_oracle(source: &Circuit, cfg: &OracleConfig) -> OracleOutcome {
         }
     }
 
+    // Check 6: partition-and-conquer cross-check. The case is mapped a
+    // second way — split at FF boundaries, per-block TurboMap-frt,
+    // stitched — and the two mappings judge each other: sequential
+    // equivalence plus the Φ-gap bound (partitioned ≥ monolithic).
+    if cfg.partitions >= 2 {
+        if let Some(frt) = &frt_res {
+            match catch_unwind(AssertUnwindSafe(|| {
+                partition_violation(source, frt.period, cfg)
+            })) {
+                Ok(Some(detail)) => violations.push(Violation {
+                    kind: CheckKind::PartitionCheck,
+                    flow: "partition",
+                    detail,
+                }),
+                Ok(None) => {}
+                Err(_) => {
+                    if engine::cancel::cancelled() {
+                        return OracleOutcome::Cancelled;
+                    }
+                    violations.push(Violation {
+                        kind: CheckKind::PartitionCheck,
+                        flow: "partition",
+                        detail: "panic while partition-mapping the case".to_string(),
+                    });
+                }
+            }
+        }
+    }
+
     if engine::cancel::cancelled() {
         return OracleOutcome::Cancelled;
     }
@@ -809,8 +924,34 @@ mod tests {
             (CheckKind::RoundTrip, "round_trip"),
             (CheckKind::CertificateCheck, "certificate_check"),
             (CheckKind::SimDivergence, "sim_divergence"),
+            (CheckKind::PartitionCheck, "partition_check"),
         ] {
             assert_eq!(kind.name(), name);
+        }
+    }
+
+    /// With the partition cross-check enabled, clean generated cases
+    /// still pass: every case maps both monolithically and with two
+    /// blocks, and the stitched result holds the oracle's invariants.
+    #[test]
+    fn partition_check_passes_on_clean_cases() {
+        let gen_cfg = GenConfig {
+            k: 4,
+            max_gates: 40,
+            max_mutations: 6,
+        };
+        let cfg = OracleConfig {
+            equiv_vectors: 16,
+            alt_sweep_workers: 0,
+            partitions: 2,
+            ..OracleConfig::default()
+        };
+        for seed in 0..4 {
+            let c = generate_case(seed, &gen_cfg);
+            let out = run_oracle(&c, &cfg);
+            if let OracleOutcome::Fail { violations, .. } = &out {
+                panic!("seed {seed} failed: {violations:?}");
+            }
         }
     }
 

@@ -1,0 +1,275 @@
+//! Greedy/FM-style K-way assignment of FF-boundary clusters to blocks.
+//!
+//! The objective is the classic min-cut bipartitioning trade-off: place
+//! comb-connected clusters so that as few seam registers as possible are
+//! frozen (cut FFs), while no block exceeds a balance cap of
+//! `ceil(total_gates / K) * balance`. The construction is a
+//! deterministic two-stage heuristic:
+//!
+//! 1. **Greedy growth** — clusters in descending gate-weight order
+//!    (ties by ascending cluster id) join the block they share the most
+//!    seam FFs with, provided the cap allows; otherwise the lightest
+//!    block takes them.
+//! 2. **FM-style refinement** — bounded first-improvement passes move a
+//!    cluster to another block whenever that strictly reduces the total
+//!    cut FF count without breaching the cap.
+//!
+//! Every step iterates clusters and blocks in fixed index order, so the
+//! assignment — and everything downstream of it — is byte-deterministic
+//! for a given circuit and K.
+
+use crate::cluster::Clusters;
+use netlist::{Circuit, EdgeId};
+use std::collections::HashMap;
+
+/// Bounded number of FM refinement passes.
+const MAX_FM_PASSES: usize = 8;
+
+/// A K-way block assignment of a circuit's clusters.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Cluster index → block index.
+    pub block_of_cluster: Vec<u32>,
+    /// Node index → block index.
+    pub block_of: Vec<u32>,
+    /// Number of non-empty blocks (after first-appearance renumbering).
+    pub num_blocks: usize,
+    /// Gate count per block.
+    pub block_gates: Vec<u64>,
+    /// Cross-block edges in ascending edge-id order (each carries ≥ 1 FF).
+    pub cut_edges: Vec<EdgeId>,
+    /// Total FFs on cut edges.
+    pub cut_ffs: u64,
+}
+
+impl Assignment {
+    /// Block imbalance: heaviest block over the ideal `total / blocks`
+    /// share (1.0 = perfectly balanced; 0.0 for gate-less designs).
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.block_gates.iter().sum();
+        if total == 0 || self.num_blocks == 0 {
+            return 0.0;
+        }
+        let ideal = total as f64 / self.num_blocks as f64;
+        let max = self.block_gates.iter().copied().max().unwrap_or(0);
+        max as f64 / ideal
+    }
+}
+
+/// Cluster adjacency: per cluster, `(neighbour, ff_weight)` sorted by
+/// neighbour id. Only FF-carrying (cross-cluster) edges contribute.
+fn cluster_adjacency(c: &Circuit, cl: &Clusters) -> Vec<Vec<(u32, u64)>> {
+    let mut pair_w: HashMap<(u32, u32), u64> = HashMap::new();
+    for id in c.edge_ids() {
+        let e = c.edge(id);
+        let a = cl.cluster_of[e.from().index()];
+        let b = cl.cluster_of[e.to().index()];
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        *pair_w.entry(key).or_insert(0) += e.weight() as u64;
+    }
+    let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); cl.num_clusters];
+    for (&(a, b), &w) in &pair_w {
+        adj[a as usize].push((b, w));
+        adj[b as usize].push((a, w));
+    }
+    for row in &mut adj {
+        row.sort_unstable_by_key(|&(n, _)| n);
+    }
+    adj
+}
+
+/// Assigns `cl`'s clusters to at most `blocks` blocks under the balance
+/// cap `ceil(total / blocks) * balance` (`balance` ≥ 1.0; values below
+/// are clamped). `blocks` ≤ 1 or a single cluster yields one block.
+pub fn assign(c: &Circuit, cl: &Clusters, blocks: usize, balance: f64) -> Assignment {
+    let k = blocks.max(1).min(cl.num_clusters.max(1));
+    let balance = if balance < 1.0 { 1.0 } else { balance };
+    let total: u64 = cl.gates.iter().sum();
+    let heaviest = cl.gates.iter().copied().max().unwrap_or(0);
+    let cap = ((total.div_ceil(k as u64) as f64) * balance).ceil() as u64;
+    let cap = cap.max(heaviest);
+
+    let adj = cluster_adjacency(c, cl);
+    let mut order: Vec<u32> = (0..cl.num_clusters as u32).collect();
+    order.sort_by_key(|&x| (std::cmp::Reverse(cl.gates[x as usize]), x));
+
+    let mut block_of_cluster: Vec<u32> = vec![u32::MAX; cl.num_clusters];
+    let mut load = vec![0u64; k];
+    for &x in &order {
+        let w = cl.gates[x as usize];
+        // Seam FFs shared with each block's already-placed clusters.
+        let mut gain = vec![0u64; k];
+        for &(nb, ffw) in &adj[x as usize] {
+            let b = block_of_cluster[nb as usize];
+            if b != u32::MAX {
+                gain[b as usize] += ffw;
+            }
+        }
+        let mut best: Option<usize> = None;
+        for b in 0..k {
+            if load[b] + w > cap {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(cur) => {
+                    (gain[b], std::cmp::Reverse(load[b]))
+                        > (gain[cur], std::cmp::Reverse(load[cur]))
+                }
+            };
+            if better {
+                best = Some(b);
+            }
+        }
+        let b = best.unwrap_or_else(|| {
+            // Everything at cap (possible when one cluster dominates):
+            // fall back to the lightest block.
+            (0..k).min_by_key(|&b| (load[b], b)).unwrap_or(0)
+        });
+        block_of_cluster[x as usize] = b as u32;
+        load[b] += w;
+    }
+
+    // FM-style refinement: first-improvement moves in cluster order.
+    for _ in 0..MAX_FM_PASSES {
+        let mut moved = false;
+        for x in 0..cl.num_clusters {
+            let s = block_of_cluster[x] as usize;
+            let w = cl.gates[x];
+            let mut ext = vec![0u64; k];
+            for &(nb, ffw) in &adj[x] {
+                ext[block_of_cluster[nb as usize] as usize] += ffw;
+            }
+            let mut best_t = s;
+            let mut best_gain = 0i64;
+            for t in 0..k {
+                if t == s || load[t] + w > cap {
+                    continue;
+                }
+                let gain = ext[t] as i64 - ext[s] as i64;
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_t = t;
+                }
+            }
+            if best_t != s {
+                block_of_cluster[x] = best_t as u32;
+                load[s] -= w;
+                load[best_t] += w;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    // Renumber blocks by first appearance over ascending cluster id so
+    // empty blocks vanish and ids are stable.
+    let mut remap: Vec<u32> = vec![u32::MAX; k];
+    let mut num_blocks = 0usize;
+    for b in block_of_cluster.iter_mut().take(cl.num_clusters) {
+        let old = *b as usize;
+        if remap[old] == u32::MAX {
+            remap[old] = num_blocks as u32;
+            num_blocks += 1;
+        }
+        *b = remap[old];
+    }
+
+    let block_of: Vec<u32> = cl
+        .cluster_of
+        .iter()
+        .map(|&cx| block_of_cluster[cx as usize])
+        .collect();
+    let mut block_gates = vec![0u64; num_blocks];
+    for x in 0..cl.num_clusters {
+        block_gates[block_of_cluster[x] as usize] += cl.gates[x];
+    }
+    let mut cut_edges = Vec::new();
+    let mut cut_ffs = 0u64;
+    for id in c.edge_ids() {
+        let e = c.edge(id);
+        if block_of[e.from().index()] != block_of[e.to().index()] {
+            debug_assert!(e.weight() > 0, "cut edge without FFs");
+            cut_edges.push(id);
+            cut_ffs += e.weight() as u64;
+        }
+    }
+    Assignment {
+        block_of_cluster,
+        block_of,
+        num_blocks,
+        block_gates,
+        cut_edges,
+        cut_ffs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::cluster;
+    use netlist::{Bit, TruthTable};
+
+    /// A 4-stage FF-separated pipeline of single gates.
+    fn pipeline(stages: usize) -> Circuit {
+        let mut c = Circuit::new("pipe");
+        let mut prev = c.add_input("in").unwrap();
+        for s in 0..stages {
+            let g = c.add_gate(format!("g{s}"), TruthTable::and(1)).unwrap();
+            let ffs = if s == 0 { vec![] } else { vec![Bit::Zero] };
+            c.connect(prev, g, ffs).unwrap();
+            prev = g;
+        }
+        let o = c.add_output("out").unwrap();
+        c.connect(prev, o, vec![]).unwrap();
+        c
+    }
+
+    #[test]
+    fn pipeline_splits_into_balanced_blocks() {
+        let c = pipeline(4);
+        let cl = cluster(&c);
+        assert_eq!(cl.num_clusters, 4);
+        let asg = assign(&c, &cl, 2, 1.1);
+        assert_eq!(asg.num_blocks, 2);
+        assert_eq!(asg.block_gates.iter().sum::<u64>(), 4);
+        assert!(asg.block_gates.iter().all(|&g| g > 0));
+        // Every cut edge carries a register.
+        for &id in &asg.cut_edges {
+            assert!(c.edge(id).weight() > 0);
+        }
+    }
+
+    #[test]
+    fn one_block_keeps_everything_together() {
+        let c = pipeline(4);
+        let cl = cluster(&c);
+        let asg = assign(&c, &cl, 1, 1.1);
+        assert_eq!(asg.num_blocks, 1);
+        assert!(asg.cut_edges.is_empty());
+        assert_eq!(asg.cut_ffs, 0);
+    }
+
+    #[test]
+    fn more_blocks_than_clusters_clamps() {
+        let c = pipeline(2);
+        let cl = cluster(&c);
+        let asg = assign(&c, &cl, 8, 1.1);
+        assert!(asg.num_blocks <= cl.num_clusters);
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let c = pipeline(6);
+        let cl = cluster(&c);
+        let a = assign(&c, &cl, 3, 1.1);
+        let b = assign(&c, &cl, 3, 1.1);
+        assert_eq!(a.block_of, b.block_of);
+        assert_eq!(a.cut_ffs, b.cut_ffs);
+    }
+}

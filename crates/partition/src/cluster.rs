@@ -1,0 +1,197 @@
+//! SCC condensation and FF-boundary clustering of the retiming graph.
+//!
+//! Partitioning may only cut edges that carry at least one flip-flop:
+//! a cut register's output is a stable per-cycle value, so the consumer
+//! block can treat it as a pseudo primary input without seeing any of
+//! the producer block's combinational timing. Two reductions enforce
+//! that invariant:
+//!
+//! 1. **Condensation** — Tarjan SCCs over the full retiming graph
+//!    (every edge, FF-carrying or not). Components come back in reverse
+//!    topological order of the condensation DAG, which the
+//!    slack-budgeting pass in [`crate::contract`] consumes directly.
+//! 2. **Comb-merge** — components joined by any zero-FF edge are fused
+//!    into one *cluster* (union-find over the condensation). After this
+//!    pass every cross-cluster edge carries ≥ 1 FF, so clusters are the
+//!    atomic units the block assignment is allowed to move.
+
+use graphalgo::{strongly_connected_components_csr, Csr};
+use netlist::Circuit;
+
+/// The SCC condensation of a circuit's full retiming graph.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// Node index → component index.
+    pub comp_of: Vec<u32>,
+    /// Components as node-index lists, in **reverse topological order**
+    /// of the condensation DAG (every edge goes from a higher component
+    /// index to a lower one).
+    pub components: Vec<Vec<usize>>,
+}
+
+impl Condensation {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the circuit had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+/// Computes the SCC condensation of `c`'s full retiming graph.
+pub fn condense(c: &Circuit) -> Condensation {
+    let n = c.num_nodes();
+    let edges: Vec<(usize, usize)> = c
+        .edge_ids()
+        .map(|id| {
+            let e = c.edge(id);
+            (e.from().index(), e.to().index())
+        })
+        .collect();
+    let g = Csr::from_edges(n, &edges);
+    let components = strongly_connected_components_csr(&g);
+    let mut comp_of = vec![0u32; n];
+    for (i, comp) in components.iter().enumerate() {
+        for &v in comp {
+            comp_of[v] = i as u32;
+        }
+    }
+    Condensation {
+        comp_of,
+        components,
+    }
+}
+
+/// FF-boundary clusters: components fused across zero-FF edges.
+#[derive(Debug, Clone)]
+pub struct Clusters {
+    /// The condensation the clusters were built from.
+    pub condensation: Condensation,
+    /// Component index → cluster index.
+    pub cluster_of_comp: Vec<u32>,
+    /// Node index → cluster index.
+    pub cluster_of: Vec<u32>,
+    /// Number of clusters.
+    pub num_clusters: usize,
+    /// Gate count per cluster (PIs/POs weigh nothing).
+    pub gates: Vec<u64>,
+}
+
+fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        let up = parent[parent[x as usize] as usize];
+        parent[x as usize] = up;
+        x = up;
+    }
+    x
+}
+
+/// Clusters `c`: condensation plus comb-merge. Cluster indices are
+/// assigned in order of first appearance over ascending node ids, so the
+/// numbering is deterministic and independent of union-find internals.
+pub fn cluster(c: &Circuit) -> Clusters {
+    let condensation = condense(c);
+    let nc = condensation.len();
+    let mut parent: Vec<u32> = (0..nc as u32).collect();
+    for id in c.edge_ids() {
+        let e = c.edge(id);
+        if e.weight() == 0 {
+            let a = find(&mut parent, condensation.comp_of[e.from().index()]);
+            let b = find(&mut parent, condensation.comp_of[e.to().index()]);
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+    }
+    let n = c.num_nodes();
+    let mut remap: Vec<u32> = vec![u32::MAX; nc];
+    let mut cluster_of: Vec<u32> = vec![0; n];
+    let mut num_clusters = 0usize;
+    for (v, cv) in cluster_of.iter_mut().enumerate().take(n) {
+        let root = find(&mut parent, condensation.comp_of[v]);
+        if remap[root as usize] == u32::MAX {
+            remap[root as usize] = num_clusters as u32;
+            num_clusters += 1;
+        }
+        *cv = remap[root as usize];
+    }
+    let mut cluster_of_comp: Vec<u32> = vec![0; nc];
+    for (i, item) in cluster_of_comp.iter_mut().enumerate() {
+        *item = remap[find(&mut parent, i as u32) as usize];
+    }
+    let mut gates = vec![0u64; num_clusters];
+    for g in c.gate_ids() {
+        gates[cluster_of[g.index()] as usize] += 1;
+    }
+    Clusters {
+        condensation,
+        cluster_of_comp,
+        cluster_of,
+        num_clusters,
+        gates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{Bit, TruthTable};
+
+    /// in -> g1 -FF-> g2 -> out: g1/g2 joined by nothing?  g2->out and
+    /// in->g1 are comb edges, so {in,g1} and {g2,out} are the clusters.
+    fn two_stage() -> Circuit {
+        let mut c = Circuit::new("two_stage");
+        let i = c.add_input("in").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::and(1)).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::and(1)).unwrap();
+        let o = c.add_output("out").unwrap();
+        c.connect(i, g1, vec![]).unwrap();
+        c.connect(g1, g2, vec![Bit::Zero]).unwrap();
+        c.connect(g2, o, vec![]).unwrap();
+        c
+    }
+
+    #[test]
+    fn comb_edges_fuse_clusters() {
+        let c = two_stage();
+        let cl = cluster(&c);
+        assert_eq!(cl.num_clusters, 2);
+        let ci = cl.cluster_of[c.find("in").unwrap().index()];
+        let c1 = cl.cluster_of[c.find("g1").unwrap().index()];
+        let c2 = cl.cluster_of[c.find("g2").unwrap().index()];
+        let co = cl.cluster_of[c.find("out").unwrap().index()];
+        assert_eq!(ci, c1);
+        assert_eq!(c2, co);
+        assert_ne!(c1, c2);
+        assert_eq!(cl.gates, vec![1, 1]);
+    }
+
+    #[test]
+    fn feedback_loop_is_one_component() {
+        // g1 -FF-> g2 -FF-> g1: one SCC, hence one cluster.
+        let mut c = Circuit::new("loop");
+        let i = c.add_input("in").unwrap();
+        let g1 = c.add_gate("g1", TruthTable::and(2)).unwrap();
+        let g2 = c.add_gate("g2", TruthTable::and(1)).unwrap();
+        let o = c.add_output("out").unwrap();
+        c.connect(i, g1, vec![]).unwrap();
+        c.connect(g1, g2, vec![Bit::Zero]).unwrap();
+        c.connect(g2, g1, vec![Bit::One]).unwrap();
+        c.connect(g2, o, vec![]).unwrap();
+        let cl = cluster(&c);
+        let c1 = cl.cluster_of[c.find("g1").unwrap().index()];
+        let c2 = cl.cluster_of[c.find("g2").unwrap().index()];
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn cluster_ids_are_first_appearance_ordered() {
+        let c = two_stage();
+        let cl = cluster(&c);
+        // Node 0 ("in") must live in cluster 0.
+        assert_eq!(cl.cluster_of[0], 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Boundary-register timing contracts via slack budgeting on the
+//! condensation DAG.
+//!
+//! Each cut register chain gets an **arrival / required budget** derived
+//! from a whole-design Φ estimate, in the spirit of network-flow slack
+//! budgeting for simultaneous retiming (Yu et al.): registers bound
+//! every combinational path, so a register-to-register path must fit in
+//! one period. The estimate works in gate levels on the SCC condensation
+//! (components arrive in reverse topological order, so both passes are
+//! single linear sweeps):
+//!
+//! * `din(comp)` — longest gate-level chain from any register output or
+//!   PI down to the *outputs* of `comp`, following zero-FF edges only
+//!   (FF-carrying edges restart timing at 0).
+//! * `dout(comp)` — the mirror image: longest chain from the *inputs*
+//!   of `comp` to any register input or PO.
+//!
+//! Gate levels convert to LUT levels by dividing by `floor(log2 K)`
+//! (the depth a K-LUT absorbs for 2-input logic), giving the design
+//! estimate `Φ_est = max lut(din)`. A cut register on edge `u → v` is
+//! then budgeted `arrival = lut(din(comp(u)))` (producer must deliver by
+//! then), `required = Φ_est` (the consumer has a full period from the
+//! register output), and
+//! `slack = min(Φ_est − arrival, Φ_est − lut(dout(comp(v))))`.
+//!
+//! The budgets are estimates, not guarantees — the per-block mapper
+//! reports a **contract violation** when a block's mapped Φ exceeds the
+//! required budget of a seam it touches.
+
+use crate::assign::Assignment;
+use crate::cluster::Clusters;
+use netlist::{Circuit, EdgeId};
+
+/// The timing budget of one cut register chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contract {
+    /// The cut edge in the source circuit.
+    pub edge: EdgeId,
+    /// Registers on the chain.
+    pub ffs: usize,
+    /// Producer-side arrival budget (LUT levels into the period).
+    pub arrival: u64,
+    /// Required time: the whole-design Φ estimate.
+    pub required: u64,
+    /// `min(required − arrival, required − consumer_need)`; 0 marks a
+    /// seam on the estimated critical path.
+    pub slack: u64,
+}
+
+/// All boundary contracts of a partition, plus the design estimate.
+#[derive(Debug, Clone)]
+pub struct ContractSet {
+    /// Whole-design Φ estimate in LUT levels (≥ 1 for any circuit with
+    /// gates).
+    pub phi_estimate: u64,
+    /// Minimum slack over all contracts (`phi_estimate` when no seams).
+    pub min_slack: u64,
+    /// One contract per cut edge, ascending edge-id order (matching
+    /// [`Assignment::cut_edges`]).
+    pub contracts: Vec<Contract>,
+}
+
+/// Gate levels a K-input LUT absorbs per level of 2-input logic.
+fn lut_levels(gate_levels: u64, k: usize) -> u64 {
+    let lg = usize::max(
+        1,
+        usize::BITS as usize - 1 - (k.max(2)).leading_zeros() as usize,
+    );
+    gate_levels.div_ceil(lg as u64)
+}
+
+/// Budgets every cut edge of `asg`, deriving the whole-design Φ estimate
+/// from two linear slack-budgeting sweeps over the condensation DAG.
+pub fn budget(c: &Circuit, cl: &Clusters, asg: &Assignment, k: usize) -> ContractSet {
+    let cond = &cl.condensation;
+    let nc = cond.len();
+    // Per-component gate cost. Multi-node components (sequential loops)
+    // are costed at their full gate count — a conservative bound on the
+    // comb depth inside the loop.
+    let mut cost = vec![0u64; nc];
+    for g in c.gate_ids() {
+        cost[cond.comp_of[g.index()] as usize] += 1;
+    }
+    // Zero-FF cross-component adjacency.
+    let mut comb_out: Vec<Vec<u32>> = vec![Vec::new(); nc];
+    for id in c.edge_ids() {
+        let e = c.edge(id);
+        if e.weight() != 0 {
+            continue;
+        }
+        let a = cond.comp_of[e.from().index()];
+        let b = cond.comp_of[e.to().index()];
+        if a != b {
+            comb_out[a as usize].push(b);
+        }
+    }
+    // Components are in reverse topological order: every edge goes from
+    // a higher index to a lower one. Descending = predecessors first.
+    let mut din = cost.clone();
+    for u in (0..nc).rev() {
+        for &v in &comb_out[u] {
+            let cand = din[u] + cost[v as usize];
+            if cand > din[v as usize] {
+                din[v as usize] = cand;
+            }
+        }
+    }
+    // Ascending = successors first.
+    let mut dout = cost.clone();
+    for u in 0..nc {
+        for &v in &comb_out[u] {
+            let cand = cost[u] + dout[v as usize];
+            if cand > dout[u] {
+                dout[u] = cand;
+            }
+        }
+    }
+    let max_depth = din.iter().copied().max().unwrap_or(0);
+    let phi_estimate = lut_levels(max_depth, k).max(1);
+    let mut contracts = Vec::with_capacity(asg.cut_edges.len());
+    let mut min_slack = phi_estimate;
+    for &id in &asg.cut_edges {
+        let e = c.edge(id);
+        let arrival = lut_levels(din[cond.comp_of[e.from().index()] as usize], k);
+        let need = lut_levels(dout[cond.comp_of[e.to().index()] as usize], k);
+        let slack = (phi_estimate - arrival).min(phi_estimate - need);
+        min_slack = min_slack.min(slack);
+        contracts.push(Contract {
+            edge: id,
+            ffs: e.weight(),
+            arrival,
+            required: phi_estimate,
+            slack,
+        });
+    }
+    ContractSet {
+        phi_estimate,
+        min_slack,
+        contracts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::assign;
+    use crate::cluster::cluster;
+    use netlist::{Bit, TruthTable};
+
+    /// `in -> a -> b -FF-> c -> out` — two comb stages of depth 2 and 1.
+    fn staged() -> Circuit {
+        let mut c = Circuit::new("staged");
+        let i = c.add_input("in").unwrap();
+        let a = c.add_gate("a", TruthTable::and(1)).unwrap();
+        let b = c.add_gate("b", TruthTable::and(1)).unwrap();
+        let g = c.add_gate("c", TruthTable::and(1)).unwrap();
+        let o = c.add_output("out").unwrap();
+        c.connect(i, a, vec![]).unwrap();
+        c.connect(a, b, vec![]).unwrap();
+        c.connect(b, g, vec![Bit::Zero]).unwrap();
+        c.connect(g, o, vec![]).unwrap();
+        c
+    }
+
+    #[test]
+    fn estimate_covers_deepest_stage() {
+        let c = staged();
+        let cl = cluster(&c);
+        let asg = assign(&c, &cl, 2, 1.5);
+        let cs = budget(&c, &cl, &asg, 4);
+        // Deepest comb chain is a->b: 2 gate levels -> 1 LUT level at K=4.
+        assert_eq!(cs.phi_estimate, 1);
+        assert!(cs.min_slack <= cs.phi_estimate);
+        if asg.num_blocks == 2 {
+            assert_eq!(cs.contracts.len(), 1);
+            let ct = cs.contracts[0];
+            assert_eq!(ct.ffs, 1);
+            assert_eq!(ct.required, cs.phi_estimate);
+            assert!(ct.arrival <= ct.required);
+        }
+    }
+
+    #[test]
+    fn lut_levels_divides_by_log_k() {
+        assert_eq!(lut_levels(0, 4), 0);
+        assert_eq!(lut_levels(4, 4), 2);
+        assert_eq!(lut_levels(5, 4), 3);
+        assert_eq!(lut_levels(5, 2), 5);
+        assert_eq!(lut_levels(8, 8), 3);
+    }
+
+    #[test]
+    fn no_cut_edges_means_full_slack() {
+        let c = staged();
+        let cl = cluster(&c);
+        let asg = assign(&c, &cl, 1, 1.1);
+        let cs = budget(&c, &cl, &asg, 4);
+        assert!(cs.contracts.is_empty());
+        assert_eq!(cs.min_slack, cs.phi_estimate);
+    }
+}
